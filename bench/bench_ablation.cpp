@@ -1,0 +1,84 @@
+/// \file bench_ablation.cpp
+/// Ablation study of the pipeline's design choices (not a paper table, but
+/// the justification for the choices the paper makes in Sec. III):
+///
+///   full        — the complete pipeline as evaluated in Tables I/II
+///   no-refine   — without the merge/split cluster refinement (Sec. III-F)
+///   no-guard    — without the oversized-cluster reconfiguration (Sec. III-E)
+///   with-1byte  — one-byte segments included (the paper excludes them)
+///   no-smooth   — Kneedle on the raw (unsmoothed) k-NN ECDF (Algorithm 1
+///                 requires smoothing)
+///
+/// Each variant runs on ground-truth segmentation so that differences are
+/// attributable to the clustering stage alone.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftc;
+
+core::pipeline_options variant_options(const std::string& variant) {
+    core::pipeline_options opt;
+    opt.budget_seconds = bench::budget_seconds();
+    if (variant == "no-refine") {
+        opt.apply_refinement = false;
+    } else if (variant == "no-guard") {
+        opt.oversize_fraction = 1.1;  // never triggers
+    } else if (variant == "with-1byte") {
+        opt.min_segment_length = 1;
+    } else if (variant == "no-smooth") {
+        opt.autoconf.smoothing_lambda = 0.0;
+    }
+    return opt;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Ablation — contribution of individual pipeline stages\n"
+                "(ground-truth segmentation; quality metric F1/4)\n\n");
+
+    static const char* kVariants[] = {"full", "no-refine", "no-guard", "with-1byte",
+                                      "no-smooth"};
+
+    text_table table({"proto", "msgs", "variant", "eps", "clusters", "P", "R", "F1/4"});
+    table.set_align(0, align::left);
+    table.set_align(2, align::left);
+
+    for (const char* proto : {"NTP", "DNS", "SMB"}) {
+        const std::size_t size = 400;
+        const protocols::trace truth = bench::make_trace(proto, size);
+        const auto messages = segmentation::message_bytes(truth);
+        for (const char* variant : kVariants) {
+            try {
+                const core::pipeline_result r = core::analyze_segments(
+                    messages, segmentation::segments_from_annotations(truth),
+                    variant_options(variant));
+                const core::typed_segments typed = core::assign_types(truth, r.unique);
+                const core::clustering_quality q =
+                    core::evaluate_clustering(r.final_labels, typed, truth.total_bytes());
+                table.add_row({proto, std::to_string(size), variant,
+                               format_fixed(r.clustering.config.epsilon, 3),
+                               std::to_string(r.final_labels.cluster_count),
+                               format_fixed(q.precision, 2), format_fixed(q.recall, 2),
+                               format_fixed(q.f_score, 2)});
+            } catch (const error& e) {
+                table.add_row({proto, std::to_string(size), variant, "-", "-", "-", "-",
+                               "fails"});
+                std::fprintf(stderr, "[fails] %s %s: %s\n", proto, variant, e.what());
+            }
+        }
+    }
+
+    std::fputs(table.render().c_str(), stdout);
+    std::printf(
+        "\nReading guide: 'no-guard' hurts most where one dense blob dominates\n"
+        "(SMB); 'with-1byte' floods the matrix with coincidentally-similar\n"
+        "single bytes (the reason the paper excludes them); 'no-smooth' makes\n"
+        "the knee selection jumpy; refinement mainly trades precision/recall\n"
+        "at the margins.\n");
+    return 0;
+}

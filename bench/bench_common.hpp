@@ -1,0 +1,127 @@
+/// \file bench_common.hpp
+/// Shared harness code for the table/figure reproduction binaries.
+///
+/// Every bench regenerates its rows from scratch: synthesize the trace,
+/// round-trip it through pcap bytes, segment (ground truth or heuristic),
+/// run the clustering pipeline, and score against the ground truth.
+/// The FTC_BENCH_BUDGET_SECONDS environment variable bounds each analysis
+/// run (default 60 s); runs exceeding it are reported as "fails", matching
+/// the paper's Table II entries.
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/pipeline.hpp"
+#include "protocols/registry.hpp"
+#include "segmentation/segment.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ftc::bench {
+
+/// Deterministic seed shared by all benches so tables are reproducible.
+inline constexpr std::uint64_t kBenchSeed = 20220627;  // DSN-W 2022 week
+
+/// Per-run wall clock budget (seconds).
+inline double budget_seconds() {
+    if (const char* env = std::getenv("FTC_BENCH_BUDGET_SECONDS")) {
+        const double v = std::atof(env);
+        if (v > 0) {
+            return v;
+        }
+    }
+    return 60.0;
+}
+
+/// One evaluated analysis run.
+struct run_result {
+    bool failed = false;          ///< budget/memory blowup ("fails")
+    std::string failure_reason;
+    std::size_t messages = 0;
+    std::size_t unique_fields = 0;  ///< unique >=2-byte segment values
+    double epsilon = 0.0;
+    core::clustering_quality quality;
+    double elapsed_seconds = 0.0;
+};
+
+/// Generate the deduplicated trace for a protocol/size, routed through real
+/// pcap bytes (the ingestion path an analyst would use).
+inline protocols::trace make_trace(const std::string& protocol, std::size_t size) {
+    const protocols::trace generated = protocols::generate_trace(protocol, size, kBenchSeed);
+    // Round-trip through capture bytes; re-annotate from wire content. Flow
+    // metadata for FieldHunter-style context is preserved from generation.
+    const pcap::capture cap = protocols::trace_to_capture(generated);
+    protocols::trace rebuilt = protocols::trace_from_payloads(
+        protocol, protocols::capture_payloads(pcap::from_pcap_bytes(pcap::to_pcap_bytes(cap))));
+    for (std::size_t i = 0; i < rebuilt.messages.size(); ++i) {
+        rebuilt.messages[i].flow = generated.messages[i].flow;
+        rebuilt.messages[i].is_request = generated.messages[i].is_request;
+    }
+    return rebuilt;
+}
+
+/// Run the clustering pipeline on a segmentation and score it.
+inline run_result score_pipeline(const protocols::trace& truth,
+                                 const std::vector<byte_vector>& messages,
+                                 segmentation::message_segments segments,
+                                 double budget) {
+    run_result out;
+    out.messages = truth.messages.size();
+    try {
+        core::pipeline_options opt;
+        opt.budget_seconds = budget;
+        const core::pipeline_result r =
+            core::analyze_segments(messages, std::move(segments), opt);
+        out.unique_fields = r.unique.size();
+        out.epsilon = r.clustering.config.epsilon;
+        const core::typed_segments typed = core::assign_types(truth, r.unique);
+        out.quality = core::evaluate_clustering(r.final_labels, typed, truth.total_bytes());
+        out.elapsed_seconds = r.elapsed_seconds;
+    } catch (const budget_exceeded_error& e) {
+        out.failed = true;
+        out.failure_reason = e.what();
+    } catch (const error& e) {
+        out.failed = true;
+        out.failure_reason = e.what();
+    }
+    return out;
+}
+
+/// Ground-truth segmentation run (Table I).
+inline run_result run_ground_truth(const std::string& protocol, std::size_t size) {
+    const protocols::trace truth = make_trace(protocol, size);
+    const auto messages = segmentation::message_bytes(truth);
+    return score_pipeline(truth, messages, segmentation::segments_from_annotations(truth),
+                          budget_seconds());
+}
+
+/// Heuristic segmentation run (Table II).
+inline run_result run_heuristic(const std::string& protocol, std::size_t size,
+                                const std::string& segmenter_name) {
+    const protocols::trace truth = make_trace(protocol, size);
+    const auto messages = segmentation::message_bytes(truth);
+    run_result out;
+    out.messages = truth.messages.size();
+    const double budget = budget_seconds();
+    try {
+        const auto segmenter = segmentation::make_segmenter(segmenter_name);
+        const stopwatch watch;
+        segmentation::message_segments segments =
+            segmenter->run(messages, deadline(budget));
+        const double remaining = budget - watch.elapsed_seconds();
+        if (remaining <= 0) {
+            throw budget_exceeded_error(segmenter_name + ": budget exhausted");
+        }
+        out = score_pipeline(truth, messages, std::move(segments), remaining);
+        out.elapsed_seconds = watch.elapsed_seconds();  // segmentation + clustering
+    } catch (const error& e) {
+        out.failed = true;
+        out.failure_reason = e.what();
+    }
+    return out;
+}
+
+}  // namespace ftc::bench

@@ -1,0 +1,75 @@
+/// \file bench_fieldhunter_coverage.cpp
+/// Reproduces the evaluation-summary comparison (paper Sec. IV-D): byte
+/// coverage of FieldHunter's rule-based field typing versus the clustering
+/// method. The paper reports ~3 % average coverage for FieldHunter and 87 %
+/// for clustering — "almost a factor of 30".
+///
+/// For each protocol: FieldHunter runs on messages with flow context (it
+/// cannot run its context rules on AWDL/AU, which lack IP encapsulation);
+/// clustering coverage comes from the ground-truth-segmented pipeline run.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fieldhunter/fieldhunter.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace ftc;
+    std::printf(
+        "Evaluation summary reproduction — coverage: FieldHunter vs clustering\n\n");
+
+    text_table table(
+        {"proto", "msgs", "FH fields", "FH cov.", "clustering cov.", "ratio"});
+    table.set_align(0, align::left);
+
+    double fh_sum = 0.0;
+    double cl_sum = 0.0;
+    std::size_t rows = 0;
+
+    for (const char* proto : {"DHCP", "DNS", "NBNS", "NTP", "SMB", "AWDL", "AU"}) {
+        const std::size_t size = protocols::paper_trace_size(proto);
+        const protocols::trace truth = bench::make_trace(proto, size);
+
+        const fieldhunter::fh_result fh =
+            fieldhunter::infer(fieldhunter::from_trace(truth));
+
+        const auto messages = segmentation::message_bytes(truth);
+        const bench::run_result cl = bench::score_pipeline(
+            truth, messages, segmentation::segments_from_annotations(truth),
+            bench::budget_seconds());
+
+        const double fh_cov = fh.coverage();
+        const double cl_cov = cl.failed ? 0.0 : cl.quality.coverage;
+        fh_sum += fh_cov;
+        cl_sum += cl_cov;
+        ++rows;
+
+        std::string fields_desc;
+        for (const fieldhunter::fh_field& f : fh.fields) {
+            if (!fields_desc.empty()) {
+                fields_desc += ' ';
+            }
+            fields_desc += fieldhunter::to_string(f.kind);
+        }
+        if (fields_desc.empty()) {
+            fields_desc = "(none)";
+        }
+        table.add_row({proto, std::to_string(size), fields_desc, format_percent(fh_cov),
+                       format_percent(cl_cov),
+                       fh_cov > 0 ? format_fixed(cl_cov / fh_cov, 1) + "x" : "inf"});
+    }
+
+    std::fputs(table.render().c_str(), stdout);
+    const double fh_avg = fh_sum / static_cast<double>(rows);
+    const double cl_avg = cl_sum / static_cast<double>(rows);
+    std::printf("\naverage FieldHunter coverage: %.1f%%\n", 100 * fh_avg);
+    std::printf("average clustering coverage:  %.1f%%\n", 100 * cl_avg);
+    if (fh_avg > 0) {
+        std::printf("coverage improvement factor:  %.1fx\n", cl_avg / fh_avg);
+    }
+    std::printf(
+        "\nPaper reference (Sec. IV-D): FieldHunter types one or two fields per\n"
+        "message (3%% average coverage) and cannot apply its context rules to\n"
+        "AWDL/AU at all; clustering reaches 87%% average coverage (~30x).\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/// \file bench_fig2_ecdf_knee.cpp
+/// Reproduces **Figure 2**: the ECDF Ê_k of k-NN dissimilarities of the
+/// 1000-message NTP trace, its smoothed version, and the Kneedle-detected
+/// knee used as DBSCAN epsilon (paper: knee at dissimilarity 0.167 for Ê_2;
+/// the value depends on the trace, the shape of the curve is the point).
+///
+/// Output: the selected k, per-k sharpness, the knee(s), and the ECDF
+/// series (raw and smoothed) as text columns suitable for plotting.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cluster/autoconf.hpp"
+#include "dissim/matrix.hpp"
+
+int main() {
+    using namespace ftc;
+    const std::string proto = "NTP";
+    const std::size_t size = 1000;
+    std::printf("Figure 2 reproduction — ECDF knee on %s@%zu\n\n", proto.c_str(), size);
+
+    const protocols::trace truth = bench::make_trace(proto, size);
+    const auto messages = segmentation::message_bytes(truth);
+    const dissim::unique_segments unique = dissim::condense(
+        messages, segmentation::segments_from_annotations(truth), 2);
+    std::printf("unique segments: %zu\n", unique.size());
+
+    const dissim::dissimilarity_matrix matrix(unique.values);
+    const cluster::autoconf_result cfg = cluster::auto_configure(matrix);
+
+    std::printf("candidate curves (Algorithm 1):\n");
+    for (const cluster::k_candidate& c : cfg.candidates) {
+        std::printf("  k=%zu  sharpness (max step of smoothed kNN distances) = %.4f%s\n",
+                    c.k, c.sharpness, c.k == cfg.selected_k ? "   <-- selected" : "");
+    }
+    std::printf("\nknees detected on the smoothed ECDF of k=%zu:", cfg.selected_k);
+    for (double knee : cfg.knees) {
+        std::printf(" %.3f", knee);
+    }
+    std::printf("\nchosen epsilon (rightmost knee): %.3f\n", cfg.epsilon);
+    std::printf("min_samples = round(ln n) = %zu\n\n", cfg.min_samples);
+
+    // Print the ECDF series of the selected k, decimated to ~50 rows.
+    const cluster::k_candidate* selected = nullptr;
+    for (const cluster::k_candidate& c : cfg.candidates) {
+        if (c.k == cfg.selected_k) {
+            selected = &c;
+        }
+    }
+    if (selected != nullptr) {
+        const std::size_t n = selected->knn_sorted.size();
+        const std::size_t step = n > 50 ? n / 50 : 1;
+        std::printf("%-10s %-12s %-12s\n", "ecdf_y", "knn_dissim", "smoothed");
+        for (std::size_t i = 0; i < n; i += step) {
+            std::printf("%-10.3f %-12.4f %-12.4f\n",
+                        static_cast<double>(i + 1) / static_cast<double>(n),
+                        selected->knn_sorted[i], selected->smoothed[i]);
+        }
+        std::printf("%-10.3f %-12.4f %-12.4f\n", 1.0, selected->knn_sorted.back(),
+                    selected->smoothed.back());
+    }
+
+    std::printf(
+        "\nPaper reference (Fig. 2): the ECDF rises steeply through the dense\n"
+        "intra-type dissimilarities and flattens after the knee; Kneedle's\n"
+        "rightmost knee becomes epsilon (paper: 0.167 on their NTP trace).\n");
+    return 0;
+}

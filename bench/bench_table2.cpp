@@ -1,0 +1,67 @@
+/// \file bench_table2.cpp
+/// Reproduces **Table II**: combinatorial clustering statistics and coverage
+/// for pseudo data types of *heuristic* segments — three segmenters
+/// (Netzob-style alignment, NEMESYS, CSP) across all protocols and trace
+/// sizes. Runs exceeding the wall-clock budget (FTC_BENCH_BUDGET_SECONDS,
+/// default 60 s) print as "fails", reproducing the paper's failed runs
+/// (Netzob on the large DHCP/SMB traces).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace ftc;
+    std::printf(
+        "Table II reproduction — clustering on heuristic segmentation\n"
+        "(budget %.0f s per run; set FTC_BENCH_BUDGET_SECONDS to change).\n\n",
+        bench::budget_seconds());
+
+    struct row_spec {
+        const char* proto;
+        std::size_t size;
+    };
+    std::vector<row_spec> rows;
+    for (const char* proto : {"DHCP", "DNS", "NBNS", "NTP", "SMB", "AWDL"}) {
+        rows.push_back({proto, protocols::paper_trace_size(proto)});
+    }
+    for (const char* proto : {"DHCP", "DNS", "NBNS", "NTP", "SMB", "AWDL"}) {
+        rows.push_back({proto, 100});
+    }
+    rows.push_back({"AU", protocols::paper_trace_size("AU")});
+
+    text_table table({"proto", "msgs", "segmenter", "P", "R", "F1/4", "cov.", "time"});
+    table.set_align(0, align::left);
+    table.set_align(2, align::left);
+
+    for (const row_spec& spec : rows) {
+        for (const char* segmenter : {"Netzob", "NEMESYS", "CSP"}) {
+            const bench::run_result r = bench::run_heuristic(spec.proto, spec.size, segmenter);
+            if (r.failed) {
+                table.add_row({spec.proto, std::to_string(spec.size), segmenter, "-", "-",
+                               "fails", "-", "-"});
+                std::fprintf(stderr, "[fails] %s@%zu %s: %s\n", spec.proto, spec.size,
+                             segmenter, r.failure_reason.c_str());
+            } else {
+                table.add_row({spec.proto, std::to_string(spec.size), segmenter,
+                               format_fixed(r.quality.precision, 2),
+                               format_fixed(r.quality.recall, 2),
+                               format_fixed(r.quality.f_score, 2),
+                               format_percent(r.quality.coverage),
+                               format_fixed(r.elapsed_seconds, 1) + "s"});
+            }
+        }
+    }
+
+    std::fputs(table.render().c_str(), stdout);
+    std::printf(
+        "\nPaper reference (Table II): precision stays high (mostly >= 0.9)\n"
+        "while recall drops versus ground-truth segmentation; Netzob leads on\n"
+        "fixed-structure NTP and TLV-structured AWDL but fails on the large\n"
+        "DHCP/SMB traces; NEMESYS handles large complex messages; CSP needs\n"
+        "large traces. Coverage counts the bytes of all >=2-byte segments\n"
+        "entering the analysis (the paper's \"inferred bytes\"); its average\n"
+        "across runs is the paper's 87%% headline (vs 3%% for FieldHunter;\n"
+        "see bench_fieldhunter_coverage).\n");
+    return 0;
+}

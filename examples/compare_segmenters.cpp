@@ -1,0 +1,147 @@
+/// \file compare_segmenters.cpp
+/// Side-by-side comparison of the three heuristic segmenters (Netzob-style
+/// alignment, NEMESYS, CSP) on one protocol trace — the paper's Sec. IV-C
+/// question: which segmenter suits which protocol?
+///
+/// Shows, per segmenter: segment statistics, boundary agreement with the
+/// true fields, clustering quality on top of the segmentation, and an
+/// annotated example message.
+///
+/// Usage: compare_segmenters [protocol] [messages]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/metrics.hpp"
+#include "core/pipeline.hpp"
+#include "protocols/registry.hpp"
+#include "segmentation/segment.hpp"
+#include "util/hex.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftc;
+
+/// Render one message with '|' at segment boundaries.
+std::string render_boundaries(const byte_vector& msg,
+                              const std::vector<segmentation::segment>& segs) {
+    std::string out;
+    for (const segmentation::segment& s : segs) {
+        if (s.offset > 0) {
+            out += '|';
+        }
+        out += to_hex(byte_view{msg}.subspan(s.offset, std::min<std::size_t>(s.length, 24)));
+        if (s.length > 24) {
+            out += "..";
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string protocol = argc > 1 ? argv[1] : "NTP";
+    const std::size_t count = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 100;
+
+    try {
+        const protocols::trace truth = protocols::generate_trace(protocol, count, 5);
+        const auto messages = segmentation::message_bytes(truth);
+        std::printf("comparing segmenters on %s (%zu messages)\n\n", protocol.c_str(), count);
+
+        // True boundaries for agreement statistics.
+        std::vector<std::vector<std::size_t>> true_bounds(messages.size());
+        for (std::size_t m = 0; m < truth.messages.size(); ++m) {
+            for (const protocols::field_annotation& f : truth.messages[m].fields) {
+                if (f.offset > 0) {
+                    true_bounds[m].push_back(f.offset);
+                }
+            }
+        }
+
+        text_table table({"segmenter", "segs/msg", "bound. precision", "bound. recall", "P",
+                          "R", "F1/4", "cov.", "time"});
+        table.set_align(0, align::left);
+
+        for (const char* name : {"Netzob", "NEMESYS", "CSP"}) {
+            const auto segmenter = segmentation::make_segmenter(name);
+            segmentation::message_segments segs;
+            try {
+                segs = segmenter->run(messages, deadline(120.0));
+            } catch (const budget_exceeded_error&) {
+                table.add_row({name, "-", "-", "-", "-", "-", "fails", "-", "-"});
+                continue;
+            }
+
+            // Boundary agreement.
+            std::size_t inferred = 0;
+            std::size_t matched = 0;
+            std::size_t truth_total = 0;
+            for (std::size_t m = 0; m < messages.size(); ++m) {
+                truth_total += true_bounds[m].size();
+                for (const segmentation::segment& s : segs[m]) {
+                    if (s.offset == 0) {
+                        continue;
+                    }
+                    ++inferred;
+                    if (std::find(true_bounds[m].begin(), true_bounds[m].end(), s.offset) !=
+                        true_bounds[m].end()) {
+                        ++matched;
+                    }
+                }
+            }
+            std::size_t total_segments = 0;
+            for (const auto& per_message : segs) {
+                total_segments += per_message.size();
+            }
+
+            // Clustering quality on this segmentation.
+            core::pipeline_options opt;
+            opt.budget_seconds = 120.0;
+            const core::pipeline_result r =
+                core::analyze_segments(messages, std::move(segs), opt);
+            const core::typed_segments typed = core::assign_types(truth, r.unique);
+            const core::clustering_quality q =
+                core::evaluate_clustering(r.final_labels, typed, truth.total_bytes());
+
+            table.add_row(
+                {name,
+                 format_fixed(static_cast<double>(total_segments) /
+                                  static_cast<double>(messages.size()),
+                              1),
+                 inferred > 0 ? format_fixed(static_cast<double>(matched) /
+                                                 static_cast<double>(inferred),
+                                             2)
+                              : "-",
+                 truth_total > 0 ? format_fixed(static_cast<double>(matched) /
+                                                    static_cast<double>(truth_total),
+                                                2)
+                                 : "-",
+                 format_fixed(q.precision, 2), format_fixed(q.recall, 2),
+                 format_fixed(q.f_score, 2), format_percent(q.coverage),
+                 format_fixed(r.elapsed_seconds, 1) + "s"});
+        }
+        std::fputs(table.render().c_str(), stdout);
+
+        // Annotated example: the first message under each segmenter.
+        std::printf("\nexample segmentations of message 0 ('|' = inferred boundary):\n");
+        std::printf("  %-8s %s\n", "true", render_boundaries(messages[0], [&] {
+                        return segmentation::segments_from_annotations(truth)[0];
+                    }()).c_str());
+        for (const char* name : {"Netzob", "NEMESYS", "CSP"}) {
+            try {
+                const auto segmenter = segmentation::make_segmenter(name);
+                const auto segs = segmenter->run(messages, deadline(120.0));
+                std::printf("  %-8s %s\n", name,
+                            render_boundaries(messages[0], segs[0]).c_str());
+            } catch (const budget_exceeded_error&) {
+                std::printf("  %-8s (fails)\n", name);
+            }
+        }
+        return 0;
+    } catch (const error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

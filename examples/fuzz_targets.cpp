@@ -1,0 +1,158 @@
+/// \file fuzz_targets.cpp
+/// Deriving a fuzzing configuration from pseudo data types — the use case
+/// the paper motivates ("particularly relevant for use in fuzzing and
+/// misbehavior detection"). Clusters give, per field candidate, a value
+/// domain: fixed-width numeric ranges, text alphabets, constants to keep
+/// intact, and high-entropy blobs to leave alone (checksums/signatures
+/// rarely pay off under mutation). The example emits a mutation plan plus
+/// a small seed corpus of mutated messages.
+///
+/// Usage: fuzz_targets [protocol] [messages]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/valuegen.hpp"
+#include "protocols/registry.hpp"
+#include "segmentation/nemesys.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ftc;
+
+/// Mutation strategy for one pseudo data type.
+struct mutation_rule {
+    int cluster_id = 0;
+    std::string strategy;
+    std::string rationale;
+};
+
+mutation_rule plan_for(const core::cluster_summary& s) {
+    mutation_rule rule;
+    rule.cluster_id = s.cluster_id;
+    const std::string kind = s.kind_hint();
+    if (kind == "constant") {
+        rule.strategy = "keep";
+        rule.rationale = "constant across trace; changing it likely drops the message early";
+    } else if (kind == "chars") {
+        rule.strategy = "grow-and-garble";
+        rule.rationale = "text field; try oversize strings, format specifiers, delimiters";
+    } else if (kind == "high-entropy") {
+        rule.strategy = "keep";
+        rule.rationale = "random content (checksum/signature/nonce); mutations are rejected";
+    } else if (s.numeric_valid) {
+        rule.strategy = "boundary-numbers";
+        rule.rationale = "numeric domain [" + std::to_string(s.numeric_min) + ", " +
+                         std::to_string(s.numeric_max) + "]; probe 0, max, off-by-one, sign bit";
+    } else {
+        rule.strategy = "bit-flips";
+        rule.rationale = "opaque field; low-rate bit flips";
+    }
+    return rule;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string protocol = argc > 1 ? argv[1] : "DNS";
+    const std::size_t count = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 200;
+
+    try {
+        const protocols::trace trace = protocols::generate_trace(protocol, count, 17);
+        const auto messages = segmentation::message_bytes(trace);
+
+        // Unknown-protocol setting: heuristic segmentation.
+        const segmentation::nemesys_segmenter segmenter;
+        const core::pipeline_result result = core::analyze(messages, segmenter, {});
+        const auto summaries = core::summarize_clusters(result);
+
+        std::printf("fuzzing plan for %s derived from %zu pseudo data types:\n\n",
+                    protocol.c_str(), summaries.size());
+        std::printf("%-8s %-14s %-18s %s\n", "cluster", "kind", "strategy", "rationale");
+        for (const core::cluster_summary& s : summaries) {
+            const mutation_rule rule = plan_for(s);
+            std::printf("%-8d %-14s %-18s %s\n", s.cluster_id, s.kind_hint().c_str(),
+                        rule.strategy.c_str(), rule.rationale.c_str());
+        }
+
+        // Emit a seed corpus: take real messages and mutate only the
+        // segments whose cluster strategy allows it.
+        rng rand(99);
+        std::printf("\nsample mutations (original -> mutated, changed segments marked):\n");
+        std::size_t emitted = 0;
+        for (std::size_t v = 0; v < result.unique.size() && emitted < 5; ++v) {
+            const int label = result.final_labels.labels[v];
+            if (label < 0) {
+                continue;
+            }
+            const core::cluster_summary* summary = nullptr;
+            for (const core::cluster_summary& s : summaries) {
+                if (s.cluster_id == label) {
+                    summary = &s;
+                }
+            }
+            if (summary == nullptr) {
+                continue;
+            }
+            const mutation_rule rule = plan_for(*summary);
+            if (rule.strategy == "keep") {
+                continue;
+            }
+            const segmentation::segment seg = result.unique.occurrences[v].front();
+            byte_vector mutated = messages[seg.message_index];
+            if (rule.strategy == "boundary-numbers") {
+                for (std::size_t i = 0; i < seg.length; ++i) {
+                    mutated[seg.offset + i] = 0xff;  // numeric max probe
+                }
+            } else if (rule.strategy == "grow-and-garble") {
+                for (std::size_t i = 0; i < seg.length; ++i) {
+                    mutated[seg.offset + i] = static_cast<std::uint8_t>('%');  // fmt probe
+                }
+            } else {
+                mutated[seg.offset + rand.uniform(0, seg.length - 1)] ^= 0x80;
+            }
+            std::printf("  msg %3zu seg [%zu,+%zu) %-18s %s -> %s\n", seg.message_index,
+                        seg.offset, seg.length, rule.strategy.c_str(),
+                        to_hex(byte_view{messages[seg.message_index]}.subspan(seg.offset,
+                                                                              seg.length))
+                            .c_str(),
+                        to_hex(byte_view{mutated}.subspan(seg.offset, seg.length)).c_str());
+            ++emitted;
+        }
+
+        // Learned value generation (paper Sec. V): sample plausible field
+        // values from each cluster's per-position byte model — useful as
+        // valid-looking fuzzing inputs that pass superficial parsers.
+        const core::cluster_value_models models = core::learn_value_models(result);
+        std::printf("\nmodel-generated plausible values per cluster:\n");
+        for (std::size_t i = 0; i < models.models.size() && i < 6; ++i) {
+            std::printf("  cluster %d:", models.cluster_ids[i]);
+            for (int s = 0; s < 3; ++s) {
+                std::printf(" %s", to_hex(models.models[i].sample(rand)).c_str());
+            }
+            std::printf("\n");
+        }
+
+        std::printf(
+            "\nThe plan touches %zu of %zu clusters; constants and high-entropy\n"
+            "fields are left intact, concentrating fuzzing effort where the\n"
+            "protocol actually interprets values.\n",
+            [&] {
+                std::size_t n = 0;
+                for (const auto& s : summaries) {
+                    if (plan_for(s).strategy != "keep") {
+                        ++n;
+                    }
+                }
+                return n;
+            }(),
+            summaries.size());
+        return 0;
+    } catch (const error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

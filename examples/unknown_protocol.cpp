@@ -1,0 +1,88 @@
+/// \file unknown_protocol.cpp
+/// Reverse engineering an *unknown* protocol: the scenario the paper is
+/// built for. We treat AWDL — a proprietary link-layer protocol without IP
+/// encapsulation — as a black box: no dissector, no ground truth, no flow
+/// context. The pipeline segments the frames heuristically (NEMESYS),
+/// clusters the segments into pseudo data types, and the example then walks
+/// the clusters like an analyst would: looking at value domains, shared
+/// prefixes and kind hints to form hypotheses about field semantics.
+///
+/// Usage: unknown_protocol [messages]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/semantics.hpp"
+#include "protocols/registry.hpp"
+#include "segmentation/nemesys.hpp"
+#include "util/hex.hpp"
+
+int main(int argc, char** argv) {
+    using namespace ftc;
+    const std::size_t count = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 300;
+
+    try {
+        // The "capture": AWDL action frames. In a real engagement this is a
+        // monitor-mode capture; the analysis below uses nothing but the
+        // frame bytes.
+        const protocols::trace capture = protocols::generate_trace("AWDL", count, 7);
+        std::vector<byte_vector> frames = segmentation::message_bytes(capture);
+        std::printf("captured %zu frames of an unknown protocol (%zu bytes total)\n\n",
+                    frames.size(), capture.total_bytes());
+
+        // Step 1: heuristic segmentation — no specification available.
+        const segmentation::nemesys_segmenter segmenter;
+        // Step 2+3: dissimilarity, auto-configured DBSCAN, refinement.
+        const core::pipeline_result result = core::analyze(frames, segmenter, {});
+
+        std::printf("NEMESYS produced %zu unique field candidates; clustering found %zu "
+                    "pseudo data types (%zu values are noise)\n\n",
+                    result.unique.size(), result.final_labels.cluster_count,
+                    result.final_labels.noise_count());
+
+        // Step 4: the analyst's walk over the clusters.
+        auto summaries = core::summarize_clusters(result);
+        std::sort(summaries.begin(), summaries.end(),
+                  [](const core::cluster_summary& a, const core::cluster_summary& b) {
+                      return a.occurrences > b.occurrences;
+                  });
+        std::printf("%s\n", core::render_report(summaries).c_str());
+
+        std::printf("analyst hypotheses derived from the clusters:\n");
+        for (const core::cluster_summary& s : summaries) {
+            std::string hypothesis;
+            const std::string kind = s.kind_hint();
+            if (kind == "chars") {
+                hypothesis = "text field - likely a name or service string";
+            } else if (kind == "constant") {
+                hypothesis = "protocol constant - magic value or fixed header field";
+            } else if (kind == "high-entropy") {
+                hypothesis = "random content - nonce, key material or checksum";
+            } else if (s.numeric_valid && s.common_prefix >= s.min_length / 2) {
+                hypothesis = "counter/timestamp-like - shared high bytes, varying low bytes";
+            } else if (kind.rfind("numeric", 0) == 0) {
+                hypothesis = "numeric field - length, metric or identifier";
+            } else {
+                hypothesis = "opaque structure - needs follow-up analysis";
+            }
+            std::printf("  cluster %d (%zux, %s): %s\n", s.cluster_id, s.occurrences,
+                        kind.c_str(), hypothesis.c_str());
+        }
+
+        // Step 5: deduce field semantics from occurrence patterns (length
+        // fields, counters, constants, echoed values).
+        std::printf("\ndeduced semantics:\n%s",
+                    core::render_semantics(core::deduce_semantics(frames, result)).c_str());
+
+        std::printf(
+            "\nNote: AWDL has no IP encapsulation, so context-based approaches\n"
+            "(FieldHunter's Host-ID/Session-ID/Trans-ID rules) cannot run at all\n"
+            "here - clustering by value similarity is what remains applicable.\n");
+        return 0;
+    } catch (const error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

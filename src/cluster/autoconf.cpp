@@ -1,0 +1,208 @@
+#include "cluster/autoconf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "mathx/kneedle.hpp"
+#include "mathx/smoothing.hpp"
+#include "util/check.hpp"
+
+namespace ftc::cluster {
+
+namespace {
+
+/// Build the strictly-increasing ECDF curve of (already sorted) samples:
+/// points (value, fraction <= value), duplicate values collapsed.
+mathx::curve ecdf_curve(const std::vector<double>& sorted) {
+    mathx::curve out;
+    const double n = static_cast<double>(sorted.size());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        if (i + 1 < sorted.size() && sorted[i + 1] <= sorted[i]) {
+            continue;
+        }
+        out.xs.push_back(sorted[i]);
+        out.ys.push_back(static_cast<double>(i + 1) / n);
+    }
+    return out;
+}
+
+/// Largest single-step rise of a sorted sequence ("the value of the delta-d
+/// at the maximum of delta-E_k" — Algorithm 1's sharpness measure).
+double max_step(const std::vector<double>& values) {
+    double best = 0.0;
+    for (std::size_t i = 1; i < values.size(); ++i) {
+        best = std::max(best, values[i] - values[i - 1]);
+    }
+    return best;
+}
+
+autoconf_result configure_from_knn(
+    const std::function<std::vector<double>(std::size_t)>& knn_of_k, std::size_t n,
+    const autoconf_options& options) {
+    autoconf_result result;
+    result.min_samples =
+        std::max<std::size_t>(2, static_cast<std::size_t>(std::lround(std::log(
+                                     static_cast<double>(std::max<std::size_t>(n, 3))))));
+
+    const std::size_t k_max = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::lround(std::log(static_cast<double>(n)))));
+
+    // Evaluate every candidate k and keep the sharpest-knee curve. The
+    // smoothing strength scales with the sample count so that small traces
+    // are not over-smoothed (the Whittaker penalty acts per point).
+    for (std::size_t k = 2; k <= k_max; ++k) {
+        k_candidate cand;
+        cand.k = k;
+        cand.knn_sorted = knn_of_k(k);
+        std::sort(cand.knn_sorted.begin(), cand.knn_sorted.end());
+        const double lambda =
+            options.smoothing_lambda *
+            std::max(0.04, static_cast<double>(cand.knn_sorted.size()) / 1000.0);
+        cand.smoothed = mathx::whittaker_smooth(cand.knn_sorted, lambda);
+        // Smoothing of a monotone sequence can introduce tiny decreases at
+        // the ends; restore monotonicity for a well-formed ECDF.
+        for (std::size_t i = 1; i < cand.smoothed.size(); ++i) {
+            cand.smoothed[i] = std::max(cand.smoothed[i], cand.smoothed[i - 1]);
+        }
+        cand.sharpness = max_step(cand.smoothed);
+        result.candidates.push_back(std::move(cand));
+    }
+
+    std::size_t best_idx = 0;
+    for (std::size_t i = 1; i < result.candidates.size(); ++i) {
+        if (result.candidates[i].sharpness > result.candidates[best_idx].sharpness) {
+            best_idx = i;
+        }
+    }
+    const k_candidate& best = result.candidates[best_idx];
+    result.selected_k = best.k;
+
+    const mathx::curve curve = ecdf_curve(best.smoothed);
+    const mathx::kneedle_result knees = mathx::kneedle(
+        curve, {.sensitivity = options.kneedle_sensitivity,
+                .shape = mathx::curve_shape::concave_increasing});
+    result.knees = knees.knees;
+    if (const auto knee = knees.rightmost()) {
+        result.epsilon = *knee;
+        result.knee_found = true;
+    } else {
+        result.epsilon = options.fallback_epsilon;
+        result.knee_found = false;
+    }
+    return result;
+}
+
+}  // namespace
+
+autoconf_result auto_configure(const dissim::dissimilarity_matrix& matrix,
+                               const autoconf_options& options) {
+    expects(matrix.size() >= 3, "auto_configure: need at least 3 unique segments");
+    return configure_from_knn([&](std::size_t k) { return matrix.kth_nn(k); }, matrix.size(),
+                              options);
+}
+
+autoconf_result auto_configure_trimmed(const dissim::dissimilarity_matrix& matrix,
+                                       double limit, const autoconf_options& options) {
+    expects(matrix.size() >= 3, "auto_configure_trimmed: need at least 3 unique segments");
+    auto trimmed_knn = [&](std::size_t k) {
+        std::vector<double> knn = matrix.kth_nn(k);
+        std::vector<double> kept;
+        for (double d : knn) {
+            if (d < limit) {
+                kept.push_back(d);
+            }
+        }
+        return kept;
+    };
+    // The trimmed sample can degenerate; fall back to a fraction of the
+    // previous knee so reclustering still tightens the density requirement.
+    autoconf_options opts = options;
+    opts.fallback_epsilon = limit * 0.5;
+    autoconf_result result = configure_from_knn(trimmed_knn, matrix.size(), opts);
+    if (!result.knee_found || result.epsilon >= limit) {
+        result.epsilon = limit * 0.5;
+        result.knee_found = false;
+    }
+    return result;
+}
+
+namespace {
+
+/// True when one cluster holds more than \p fraction of the non-noise
+/// points (the Sec. III-E oversize condition).
+bool oversized(const cluster_labels& labels, std::size_t n, double fraction) {
+    const std::size_t non_noise = n - labels.noise_count();
+    if (non_noise == 0 || labels.cluster_count == 0) {
+        return false;
+    }
+    std::vector<std::size_t> sizes(labels.cluster_count, 0);
+    for (int l : labels.labels) {
+        if (l != kNoise) {
+            ++sizes[static_cast<std::size_t>(l)];
+        }
+    }
+    const std::size_t largest = *std::max_element(sizes.begin(), sizes.end());
+    return static_cast<double>(largest) > fraction * static_cast<double>(non_noise);
+}
+
+}  // namespace
+
+auto_cluster_result auto_cluster(const dissim::dissimilarity_matrix& matrix,
+                                 const autoconf_options& options, double oversize_fraction,
+                                 std::size_t max_reconfigurations) {
+    auto_cluster_result out;
+    out.config = auto_configure(matrix, options);
+    out.labels = dbscan(matrix, {out.config.epsilon, out.config.min_samples});
+
+    // Undersize guard: a micro-knee (near-duplicate values) can yield an
+    // epsilon so small that no density core forms at all. Walk *up* through
+    // the remaining knees — and finally the median 2-NN distance — until
+    // DBSCAN produces at least one cluster.
+    if (out.labels.cluster_count == 0 && matrix.size() >= 3) {
+        std::vector<double> escalation = out.config.knees;
+        // Median min_samples-NN distance: at that epsilon half the points
+        // reach min_samples neighbours, so density cores must exist.
+        std::vector<double> knnm = matrix.kth_nn(out.config.min_samples);
+        std::sort(knnm.begin(), knnm.end());
+        escalation.push_back(knnm[knnm.size() / 2]);
+        std::sort(escalation.begin(), escalation.end());
+        for (double eps : escalation) {
+            if (eps <= out.config.epsilon || out.reconfigurations >= max_reconfigurations) {
+                continue;
+            }
+            const cluster_labels retry = dbscan(matrix, {eps, out.config.min_samples});
+            ++out.reconfigurations;
+            if (retry.cluster_count > 0) {
+                out.config.epsilon = eps;
+                out.labels = retry;
+                out.reclustered = true;
+                break;
+            }
+        }
+    }
+
+    // Oversize guard (Sec. III-E): one cluster holding more than 60 % of the
+    // non-noise segments means the detected knee was too far right; walk
+    // down to the next smaller knee of the trimmed ECDF until densities
+    // separate the data or the walk bottoms out.
+    while (out.reconfigurations < max_reconfigurations &&
+           oversized(out.labels, matrix.size(), oversize_fraction)) {
+        const autoconf_result retry =
+            auto_configure_trimmed(matrix, out.config.epsilon, options);
+        if (retry.epsilon >= out.config.epsilon || retry.epsilon <= 0.0) {
+            break;  // no progress possible
+        }
+        cluster_labels retry_labels = dbscan(matrix, {retry.epsilon, retry.min_samples});
+        if (retry_labels.cluster_count == 0) {
+            break;  // an oversized clustering beats no clustering at all
+        }
+        out.config = retry;
+        out.labels = std::move(retry_labels);
+        out.reclustered = true;
+        ++out.reconfigurations;
+    }
+    return out;
+}
+
+}  // namespace ftc::cluster

@@ -1,0 +1,77 @@
+/// \file autoconf.hpp
+/// Fully automated DBSCAN parameter selection (paper Sec. III-D,
+/// Algorithm 1).
+///
+/// For k in 2..round(ln n), build the ECDF of the dissimilarities between
+/// each unique segment and its k-th nearest neighbour, smooth it, and pick
+/// the k whose curve has the sharpest knee (the largest single-step rise in
+/// distance). Kneedle on that smoothed ECDF yields the rightmost knee,
+/// which becomes epsilon. min_samples is round(ln n).
+#pragma once
+
+#include <vector>
+
+#include "cluster/dbscan.hpp"
+#include "dissim/matrix.hpp"
+#include "mathx/ecdf.hpp"
+
+namespace ftc::cluster {
+
+/// Tunables of the auto-configuration.
+struct autoconf_options {
+    /// Kneedle sensitivity S.
+    double kneedle_sensitivity = 1.0;
+    /// Whittaker smoothing strength (plays the role of the B-spline
+    /// smoothness parameter s in Algorithm 1).
+    double smoothing_lambda = 25.0;
+    /// Fallback epsilon when no knee can be detected (degenerate inputs).
+    double fallback_epsilon = 0.1;
+};
+
+/// Diagnostics of one k candidate (exposed for tests and the Fig. 2 bench).
+struct k_candidate {
+    std::size_t k = 0;
+    double sharpness = 0.0;          ///< max single-step distance increase
+    std::vector<double> knn_sorted;  ///< sorted k-NN dissimilarities
+    std::vector<double> smoothed;    ///< Whittaker-smoothed sorted k-NN
+};
+
+/// Result of the epsilon auto-configuration.
+struct autoconf_result {
+    double epsilon = 0.0;
+    std::size_t min_samples = 2;
+    std::size_t selected_k = 2;
+    bool knee_found = false;           ///< false -> fallback epsilon in use
+    std::vector<double> knees;         ///< all Kneedle knees of selected curve
+    std::vector<k_candidate> candidates;
+};
+
+/// Run Algorithm 1 on the dissimilarity matrix of unique segments.
+/// Throws ftc::precondition_error for matrices with fewer than 3 elements.
+autoconf_result auto_configure(const dissim::dissimilarity_matrix& matrix,
+                               const autoconf_options& options = {});
+
+/// Re-run the knee search on the ECDF trimmed to dissimilarities strictly
+/// below \p limit (oversized-cluster guard, paper Sec. III-E). Falls back
+/// to \p limit * 0.5 when the trimmed curve yields no knee.
+autoconf_result auto_configure_trimmed(const dissim::dissimilarity_matrix& matrix,
+                                       double limit, const autoconf_options& options = {});
+
+/// Full clustering with the oversize guard: auto-configure, DBSCAN, and
+/// while one cluster holds more than \p oversize_fraction of the non-noise
+/// segments, re-configure on the ECDF trimmed to the current knee and
+/// cluster again — walking down to the "next smaller knee" (Sec. III-E)
+/// until the guard is satisfied or \p max_reconfigurations is exhausted.
+struct auto_cluster_result {
+    cluster_labels labels;
+    autoconf_result config;
+    std::size_t reconfigurations = 0;  ///< oversize-guard iterations taken
+    bool reclustered = false;          ///< oversize guard fired at least once
+};
+
+auto_cluster_result auto_cluster(const dissim::dissimilarity_matrix& matrix,
+                                 const autoconf_options& options = {},
+                                 double oversize_fraction = 0.6,
+                                 std::size_t max_reconfigurations = 10);
+
+}  // namespace ftc::cluster

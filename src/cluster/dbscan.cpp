@@ -1,0 +1,86 @@
+#include "cluster/dbscan.hpp"
+
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace ftc::cluster {
+
+std::size_t cluster_labels::noise_count() const {
+    std::size_t n = 0;
+    for (int l : labels) {
+        if (l == kNoise) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::vector<std::vector<std::size_t>> cluster_labels::members() const {
+    std::vector<std::vector<std::size_t>> out(cluster_count);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (labels[i] != kNoise) {
+            out[static_cast<std::size_t>(labels[i])].push_back(i);
+        }
+    }
+    return out;
+}
+
+cluster_labels dbscan(const dissim::dissimilarity_matrix& matrix, const dbscan_params& params) {
+    expects(params.epsilon >= 0.0, "dbscan: epsilon must be non-negative");
+    expects(params.min_samples >= 1, "dbscan: min_samples must be at least 1");
+
+    const std::size_t n = matrix.size();
+    cluster_labels result;
+    result.labels.assign(n, kNoise);
+    std::vector<bool> visited(n, false);
+
+    auto neighbours_of = [&](std::size_t i) {
+        std::vector<std::size_t> out;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (matrix.at(i, j) <= params.epsilon) {
+                out.push_back(j);  // includes i itself (distance 0)
+            }
+        }
+        return out;
+    };
+
+    int next_cluster = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (visited[i]) {
+            continue;
+        }
+        visited[i] = true;
+        std::vector<std::size_t> seeds = neighbours_of(i);
+        if (seeds.size() < params.min_samples) {
+            continue;  // stays noise unless later reached as a border point
+        }
+        const int cluster_id = next_cluster++;
+        result.labels[i] = cluster_id;
+        std::deque<std::size_t> queue(seeds.begin(), seeds.end());
+        while (!queue.empty()) {
+            const std::size_t q = queue.front();
+            queue.pop_front();
+            if (result.labels[q] == kNoise) {
+                result.labels[q] = cluster_id;  // border or newly reached point
+            }
+            if (visited[q]) {
+                continue;
+            }
+            visited[q] = true;
+            std::vector<std::size_t> q_neighbours = neighbours_of(q);
+            if (q_neighbours.size() >= params.min_samples) {
+                // q is a core point: expand the cluster through it.
+                for (std::size_t nb : q_neighbours) {
+                    if (!visited[nb] || result.labels[nb] == kNoise) {
+                        queue.push_back(nb);
+                    }
+                }
+            }
+        }
+    }
+    result.cluster_count = static_cast<std::size_t>(next_cluster);
+    return result;
+}
+
+}  // namespace ftc::cluster

@@ -1,0 +1,45 @@
+/// \file dbscan.hpp
+/// DBSCAN over a precomputed dissimilarity matrix (Ester, Kriegel, Sander,
+/// Xu — KDD 1996), as used in paper Sec. III-E.
+///
+/// DBSCAN needs no target cluster count, makes no shape assumptions and
+/// treats outliers as noise — the properties that make it fit for clustering
+/// segments of unknown protocols. Its two parameters epsilon and
+/// min_samples come from the auto-configuration (autoconf.hpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dissim/matrix.hpp"
+
+namespace ftc::cluster {
+
+/// Label given to noise points.
+inline constexpr int kNoise = -1;
+
+/// DBSCAN parameters.
+struct dbscan_params {
+    double epsilon = 0.1;
+    std::size_t min_samples = 2;  ///< neighbourhood size incl. the point itself
+};
+
+/// Clustering outcome: labels[i] is kNoise or a cluster id in
+/// [0, cluster_count).
+struct cluster_labels {
+    std::vector<int> labels;
+    std::size_t cluster_count = 0;
+
+    /// Number of points labelled noise.
+    std::size_t noise_count() const;
+
+    /// Member indices per cluster id.
+    std::vector<std::vector<std::size_t>> members() const;
+};
+
+/// Run DBSCAN. Density core: a point with at least min_samples points
+/// (itself included) within epsilon. Border points join the first core
+/// point that reaches them; unreached points are noise.
+cluster_labels dbscan(const dissim::dissimilarity_matrix& matrix, const dbscan_params& params);
+
+}  // namespace ftc::cluster

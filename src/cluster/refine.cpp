@@ -1,0 +1,277 @@
+#include "cluster/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace ftc::cluster {
+
+namespace {
+
+/// Per-cluster statistics needed by the merge conditions.
+struct cluster_stats {
+    std::vector<std::size_t> members;
+    double mean_pairwise = 0.0;  ///< mean of D(c)
+    double max_pairwise = 0.0;   ///< d_max: cluster extent
+    double minmed = 0.0;         ///< median 1-NN distance within the cluster
+};
+
+cluster_stats compute_stats(const dissim::dissimilarity_matrix& matrix,
+                            std::vector<std::size_t> members) {
+    cluster_stats s;
+    s.members = std::move(members);
+    if (s.members.size() < 2) {
+        return s;
+    }
+    std::vector<double> pairwise;
+    pairwise.reserve(s.members.size() * (s.members.size() - 1) / 2);
+    std::vector<double> one_nn;
+    one_nn.reserve(s.members.size());
+    for (std::size_t a = 0; a < s.members.size(); ++a) {
+        double nearest = std::numeric_limits<double>::max();
+        for (std::size_t b = 0; b < s.members.size(); ++b) {
+            if (a == b) {
+                continue;
+            }
+            const double d = matrix.at(s.members[a], s.members[b]);
+            nearest = std::min(nearest, d);
+            if (a < b) {
+                pairwise.push_back(d);
+            }
+        }
+        one_nn.push_back(nearest);
+    }
+    s.mean_pairwise = mean(pairwise);
+    s.max_pairwise = max_value(pairwise);
+    s.minmed = median(one_nn);
+    return s;
+}
+
+/// Median of the dissimilarities within \p eps around member \p link inside
+/// the cluster (rho_eps of Sec. III-F); 0 when no neighbour lies within eps.
+double eps_density(const dissim::dissimilarity_matrix& matrix, const cluster_stats& cluster,
+                   std::size_t link, double eps) {
+    std::vector<double> within;
+    for (std::size_t other : cluster.members) {
+        if (other == link) {
+            continue;
+        }
+        const double d = matrix.at(link, other);
+        if (d <= eps) {
+            within.push_back(d);
+        }
+    }
+    return median(within);
+}
+
+/// Disjoint-set forest over cluster ids.
+class union_find {
+public:
+    explicit union_find(std::size_t n) : parent_(n) {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    std::size_t find(std::size_t x) {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+private:
+    std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+refine_result merge_clusters(const dissim::dissimilarity_matrix& matrix,
+                             const cluster_labels& input, const refine_options& options) {
+    refine_result out;
+    out.labels = input;
+    if (input.cluster_count < 2) {
+        return out;
+    }
+
+    std::vector<cluster_stats> stats;
+    stats.reserve(input.cluster_count);
+    for (std::vector<std::size_t>& members : input.members()) {
+        stats.push_back(compute_stats(matrix, std::move(members)));
+    }
+
+    std::size_t non_noise = 0;
+    for (const cluster_stats& s : stats) {
+        non_noise += s.members.size();
+    }
+    std::vector<std::size_t> component_size;
+    component_size.reserve(stats.size());
+    for (const cluster_stats& s : stats) {
+        component_size.push_back(s.members.size());
+    }
+
+    union_find forest(input.cluster_count);
+    auto merge_would_oversize = [&](std::size_t i, std::size_t j) {
+        if (options.max_merged_fraction <= 0.0) {
+            return false;
+        }
+        const std::size_t combined =
+            component_size[forest.find(i)] + component_size[forest.find(j)];
+        return static_cast<double>(combined) >
+               options.max_merged_fraction * static_cast<double>(non_noise);
+    };
+    auto record_merge = [&](std::size_t i, std::size_t j) {
+        const std::size_t ri = forest.find(i);
+        const std::size_t rj = forest.find(j);
+        const std::size_t combined = component_size[ri] + component_size[rj];
+        forest.unite(i, j);
+        component_size[forest.find(i)] = combined;
+    };
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+        for (std::size_t j = i + 1; j < stats.size(); ++j) {
+            const cluster_stats& ci = stats[i];
+            const cluster_stats& cj = stats[j];
+            if (ci.members.size() < 2 || cj.members.size() < 2) {
+                continue;  // degenerate clusters carry no density information
+            }
+            if (forest.find(i) == forest.find(j) || merge_would_oversize(i, j)) {
+                continue;
+            }
+            // Link segments: the closest cross pair.
+            double d_link = std::numeric_limits<double>::max();
+            std::size_t link_i = ci.members.front();
+            std::size_t link_j = cj.members.front();
+            for (std::size_t a : ci.members) {
+                for (std::size_t b : cj.members) {
+                    const double d = matrix.at(a, b);
+                    if (d < d_link) {
+                        d_link = d;
+                        link_i = a;
+                        link_j = b;
+                    }
+                }
+            }
+
+            // Condition 1: very close by + similar local eps-density.
+            bool merged = false;
+            if (d_link < std::max(ci.mean_pairwise, cj.mean_pairwise)) {
+                const cluster_stats& smaller =
+                    ci.members.size() <= cj.members.size() ? ci : cj;
+                const double eps = smaller.max_pairwise / 2.0;
+                const double rho_i = eps_density(matrix, ci, link_i, eps);
+                const double rho_j = eps_density(matrix, cj, link_j, eps);
+                if (std::abs(rho_i - rho_j) < options.eps_rho_threshold) {
+                    record_merge(i, j);
+                    out.merges.push_back({static_cast<int>(i), static_cast<int>(j),
+                                          merge_reason::condition1, d_link});
+                    merged = true;
+                }
+            }
+            // Condition 2: somewhat close by + similar whole-cluster density.
+            if (!merged && ci.mean_pairwise > 0.0 && cj.mean_pairwise > 0.0) {
+                const double closeness = 0.5 * (ci.minmed / ci.mean_pairwise +
+                                                cj.minmed / cj.mean_pairwise);
+                if (d_link < closeness &&
+                    std::abs(ci.minmed - cj.minmed) < options.neighbor_density_threshold) {
+                    record_merge(i, j);
+                    out.merges.push_back({static_cast<int>(i), static_cast<int>(j),
+                                          merge_reason::condition2, d_link});
+                }
+            }
+        }
+    }
+
+    // Relabel to the union-find roots, compacted to 0..m-1.
+    std::vector<int> root_to_compact(input.cluster_count, -1);
+    int next = 0;
+    for (std::size_t c = 0; c < input.cluster_count; ++c) {
+        const std::size_t root = forest.find(c);
+        if (root_to_compact[root] < 0) {
+            root_to_compact[root] = next++;
+        }
+    }
+    for (int& label : out.labels.labels) {
+        if (label != kNoise) {
+            label = root_to_compact[forest.find(static_cast<std::size_t>(label))];
+        }
+    }
+    out.labels.cluster_count = static_cast<std::size_t>(next);
+    return out;
+}
+
+refine_result split_clusters(const cluster_labels& input,
+                             const std::vector<std::size_t>& occurrence_counts,
+                             const refine_options& options) {
+    expects(occurrence_counts.size() == input.labels.size(),
+            "split_clusters: occurrence count per labelled element required");
+    refine_result out;
+    out.labels = input;
+
+    int next_cluster = static_cast<int>(input.cluster_count);
+    for (std::size_t c = 0; c < input.cluster_count; ++c) {
+        std::vector<std::size_t> members;
+        for (std::size_t i = 0; i < input.labels.size(); ++i) {
+            if (input.labels[i] == static_cast<int>(c)) {
+                members.push_back(i);
+            }
+        }
+        if (members.size() < 3) {
+            continue;
+        }
+        // |c| counts the trace segments in the cluster (every occurrence).
+        std::size_t total_occurrences = 0;
+        std::vector<double> counts;
+        counts.reserve(members.size());
+        for (std::size_t m : members) {
+            total_occurrences += occurrence_counts[m];
+            counts.push_back(static_cast<double>(occurrence_counts[m]));
+        }
+        const double pivot = std::log(static_cast<double>(total_occurrences));
+        const double pr = percent_rank(counts, pivot);
+        const double sigma = stddev(counts);
+        if (pr > options.percent_rank_threshold && sigma > pivot) {
+            // Polarized occurrences: split off the high-frequency values.
+            split_record rec;
+            rec.cluster = static_cast<int>(c);
+            rec.pivot = pivot;
+            for (std::size_t m : members) {
+                if (static_cast<double>(occurrence_counts[m]) > pivot) {
+                    out.labels.labels[m] = next_cluster;
+                    ++rec.high_side;
+                } else {
+                    ++rec.low_side;
+                }
+            }
+            if (rec.high_side > 0 && rec.low_side > 0) {
+                ++next_cluster;
+                out.splits.push_back(rec);
+            } else {
+                // Nothing actually moved (all on one side): revert.
+                for (std::size_t m : members) {
+                    out.labels.labels[m] = static_cast<int>(c);
+                }
+            }
+        }
+    }
+    out.labels.cluster_count = static_cast<std::size_t>(next_cluster);
+    return out;
+}
+
+refine_result refine(const dissim::dissimilarity_matrix& matrix, const cluster_labels& input,
+                     const std::vector<std::size_t>& occurrence_counts,
+                     const refine_options& options) {
+    refine_result merged = merge_clusters(matrix, input, options);
+    refine_result split = split_clusters(merged.labels, occurrence_counts, options);
+    refine_result out;
+    out.labels = std::move(split.labels);
+    out.merges = std::move(merged.merges);
+    out.splits = std::move(split.splits);
+    return out;
+}
+
+}  // namespace ftc::cluster

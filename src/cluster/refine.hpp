@@ -1,0 +1,73 @@
+/// \file refine.hpp
+/// Cluster refinement (paper Sec. III-F): merge overclassified clusters
+/// that are near and similarly dense, and split underclassified clusters
+/// with extremely polarized value occurrences.
+#pragma once
+
+#include <vector>
+
+#include "cluster/dbscan.hpp"
+#include "dissim/matrix.hpp"
+
+namespace ftc::cluster {
+
+/// Thresholds of the refinement heuristics (paper values).
+struct refine_options {
+    /// Condition 1: max difference of the epsilon-densities around the two
+    /// link segments.
+    double eps_rho_threshold = 0.01;
+    /// Condition 2: max difference of the clusters' median 1-NN distances.
+    double neighbor_density_threshold = 0.002;
+    /// Split: required percent rank of F = ln|c| among the value counts.
+    double percent_rank_threshold = 95.0;
+    /// When positive, reject merges whose combined cluster would hold more
+    /// than this fraction of all non-noise elements. The pipeline enables
+    /// this (with the Sec. III-E oversize fraction) after the oversized-
+    /// cluster guard re-ran, so refinement cannot undo the guard's work.
+    double max_merged_fraction = 0.0;
+};
+
+/// Why two clusters were merged (reported for diagnostics).
+enum class merge_reason { condition1, condition2 };
+
+/// One applied merge.
+struct merge_record {
+    int cluster_a = 0;
+    int cluster_b = 0;
+    merge_reason reason = merge_reason::condition1;
+    double link_dissimilarity = 0.0;
+};
+
+/// One applied split.
+struct split_record {
+    int cluster = 0;
+    double pivot = 0.0;          ///< F = ln|c|
+    std::size_t low_side = 0;    ///< values with occurrence count <= F
+    std::size_t high_side = 0;   ///< values with occurrence count > F
+};
+
+/// Refinement outcome: re-labelled clustering plus an audit trail.
+struct refine_result {
+    cluster_labels labels;
+    std::vector<merge_record> merges;
+    std::vector<split_record> splits;
+};
+
+/// Merge pass. \p matrix indexes the same unique segments the labels refer
+/// to. Merging is transitive: merge edges found in one sweep are combined
+/// with union-find.
+refine_result merge_clusters(const dissim::dissimilarity_matrix& matrix,
+                             const cluster_labels& input, const refine_options& options = {});
+
+/// Split pass. \p occurrence_counts[i] is the number of trace segments
+/// carrying unique value i (|b_i| in the paper).
+refine_result split_clusters(const cluster_labels& input,
+                             const std::vector<std::size_t>& occurrence_counts,
+                             const refine_options& options = {});
+
+/// Merge followed by split (the paper's refinement order).
+refine_result refine(const dissim::dissimilarity_matrix& matrix, const cluster_labels& input,
+                     const std::vector<std::size_t>& occurrence_counts,
+                     const refine_options& options = {});
+
+}  // namespace ftc::cluster

@@ -1,0 +1,155 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace ftc::core {
+
+namespace {
+
+using protocols::field_type;
+using protocols::field_type_count;
+
+/// Byte overlap of [a_off, a_off+a_len) with [b_off, b_off+b_len).
+std::size_t overlap(std::size_t a_off, std::size_t a_len, std::size_t b_off, std::size_t b_len) {
+    const std::size_t lo = std::max(a_off, b_off);
+    const std::size_t hi = std::min(a_off + a_len, b_off + b_len);
+    return hi > lo ? hi - lo : 0;
+}
+
+std::uint64_t pairs_of(std::uint64_t n) { return n * (n - 1) / 2; }
+
+}  // namespace
+
+typed_segments assign_types(const protocols::trace& truth, dissim::unique_segments unique) {
+    typed_segments out;
+    out.unique = std::move(unique);
+    out.types.reserve(out.unique.size());
+    for (const std::vector<segmentation::segment>& occs : out.unique.occurrences) {
+        std::array<std::size_t, field_type_count> votes{};
+        for (const segmentation::segment& seg : occs) {
+            expects(seg.message_index < truth.messages.size(),
+                    "assign_types: segment outside trace");
+            const protocols::annotated_message& msg = truth.messages[seg.message_index];
+            for (const protocols::field_annotation& f : msg.fields) {
+                const std::size_t ov = overlap(seg.offset, seg.length, f.offset, f.length);
+                votes[static_cast<std::size_t>(f.type)] += ov;
+            }
+        }
+        std::size_t best = 0;
+        for (std::size_t t = 1; t < votes.size(); ++t) {
+            if (votes[t] > votes[best]) {
+                best = t;
+            }
+        }
+        out.types.push_back(static_cast<field_type>(best));
+    }
+    return out;
+}
+
+double f_beta(double precision, double recall, double beta) {
+    const double b2 = beta * beta;
+    const double denom = b2 * precision + recall;
+    if (denom == 0.0) {
+        return 0.0;
+    }
+    return (1.0 + b2) * precision * recall / denom;
+}
+
+clustering_quality evaluate_clustering(const cluster::cluster_labels& labels,
+                                       const typed_segments& segments,
+                                       std::size_t total_trace_bytes) {
+    expects(labels.labels.size() == segments.unique.size(),
+            "evaluate_clustering: label count must match unique segment count");
+    clustering_quality q;
+    q.cluster_count = labels.cluster_count;
+    q.noise_count = labels.noise_count();
+
+    const std::size_t n = labels.labels.size();
+
+    // t_l: unique segments per type across the whole input (incl. noise).
+    std::array<std::uint64_t, field_type_count> type_totals{};
+    for (std::size_t i = 0; i < n; ++i) {
+        ++type_totals[static_cast<std::size_t>(segments.types[i])];
+    }
+
+    // Per cluster: size and per-type membership t_{i,l}.
+    std::vector<std::uint64_t> cluster_sizes(labels.cluster_count, 0);
+    std::vector<std::array<std::uint64_t, field_type_count>> cluster_types(
+        labels.cluster_count);
+    std::array<std::uint64_t, field_type_count> noise_types{};
+    for (std::size_t i = 0; i < n; ++i) {
+        const int label = labels.labels[i];
+        const auto type = static_cast<std::size_t>(segments.types[i]);
+        if (label == cluster::kNoise) {
+            ++noise_types[type];
+        } else {
+            ++cluster_sizes[static_cast<std::size_t>(label)];
+            ++cluster_types[static_cast<std::size_t>(label)][type];
+        }
+    }
+
+    // TP + FP = sum_i C(|c_i|, 2); TP = sum_i sum_l C(|t_il|, 2).
+    std::uint64_t tp_fp = 0;
+    std::uint64_t tp = 0;
+    for (std::size_t c = 0; c < labels.cluster_count; ++c) {
+        tp_fp += pairs_of(cluster_sizes[c]);
+        for (std::uint64_t t : cluster_types[c]) {
+            tp += pairs_of(t);
+        }
+    }
+    q.true_positives = tp;
+    q.false_positives = tp_fp - tp;
+
+    // FN: cross-cluster missed pairs (halved), noise-internal same-type
+    // pairs, and noise-vs-elsewhere same-type pairs (halved) — the paper's
+    // three terms implemented verbatim. The halved terms are accumulated in
+    // doubled form first to stay in integer arithmetic.
+    std::uint64_t fn_doubled = 0;
+    for (std::size_t c = 0; c < labels.cluster_count; ++c) {
+        for (std::size_t l = 0; l < field_type_count; ++l) {
+            const std::uint64_t t_il = cluster_types[c][l];
+            fn_doubled += (type_totals[l] - t_il) * t_il;
+        }
+    }
+    std::uint64_t fn = 0;
+    for (std::size_t l = 0; l < field_type_count; ++l) {
+        fn += pairs_of(noise_types[l]);
+        fn_doubled += (type_totals[l] - noise_types[l]) * noise_types[l];
+    }
+    fn += fn_doubled / 2;
+    q.false_negatives = fn;
+
+    q.precision = (tp + q.false_positives) > 0
+                      ? static_cast<double>(tp) / static_cast<double>(tp + q.false_positives)
+                      : 0.0;
+    q.recall = (tp + fn) > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0;
+    q.f_score = f_beta(q.precision, q.recall, 0.25);
+
+    // Coverage: bytes of every occurrence of every analyzed unique value
+    // (the paper's "inferred bytes"); clustered_coverage restricts to
+    // values that landed in a cluster.
+    std::uint64_t analyzed = 0;
+    std::uint64_t clustered = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t bytes = 0;
+        for (const segmentation::segment& seg : segments.unique.occurrences[i]) {
+            bytes += seg.length;
+        }
+        analyzed += bytes;
+        if (labels.labels[i] != cluster::kNoise) {
+            clustered += bytes;
+        }
+    }
+    if (total_trace_bytes > 0) {
+        q.coverage = static_cast<double>(analyzed) / static_cast<double>(total_trace_bytes);
+        q.clustered_coverage =
+            static_cast<double>(clustered) / static_cast<double>(total_trace_bytes);
+    }
+    return q;
+}
+
+}  // namespace ftc::core

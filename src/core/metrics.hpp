@@ -1,0 +1,68 @@
+/// \file metrics.hpp
+/// Combinatorial clustering quality metrics (paper Sec. IV-A).
+///
+/// Precision/recall are defined over pairs of unique segments following
+/// Manning et al.: a true positive is a same-type pair placed in the same
+/// cluster. False negatives include pairs split across clusters, pairs lost
+/// to noise, and noise-vs-clustered pairs (the paper's three FN terms).
+/// The overall score is F_{1/4}, weighting precision four times as much as
+/// recall, and *coverage* is the fraction of all trace bytes covered by
+/// clustered segments.
+#pragma once
+
+#include <vector>
+
+#include "cluster/dbscan.hpp"
+#include "dissim/matrix.hpp"
+#include "protocols/field.hpp"
+
+namespace ftc::core {
+
+/// Unique segments with ground-truth data types.
+struct typed_segments {
+    dissim::unique_segments unique;
+    /// Majority ground-truth type per unique value (byte-overlap vote over
+    /// all of the value's occurrences).
+    std::vector<protocols::field_type> types;
+};
+
+/// Determine the ground-truth type of every unique segment by maximal byte
+/// overlap with the trace's annotated fields, majority-voted across the
+/// value's occurrences. Works for heuristic segments with shifted
+/// boundaries as well as for perfect ones.
+typed_segments assign_types(const protocols::trace& truth,
+                            dissim::unique_segments unique);
+
+/// Pairwise clustering statistics.
+struct clustering_quality {
+    double precision = 0.0;
+    double recall = 0.0;
+    double f_score = 0.0;  ///< F_{1/4}
+    /// Fraction of all trace bytes covered by the segments that enter the
+    /// analysis (>= 2-byte segments, all their occurrences). This is the
+    /// paper's coverage notion: "the ratio between the number of inferred
+    /// bytes and all bytes of all messages in a trace" — bytes about whose
+    /// structure the method can make a statement.
+    double coverage = 0.0;
+    /// Stricter variant: only bytes of segments whose value landed in a
+    /// cluster (noise excluded).
+    double clustered_coverage = 0.0;
+    std::uint64_t true_positives = 0;
+    std::uint64_t false_positives = 0;
+    std::uint64_t false_negatives = 0;
+    std::size_t cluster_count = 0;
+    std::size_t noise_count = 0;
+};
+
+/// F_beta score (harmonic mean weighted by beta; beta = 1/4 favours
+/// precision). Returns 0 when both inputs are 0.
+double f_beta(double precision, double recall, double beta);
+
+/// Evaluate a clustering of typed unique segments against the ground truth.
+/// \p total_trace_bytes is the byte count of all messages (coverage
+/// denominator).
+clustering_quality evaluate_clustering(const cluster::cluster_labels& labels,
+                                       const typed_segments& segments,
+                                       std::size_t total_trace_bytes);
+
+}  // namespace ftc::core

@@ -1,0 +1,61 @@
+#include "core/pipeline.hpp"
+
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ftc::core {
+
+pipeline_result analyze_segments(const std::vector<byte_vector>& messages,
+                                 segmentation::message_segments segments,
+                                 const pipeline_options& options) {
+    expects(!messages.empty(), "analyze: empty trace");
+    const stopwatch watch;
+    const deadline dl = options.budget_seconds > 0.0 ? deadline(options.budget_seconds)
+                                                     : deadline();
+
+    pipeline_result result;
+    result.segments = std::move(segments);
+
+    // Dissimilarity stage: unique >=2-byte segments, pairwise matrix.
+    result.unique = dissim::condense(messages, result.segments, options.min_segment_length);
+    expects(result.unique.size() >= 3,
+            "analyze: fewer than 3 unique segments; trace too uniform to cluster");
+    const dissim::dissimilarity_matrix matrix(result.unique.values, dl);
+
+    // Auto-configuration + DBSCAN with the oversized-cluster guard.
+    result.clustering =
+        cluster::auto_cluster(matrix, options.autoconf, options.oversize_fraction);
+
+    // Refinement. After the oversized-cluster guard walked the epsilon
+    // down, merging must not re-create an oversized cluster.
+    if (options.apply_refinement) {
+        std::vector<std::size_t> occurrence_counts;
+        occurrence_counts.reserve(result.unique.size());
+        for (const auto& occs : result.unique.occurrences) {
+            occurrence_counts.push_back(occs.size());
+        }
+        cluster::refine_options refine_opts = options.refine;
+        if (result.clustering.reclustered && refine_opts.max_merged_fraction <= 0.0) {
+            refine_opts.max_merged_fraction = options.oversize_fraction;
+        }
+        result.refinement = cluster::refine(matrix, result.clustering.labels,
+                                            occurrence_counts, refine_opts);
+        result.final_labels = result.refinement.labels;
+    } else {
+        result.final_labels = result.clustering.labels;
+    }
+
+    result.elapsed_seconds = watch.elapsed_seconds();
+    return result;
+}
+
+pipeline_result analyze(const std::vector<byte_vector>& messages,
+                        const segmentation::segmenter& segmenter,
+                        const pipeline_options& options) {
+    const deadline dl = options.budget_seconds > 0.0 ? deadline(options.budget_seconds)
+                                                     : deadline();
+    segmentation::message_segments segments = segmenter.run(messages, dl);
+    return analyze_segments(messages, std::move(segments), options);
+}
+
+}  // namespace ftc::core

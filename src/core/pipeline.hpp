@@ -1,0 +1,70 @@
+/// \file pipeline.hpp
+/// The paper's end-to-end method (Fig. 1): preprocess -> segment ->
+/// dissimilarity -> auto-configuration -> DBSCAN -> refinement, producing
+/// clusters of *pseudo data types*.
+///
+/// This is the primary public entry point of ftclust:
+///
+/// \code
+///   auto trace    = ftc::protocols::generate_trace("NTP", 1000, seed);
+///   auto messages = ftc::segmentation::message_bytes(trace);
+///   auto result   = ftc::core::analyze(messages,
+///                                      ftc::segmentation::nemesys_segmenter{},
+///                                      {});
+///   for (auto& cluster : result.clusters()) { ... }
+/// \endcode
+#pragma once
+
+#include <optional>
+
+#include "cluster/autoconf.hpp"
+#include "cluster/refine.hpp"
+#include "dissim/matrix.hpp"
+#include "segmentation/segment.hpp"
+
+namespace ftc::core {
+
+/// Options of the full analysis pipeline.
+struct pipeline_options {
+    /// Minimum segment length considered for clustering (paper: 2 — one-byte
+    /// segments are excluded).
+    std::size_t min_segment_length = 2;
+    /// Epsilon auto-configuration tunables.
+    cluster::autoconf_options autoconf;
+    /// Refinement thresholds.
+    cluster::refine_options refine;
+    /// Run the merge/split refinement stage (paper Sec. III-F).
+    bool apply_refinement = true;
+    /// Oversized-cluster guard threshold (paper: 0.6).
+    double oversize_fraction = 0.6;
+    /// Wall-clock budget in seconds; 0 = unlimited. Exceeding it raises
+    /// ftc::budget_exceeded_error (the paper's "fails").
+    double budget_seconds = 0.0;
+};
+
+/// Everything the pipeline produced, stage by stage.
+struct pipeline_result {
+    segmentation::message_segments segments;      ///< segmenter output
+    dissim::unique_segments unique;               ///< >=2-byte unique values
+    cluster::auto_cluster_result clustering;      ///< auto-config + DBSCAN
+    cluster::refine_result refinement;            ///< merge/split audit trail
+    cluster::cluster_labels final_labels;         ///< labels after refinement
+    double elapsed_seconds = 0.0;
+
+    /// Member indices (into unique.values) per final cluster.
+    std::vector<std::vector<std::size_t>> clusters() const {
+        return final_labels.members();
+    }
+};
+
+/// Run the pipeline on raw messages with the given segmenter.
+pipeline_result analyze(const std::vector<byte_vector>& messages,
+                        const segmentation::segmenter& segmenter,
+                        const pipeline_options& options = {});
+
+/// Run the pipeline on a pre-computed segmentation (e.g. ground truth).
+pipeline_result analyze_segments(const std::vector<byte_vector>& messages,
+                                 segmentation::message_segments segments,
+                                 const pipeline_options& options = {});
+
+}  // namespace ftc::core

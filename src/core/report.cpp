@@ -1,0 +1,131 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+#include "util/hex.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ftc::core {
+
+std::string cluster_summary::kind_hint() const {
+    // Encoded text fields (DNS labels, length-prefixed strings) carry a few
+    // structural non-printable bytes, so "mostly printable" is the signal.
+    if (printable_fraction > 0.75) {
+        return "chars";
+    }
+    if (unique_values == 1 || (numeric_valid && numeric_min == numeric_max)) {
+        return "constant";
+    }
+    if (mean_entropy > 7.0 && max_length >= 8) {
+        return "high-entropy";
+    }
+    if (numeric_valid) {
+        return "numeric" + std::to_string(min_length * 8);
+    }
+    return "opaque";
+}
+
+std::vector<cluster_summary> summarize_clusters(const pipeline_result& result) {
+    std::vector<cluster_summary> out;
+    const auto members = result.final_labels.members();
+    for (std::size_t c = 0; c < members.size(); ++c) {
+        if (members[c].empty()) {
+            continue;
+        }
+        cluster_summary s;
+        s.cluster_id = static_cast<int>(c);
+        s.unique_values = members[c].size();
+        s.min_length = SIZE_MAX;
+        std::size_t printable = 0;
+        std::size_t total_bytes = 0;
+        std::vector<double> entropies;
+        bool fixed_width = true;
+        std::size_t width = 0;
+        for (const std::size_t idx : members[c]) {
+            const byte_vector& value = result.unique.values[idx];
+            s.occurrences += result.unique.occurrences[idx].size();
+            s.min_length = std::min(s.min_length, value.size());
+            s.max_length = std::max(s.max_length, value.size());
+            if (width == 0) {
+                width = value.size();
+            } else if (width != value.size()) {
+                fixed_width = false;
+            }
+            for (std::uint8_t b : value) {
+                printable += is_printable_ascii(b) ? 1 : 0;
+            }
+            total_bytes += value.size();
+            entropies.push_back(byte_entropy(value));
+        }
+        s.printable_fraction =
+            total_bytes > 0 ? static_cast<double>(printable) / static_cast<double>(total_bytes)
+                            : 0.0;
+        s.mean_entropy = mean(entropies);
+
+        // Shared prefix across all values.
+        const byte_vector& first = result.unique.values[members[c].front()];
+        std::size_t prefix = first.size();
+        for (const std::size_t idx : members[c]) {
+            const byte_vector& value = result.unique.values[idx];
+            std::size_t p = 0;
+            const std::size_t limit = std::min(prefix, value.size());
+            while (p < limit && value[p] == first[p]) {
+                ++p;
+            }
+            prefix = p;
+        }
+        s.common_prefix = prefix;
+
+        // Numeric interpretation for fixed widths up to 8 bytes.
+        if (fixed_width && width >= 1 && width <= 8) {
+            s.numeric_valid = true;
+            s.numeric_min = UINT64_MAX;
+            s.numeric_max = 0;
+            for (const std::size_t idx : members[c]) {
+                const byte_vector& value = result.unique.values[idx];
+                std::uint64_t v = 0;
+                for (std::uint8_t b : value) {
+                    v = (v << 8) | b;
+                }
+                s.numeric_min = std::min(s.numeric_min, v);
+                s.numeric_max = std::max(s.numeric_max, v);
+            }
+        }
+
+        for (std::size_t e = 0; e < std::min<std::size_t>(4, members[c].size()); ++e) {
+            s.examples.push_back(to_hex(result.unique.values[members[c][e]]));
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::string render_report(const std::vector<cluster_summary>& summaries) {
+    text_table table({"cluster", "kind", "uniq", "occur", "len", "printable", "entropy",
+                      "prefix"});
+    table.set_align(1, align::left);
+    for (const cluster_summary& s : summaries) {
+        const std::string len = s.min_length == s.max_length
+                                    ? std::to_string(s.min_length)
+                                    : std::to_string(s.min_length) + "-" +
+                                          std::to_string(s.max_length);
+        table.add_row({std::to_string(s.cluster_id), s.kind_hint(),
+                       std::to_string(s.unique_values), std::to_string(s.occurrences), len,
+                       format_fixed(s.printable_fraction, 2), format_fixed(s.mean_entropy, 1),
+                       std::to_string(s.common_prefix)});
+    }
+    std::string out = table.render();
+    out += "\nexamples:\n";
+    for (const cluster_summary& s : summaries) {
+        out += "  cluster " + std::to_string(s.cluster_id) + ":";
+        for (const std::string& e : s.examples) {
+            out += ' ';
+            out += e;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace ftc::core

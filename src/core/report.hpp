@@ -1,0 +1,49 @@
+/// \file report.hpp
+/// Analyst-facing cluster reports: pseudo data type summaries and value
+/// domains (the follow-up analysis the paper envisions in Sec. III and V).
+///
+/// Clustering yields *pseudo data types* — groups of segments with the same
+/// (unknown) type. The report characterizes each cluster so an analyst can
+/// infer the semantics: value counts, length range, printable-character
+/// share, entropy, shared prefix bytes, and the numeric value range for
+/// fixed-width clusters. This also directly feeds fuzzing: the value domain
+/// of a cluster bounds the mutations worth trying.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace ftc::core {
+
+/// Summary of one pseudo-data-type cluster.
+struct cluster_summary {
+    int cluster_id = 0;
+    std::size_t unique_values = 0;
+    std::size_t occurrences = 0;    ///< concrete segments across the trace
+    std::size_t min_length = 0;
+    std::size_t max_length = 0;
+    double printable_fraction = 0.0;  ///< share of printable ASCII bytes
+    double mean_entropy = 0.0;        ///< mean byte entropy of the values
+    std::size_t common_prefix = 0;    ///< shared leading bytes of all values
+    /// Numeric range interpretation (big-endian) for clusters whose values
+    /// all have the same width of at most 8 bytes; 0/0 otherwise.
+    std::uint64_t numeric_min = 0;
+    std::uint64_t numeric_max = 0;
+    bool numeric_valid = false;
+    std::vector<std::string> examples;  ///< up to 4 hex-rendered values
+
+    /// Heuristic human label: "chars", "constant", "numeric<width>",
+    /// "high-entropy", or "opaque".
+    std::string kind_hint() const;
+};
+
+/// Summarize every final cluster of a pipeline result.
+std::vector<cluster_summary> summarize_clusters(const pipeline_result& result);
+
+/// Render summaries as an aligned text table (one row per cluster) followed
+/// by example values.
+std::string render_report(const std::vector<cluster_summary>& summaries);
+
+}  // namespace ftc::core

@@ -1,0 +1,227 @@
+#include "core/semantics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ftc::core {
+
+namespace {
+
+/// Numeric value of a segment under one endianness, if it is narrow enough.
+std::optional<std::uint64_t> numeric_value(byte_view bytes, bool big_endian,
+                                           std::size_t max_width) {
+    if (bytes.empty() || bytes.size() > max_width) {
+        return std::nullopt;
+    }
+    std::uint64_t v = 0;
+    if (big_endian) {
+        for (std::uint8_t b : bytes) {
+            v = (v << 8) | b;
+        }
+    } else {
+        for (std::size_t i = bytes.size(); i > 0; --i) {
+            v = (v << 8) | bytes[i - 1];
+        }
+    }
+    return v;
+}
+
+/// All (message_index, numeric value) observations of one cluster, ordered
+/// by message index (trace order = time order for our captures).
+struct observations {
+    std::vector<double> values;
+    std::vector<double> message_lengths;
+    std::vector<std::size_t> message_indices;
+};
+
+observations collect(const std::vector<byte_vector>& messages, const pipeline_result& result,
+                     const std::vector<std::size_t>& members, bool big_endian,
+                     std::size_t max_width) {
+    observations out;
+    for (const std::size_t value_idx : members) {
+        const auto v =
+            numeric_value(byte_view{result.unique.values[value_idx]}, big_endian, max_width);
+        if (!v) {
+            continue;
+        }
+        for (const segmentation::segment& occ : result.unique.occurrences[value_idx]) {
+            out.values.push_back(static_cast<double>(*v));
+            out.message_lengths.push_back(
+                static_cast<double>(messages[occ.message_index].size()));
+            out.message_indices.push_back(occ.message_index);
+        }
+    }
+    // Order by trace position for the counter rule.
+    std::vector<std::size_t> order(out.values.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return out.message_indices[a] < out.message_indices[b];
+    });
+    observations sorted;
+    for (const std::size_t i : order) {
+        sorted.values.push_back(out.values[i]);
+        sorted.message_lengths.push_back(out.message_lengths[i]);
+        sorted.message_indices.push_back(out.message_indices[i]);
+    }
+    return sorted;
+}
+
+}  // namespace
+
+const char* to_string(semantic_role role) {
+    switch (role) {
+        case semantic_role::length_field: return "length field";
+        case semantic_role::counter_field: return "counter field";
+        case semantic_role::constant_field: return "constant";
+        case semantic_role::echo_field: return "echoed value";
+    }
+    return "?";
+}
+
+std::vector<semantic_tag> deduce_semantics(const std::vector<byte_vector>& messages,
+                                           const pipeline_result& result,
+                                           const semantics_options& options) {
+    std::vector<semantic_tag> tags;
+    const auto clusters = result.final_labels.members();
+
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+        const std::vector<std::size_t>& members = clusters[c];
+        if (members.empty()) {
+            continue;
+        }
+        std::size_t occurrences = 0;
+        for (const std::size_t idx : members) {
+            occurrences += result.unique.occurrences[idx].size();
+        }
+        if (occurrences < options.min_occurrences) {
+            continue;
+        }
+
+        // Rule: constant field — one value, many occurrences.
+        if (members.size() == 1) {
+            semantic_tag tag;
+            tag.cluster_id = static_cast<int>(c);
+            tag.role = semantic_role::constant_field;
+            tag.confidence = 1.0;
+            tag.detail = message("one value in ", occurrences, " occurrences");
+            tags.push_back(std::move(tag));
+            continue;
+        }
+
+        bool tagged = false;
+        for (const bool big_endian : {true, false}) {
+            const observations obs =
+                collect(messages, result, members, big_endian, options.max_numeric_width);
+            if (obs.values.size() < options.min_occurrences) {
+                continue;
+            }
+
+            // Rule: length field — value tracks the carrying message's size.
+            if (stddev(obs.values) > 0.0 && stddev(obs.message_lengths) > 0.0) {
+                const double rho = pearson(obs.values, obs.message_lengths);
+                if (rho >= options.min_length_correlation) {
+                    semantic_tag tag;
+                    tag.cluster_id = static_cast<int>(c);
+                    tag.role = semantic_role::length_field;
+                    tag.confidence = rho;
+                    tag.big_endian = big_endian;
+                    tag.detail = message("value/length correlation r=", format_fixed(rho, 2),
+                                         big_endian ? " (big-endian)" : " (little-endian)");
+                    tags.push_back(std::move(tag));
+                    tagged = true;
+                    break;
+                }
+            }
+
+            // Rule: counter field — values non-decreasing in trace order.
+            std::size_t in_order = 0;
+            std::size_t pairs = 0;
+            bool any_increase = false;
+            for (std::size_t i = 1; i < obs.values.size(); ++i) {
+                ++pairs;
+                if (obs.values[i] >= obs.values[i - 1]) {
+                    ++in_order;
+                    any_increase = any_increase || obs.values[i] > obs.values[i - 1];
+                }
+            }
+            if (pairs >= options.min_occurrences - 1 && any_increase) {
+                const double monotonicity =
+                    static_cast<double>(in_order) / static_cast<double>(pairs);
+                if (monotonicity >= options.min_counter_monotonicity) {
+                    semantic_tag tag;
+                    tag.cluster_id = static_cast<int>(c);
+                    tag.role = semantic_role::counter_field;
+                    tag.confidence = monotonicity;
+                    tag.big_endian = big_endian;
+                    tag.detail =
+                        message(format_fixed(100.0 * monotonicity, 0),
+                                "% of consecutive occurrences in increasing order",
+                                big_endian ? " (big-endian)" : " (little-endian)");
+                    tags.push_back(std::move(tag));
+                    tagged = true;
+                    break;
+                }
+            }
+        }
+        if (tagged) {
+            continue;
+        }
+
+        // Rule: echoed value — the same values recur in nearby messages
+        // (request/response echo like transaction ids or names).
+        std::size_t echo_values = 0;
+        std::size_t multi_values = 0;
+        for (const std::size_t idx : members) {
+            const auto& occs = result.unique.occurrences[idx];
+            if (occs.size() < 2) {
+                continue;
+            }
+            ++multi_values;
+            std::set<std::size_t> msgs;
+            for (const auto& occ : occs) {
+                msgs.insert(occ.message_index);
+            }
+            if (msgs.size() < 2) {
+                continue;
+            }
+            // Close together: the span of messages carrying this value is
+            // much smaller than the trace.
+            const std::size_t span = *msgs.rbegin() - *msgs.begin();
+            if (span <= std::max<std::size_t>(4, messages.size() / 16)) {
+                ++echo_values;
+            }
+        }
+        if (multi_values >= 3 && 2 * echo_values >= multi_values) {
+            semantic_tag tag;
+            tag.cluster_id = static_cast<int>(c);
+            tag.role = semantic_role::echo_field;
+            tag.confidence = static_cast<double>(echo_values) /
+                             static_cast<double>(multi_values);
+            tag.detail = message(echo_values, " of ", multi_values,
+                                 " repeated values recur within a short message window");
+            tags.push_back(std::move(tag));
+        }
+    }
+    return tags;
+}
+
+std::string render_semantics(const std::vector<semantic_tag>& tags) {
+    if (tags.empty()) {
+        return "no semantic roles deduced\n";
+    }
+    std::string out;
+    for (const semantic_tag& tag : tags) {
+        out += message("cluster ", tag.cluster_id, ": ", to_string(tag.role), " (confidence ",
+                       format_fixed(tag.confidence, 2), "; ", tag.detail, ")\n");
+    }
+    return out;
+}
+
+}  // namespace ftc::core

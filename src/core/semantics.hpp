@@ -1,0 +1,63 @@
+/// \file semantics.hpp
+/// Post-clustering semantic deduction — the paper's first future-work item
+/// (Sec. V): "combine our data type clustering with the deduction of intra-
+/// and inter-message semantics similar to FieldHunter. This would enable
+/// the interpretation of, e.g., length fields and message counter fields."
+///
+/// Unlike FieldHunter, which tests fixed byte offsets, these rules operate
+/// on *clusters*: every occurrence of a pseudo data type contributes
+/// evidence regardless of where in its message it sits. That makes the
+/// deduction applicable to variable-offset fields — exactly what the
+/// clustering step buys us.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace ftc::core {
+
+/// Semantic roles deducible from cluster occurrence patterns.
+enum class semantic_role {
+    length_field,   ///< numeric value correlates with its message's length
+    counter_field,  ///< numeric value increases with message order
+    constant_field, ///< single value throughout the trace (magic/keyword)
+    echo_field,     ///< same value recurs in several messages close together
+};
+
+const char* to_string(semantic_role role);
+
+/// One deduced semantic tag for a cluster.
+struct semantic_tag {
+    int cluster_id = 0;
+    semantic_role role = semantic_role::constant_field;
+    double confidence = 0.0;  ///< rule-specific score in [0, 1]
+    bool big_endian = true;   ///< numeric interpretation that matched
+    std::string detail;       ///< human-readable evidence summary
+};
+
+/// Deduction thresholds.
+struct semantics_options {
+    /// Pearson threshold for the length-field rule.
+    double min_length_correlation = 0.8;
+    /// Fraction of in-order consecutive occurrence pairs required for the
+    /// counter rule.
+    double min_counter_monotonicity = 0.95;
+    /// Minimum occurrences before any rule may fire on a cluster.
+    std::size_t min_occurrences = 8;
+    /// Maximum numeric width (bytes) for value interpretation.
+    std::size_t max_numeric_width = 8;
+};
+
+/// Deduce semantics for every final cluster of a pipeline run.
+/// \p messages must be the same message list the pipeline analyzed.
+std::vector<semantic_tag> deduce_semantics(const std::vector<byte_vector>& messages,
+                                           const pipeline_result& result,
+                                           const semantics_options& options = {});
+
+/// Render tags as readable lines ("cluster 3: length field (r=0.97, ...)").
+std::string render_semantics(const std::vector<semantic_tag>& tags);
+
+}  // namespace ftc::core

@@ -1,0 +1,127 @@
+#include "core/valuegen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ftc::core {
+
+value_model::value_model(const std::vector<byte_vector>& values) {
+    expects(!values.empty(), "value_model: no training values");
+    std::size_t max_len = 0;
+    for (const byte_vector& v : values) {
+        expects(!v.empty(), "value_model: empty training value");
+        max_len = std::max(max_len, v.size());
+    }
+    positions_.resize(max_len);
+    for (const byte_vector& v : values) {
+        const auto it = std::find(lengths_.begin(), lengths_.end(), v.size());
+        if (it == lengths_.end()) {
+            lengths_.push_back(v.size());
+            length_counts_.push_back(1);
+        } else {
+            ++length_counts_[static_cast<std::size_t>(it - lengths_.begin())];
+        }
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            ++positions_[i].counts[v[i]];
+            ++positions_[i].total;
+        }
+    }
+    // Constant prefix: positions seen in every value with a single byte.
+    const auto n = static_cast<std::uint32_t>(values.size());
+    for (const position_stats& p : positions_) {
+        if (p.total != n) {
+            break;
+        }
+        const std::uint32_t top = *std::max_element(p.counts.begin(), p.counts.end());
+        if (top != n) {
+            break;
+        }
+        ++constant_prefix_;
+    }
+}
+
+byte_vector value_model::sample(rng& rand) const {
+    // Draw a length proportional to its observed frequency.
+    std::uint32_t total = 0;
+    for (const std::uint32_t c : length_counts_) {
+        total += c;
+    }
+    std::uint32_t pick = static_cast<std::uint32_t>(rand.uniform(1, total));
+    std::size_t length = lengths_.back();
+    for (std::size_t i = 0; i < lengths_.size(); ++i) {
+        if (pick <= length_counts_[i]) {
+            length = lengths_[i];
+            break;
+        }
+        pick -= length_counts_[i];
+    }
+
+    byte_vector out;
+    out.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+        const position_stats& p = positions_[i];
+        std::uint32_t draw = static_cast<std::uint32_t>(rand.uniform(1, p.total));
+        std::uint8_t byte = 0;
+        for (std::size_t b = 0; b < p.counts.size(); ++b) {
+            if (draw <= p.counts[b]) {
+                byte = static_cast<std::uint8_t>(b);
+                break;
+            }
+            draw -= p.counts[b];
+        }
+        out.push_back(byte);
+    }
+    return out;
+}
+
+double value_model::log_likelihood(byte_view value) const {
+    if (value.empty()) {
+        return -64.0;
+    }
+    double sum = 0.0;
+    for (std::size_t i = 0; i < value.size(); ++i) {
+        double p;
+        if (i >= positions_.size() || positions_[i].total == 0) {
+            p = 1.0 / 256.0;  // beyond any training value: uniform prior
+        } else {
+            const position_stats& stats = positions_[i];
+            // Laplace-style smoothing so unseen bytes stay scoreable.
+            p = (static_cast<double>(stats.counts[value[i]]) + 0.5) /
+                (static_cast<double>(stats.total) + 128.0);
+        }
+        sum += std::log2(p);
+    }
+    return sum / static_cast<double>(value.size());
+}
+
+cluster_value_models learn_value_models(const pipeline_result& result) {
+    cluster_value_models out;
+    const auto members = result.final_labels.members();
+    for (std::size_t c = 0; c < members.size(); ++c) {
+        if (members[c].empty()) {
+            continue;
+        }
+        std::vector<byte_vector> values;
+        values.reserve(members[c].size());
+        for (const std::size_t idx : members[c]) {
+            values.push_back(result.unique.values[idx]);
+        }
+        out.cluster_ids.push_back(static_cast<int>(c));
+        out.models.emplace_back(values);
+    }
+    return out;
+}
+
+std::optional<double> score_against_cluster(const cluster_value_models& models,
+                                            int cluster_id, byte_view value) {
+    for (std::size_t i = 0; i < models.cluster_ids.size(); ++i) {
+        if (models.cluster_ids[i] == cluster_id) {
+            return models.models[i].log_likelihood(value);
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace ftc::core

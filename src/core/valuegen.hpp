@@ -1,0 +1,77 @@
+/// \file valuegen.hpp
+/// Value-generation models learned from cluster contents — the paper's
+/// second future-work item (Sec. V): "automatically learn value generation
+/// rules from the cluster contents ... to predict probable field values for
+/// fuzzing and misbehavior detection".
+///
+/// For each pseudo data type the model captures, per value position, the
+/// byte distribution observed in the cluster, plus the length distribution.
+/// Sampling the model produces *plausible* field values (static prefixes
+/// stay intact, variable positions draw from the observed byte population);
+/// scoring a value yields a plausibility measure usable for misbehavior
+/// detection (a value that the model considers near-impossible is an
+/// anomaly).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::core {
+
+/// Per-position byte statistics of one cluster.
+class value_model {
+public:
+    /// Learn a model from the given values (all values of one cluster).
+    /// Throws ftc::precondition_error on empty input.
+    explicit value_model(const std::vector<byte_vector>& values);
+
+    /// Sample a new value: pick an observed length, then per position draw
+    /// from that position's byte distribution. Constant positions always
+    /// reproduce their byte.
+    byte_vector sample(rng& rand) const;
+
+    /// Mean per-byte log2-likelihood of \p value under the model, in
+    /// [-infinity, 0]; higher is more plausible. Unseen bytes at a position
+    /// are smoothed with a small floor rather than scored impossible.
+    double log_likelihood(byte_view value) const;
+
+    /// True if every training value has the same length.
+    bool fixed_length() const { return lengths_.size() == 1; }
+
+    /// Number of leading positions that are constant across training values.
+    std::size_t constant_prefix() const { return constant_prefix_; }
+
+    /// Longest training length.
+    std::size_t max_length() const { return positions_.size(); }
+
+private:
+    struct position_stats {
+        std::array<std::uint32_t, 256> counts{};
+        std::uint32_t total = 0;
+    };
+
+    std::vector<position_stats> positions_;  ///< indexed by byte position
+    std::vector<std::size_t> lengths_;       ///< distinct observed lengths
+    std::vector<std::uint32_t> length_counts_;
+    std::size_t constant_prefix_ = 0;
+};
+
+/// A learned model per final cluster of a pipeline run.
+struct cluster_value_models {
+    std::vector<int> cluster_ids;
+    std::vector<value_model> models;
+};
+
+/// Learn value models for every non-empty final cluster.
+cluster_value_models learn_value_models(const pipeline_result& result);
+
+/// Misbehavior check: score \p value against cluster \p cluster_id's model.
+/// Returns the mean per-byte log2-likelihood, or nullopt for unknown ids.
+std::optional<double> score_against_cluster(const cluster_value_models& models,
+                                            int cluster_id, byte_view value);
+
+}  // namespace ftc::core

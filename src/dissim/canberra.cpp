@@ -1,0 +1,51 @@
+#include "dissim/canberra.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ftc::dissim {
+
+double canberra_distance(byte_view x, byte_view y) {
+    expects(x.size() == y.size(), "canberra_distance: length mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double xi = x[i];
+        const double yi = y[i];
+        const double denom = xi + yi;
+        if (denom != 0.0) {
+            sum += (xi > yi ? xi - yi : yi - xi) / denom;
+        }
+    }
+    return sum;
+}
+
+double canberra_dissimilarity(byte_view x, byte_view y) {
+    expects(!x.empty(), "canberra_dissimilarity: empty vector");
+    return canberra_distance(x, y) / static_cast<double>(x.size());
+}
+
+double sliding_canberra_dissimilarity(byte_view a, byte_view b) {
+    expects(!a.empty() && !b.empty(), "sliding_canberra_dissimilarity: empty segment");
+    const byte_view s = a.size() <= b.size() ? a : b;  // shorter
+    const byte_view l = a.size() <= b.size() ? b : a;  // longer
+    const std::size_t m = s.size();
+    const std::size_t n = l.size();
+    if (m == n) {
+        return canberra_dissimilarity(s, l);
+    }
+    double d_min = 1.0;
+    for (std::size_t off = 0; off + m <= n; ++off) {
+        const double d = canberra_dissimilarity(s, l.subspan(off, m));
+        d_min = std::min(d_min, d);
+        if (d_min == 0.0) {
+            break;
+        }
+    }
+    const double ratio = static_cast<double>(m) / static_cast<double>(n);
+    const double penalty = 1.0 - ratio * (1.0 - d_min);
+    return (static_cast<double>(m) * d_min + static_cast<double>(n - m) * penalty) /
+           static_cast<double>(n);
+}
+
+}  // namespace ftc::dissim

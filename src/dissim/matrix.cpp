@@ -1,0 +1,101 @@
+#include "dissim/matrix.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "dissim/canberra.hpp"
+#include "util/check.hpp"
+
+namespace ftc::dissim {
+
+unique_segments condense(const std::vector<byte_vector>& messages,
+                         const segmentation::message_segments& segs,
+                         std::size_t min_length) {
+    unique_segments out;
+    std::map<byte_vector, std::size_t> index;
+    for (const std::vector<segmentation::segment>& per_message : segs) {
+        for (const segmentation::segment& seg : per_message) {
+            if (seg.length < min_length) {
+                ++out.short_segments;
+                continue;
+            }
+            const byte_view bytes = segmentation::segment_bytes(messages, seg);
+            byte_vector value(bytes.begin(), bytes.end());
+            const auto [it, inserted] = index.try_emplace(std::move(value), out.values.size());
+            if (inserted) {
+                out.values.emplace_back(it->first);
+                out.occurrences.emplace_back();
+            }
+            out.occurrences[it->second].push_back(seg);
+        }
+    }
+    return out;
+}
+
+dissimilarity_matrix::dissimilarity_matrix(std::span<const byte_vector> values,
+                                           const deadline& dl)
+    : n_(values.size()), data_(values.size() * values.size(), 0.0f) {
+    for (std::size_t i = 0; i < n_; ++i) {
+        if (i % 32 == 0) {
+            dl.check("dissimilarity matrix");
+        }
+        const byte_view a{values[i]};
+        for (std::size_t j = i + 1; j < n_; ++j) {
+            const auto d =
+                static_cast<float>(sliding_canberra_dissimilarity(a, byte_view{values[j]}));
+            data_[i * n_ + j] = d;
+            data_[j * n_ + i] = d;
+        }
+    }
+}
+
+dissimilarity_matrix dissimilarity_matrix::from_dense(std::span<const double> dense,
+                                                      std::size_t n) {
+    expects(dense.size() == n * n, "from_dense: matrix must be n*n");
+    dissimilarity_matrix m;
+    m.n_ = n;
+    m.data_.resize(n * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        expects(dense[i * n + i] == 0.0, "from_dense: diagonal must be zero");
+        for (std::size_t j = 0; j < n; ++j) {
+            expects(dense[i * n + j] == dense[j * n + i], "from_dense: matrix must be symmetric");
+            m.data_[i * n + j] = static_cast<float>(dense[i * n + j]);
+        }
+    }
+    return m;
+}
+
+std::vector<double> dissimilarity_matrix::kth_nn(std::size_t k) const {
+    expects(k >= 1, "kth_nn: k must be at least 1");
+    std::vector<double> out;
+    if (n_ < 2) {
+        return out;
+    }
+    const std::size_t kk = std::min(k, n_ - 1);
+    out.reserve(n_);
+    std::vector<float> row(n_ - 1);
+    for (std::size_t i = 0; i < n_; ++i) {
+        std::size_t w = 0;
+        for (std::size_t j = 0; j < n_; ++j) {
+            if (j != i) {
+                row[w++] = data_[i * n_ + j];
+            }
+        }
+        std::nth_element(row.begin(), row.begin() + static_cast<long>(kk - 1), row.end());
+        out.push_back(static_cast<double>(row[kk - 1]));
+    }
+    return out;
+}
+
+std::vector<double> dissimilarity_matrix::upper_triangle() const {
+    std::vector<double> out;
+    out.reserve(n_ * (n_ - 1) / 2);
+    for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t j = i + 1; j < n_; ++j) {
+            out.push_back(static_cast<double>(data_[i * n_ + j]));
+        }
+    }
+    return out;
+}
+
+}  // namespace ftc::dissim

@@ -1,0 +1,73 @@
+/// \file matrix.hpp
+/// Unique-segment condensation and the pairwise dissimilarity matrix D
+/// (paper Sec. III-C).
+///
+/// The clustering pipeline analyzes *unique* segment values of at least two
+/// bytes: one-byte segments are excluded (coincidental similarity of
+/// arbitrary single bytes), and duplicate values are considered once. The
+/// condensation keeps the mapping back to every concrete occurrence so that
+/// evaluation metrics and coverage can be computed over the full trace.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "segmentation/segment.hpp"
+#include "util/byteio.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ftc::dissim {
+
+/// Unique segment values with their occurrences.
+struct unique_segments {
+    /// Distinct segment values (each at least min_length bytes).
+    std::vector<byte_vector> values;
+    /// For each value, every concrete segment carrying it.
+    std::vector<std::vector<segmentation::segment>> occurrences;
+    /// Segments skipped because they were shorter than min_length.
+    std::size_t short_segments = 0;
+
+    std::size_t size() const { return values.size(); }
+};
+
+/// Condense a segmentation into unique segment values.
+/// \p min_length excludes short segments (paper: 2, i.e. one-byte segments
+/// are dropped).
+unique_segments condense(const std::vector<byte_vector>& messages,
+                         const segmentation::message_segments& segs,
+                         std::size_t min_length = 2);
+
+/// Dense symmetric matrix of pairwise sliding-Canberra dissimilarities.
+class dissimilarity_matrix {
+public:
+    /// Compute all pairwise dissimilarities. Polls \p dl periodically.
+    explicit dissimilarity_matrix(std::span<const byte_vector> values,
+                                  const deadline& dl = {});
+
+    /// Build from a precomputed dense row-major n*n matrix — for callers
+    /// with their own dissimilarity measure (and for tests). Throws unless
+    /// the input is square, symmetric and zero on the diagonal.
+    static dissimilarity_matrix from_dense(std::span<const double> dense, std::size_t n);
+
+    std::size_t size() const { return n_; }
+
+    /// Dissimilarity between values i and j (0 on the diagonal).
+    double at(std::size_t i, std::size_t j) const {
+        return data_[i * n_ + j];
+    }
+
+    /// For every element, the dissimilarity to its k-th nearest neighbour
+    /// (k >= 1; k is clamped to n-1). Result has size() entries.
+    std::vector<double> kth_nn(std::size_t k) const;
+
+    /// All pairwise dissimilarities (i < j), unsorted.
+    std::vector<double> upper_triangle() const;
+
+private:
+    dissimilarity_matrix() = default;
+
+    std::size_t n_ = 0;
+    std::vector<float> data_;
+};
+
+}  // namespace ftc::dissim

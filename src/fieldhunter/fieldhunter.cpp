@@ -1,0 +1,456 @@
+#include "fieldhunter/fieldhunter.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "protocols/registry.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace ftc::fieldhunter {
+
+namespace {
+
+/// Read a candidate field value at (offset, width, endianness); nullopt
+/// when the message is too short.
+std::optional<std::uint64_t> value_at(const byte_vector& bytes, std::size_t offset,
+                                      std::size_t width, bool big_endian) {
+    if (offset + width > bytes.size()) {
+        return std::nullopt;
+    }
+    std::uint64_t v = 0;
+    if (big_endian) {
+        for (std::size_t i = 0; i < width; ++i) {
+            v = (v << 8) | bytes[offset + i];
+        }
+    } else {
+        for (std::size_t i = width; i > 0; --i) {
+            v = (v << 8) | bytes[offset + i - 1];
+        }
+    }
+    return v;
+}
+
+/// Request/response transaction pairs, matched per flow in arrival order.
+std::vector<std::pair<std::size_t, std::size_t>> pair_transactions(
+    const std::vector<fh_message>& messages) {
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    std::map<pcap::flow_key, std::vector<std::size_t>> pending;
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+        const fh_message& m = messages[i];
+        if (!m.has_flow) {
+            continue;
+        }
+        if (m.is_request) {
+            pending[m.flow].push_back(i);
+        } else {
+            auto it = pending.find(m.flow.reversed());
+            if (it != pending.end() && !it->second.empty()) {
+                pairs.emplace_back(it->second.front(), i);
+                it->second.erase(it->second.begin());
+            }
+        }
+    }
+    return pairs;
+}
+
+}  // namespace
+
+const char* to_string(fh_kind kind) {
+    switch (kind) {
+        case fh_kind::msg_type: return "MSG-Type";
+        case fh_kind::msg_len: return "MSG-Len";
+        case fh_kind::trans_id: return "Trans-ID";
+        case fh_kind::host_id: return "Host-ID";
+        case fh_kind::session_id: return "Session-ID";
+        case fh_kind::accumulator: return "Accumulator";
+    }
+    return "?";
+}
+
+std::vector<fh_message> from_trace(const protocols::trace& input) {
+    std::vector<fh_message> out;
+    out.reserve(input.messages.size());
+    const bool has_flow = protocols::protocol_linktype(input.protocol) ==
+                          pcap::linktype::ethernet;
+    for (const protocols::annotated_message& msg : input.messages) {
+        fh_message m;
+        m.bytes = msg.bytes;
+        m.flow = msg.flow;
+        m.is_request = msg.is_request;
+        m.has_flow = has_flow;
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+fh_result infer(const std::vector<fh_message>& messages, const fh_options& options) {
+    fh_result result;
+    for (const fh_message& m : messages) {
+        result.total_bytes += m.bytes.size();
+    }
+    if (messages.empty()) {
+        return result;
+    }
+
+    const auto pairs = pair_transactions(messages);
+    const bool any_flow =
+        std::any_of(messages.begin(), messages.end(), [](const fh_message& m) {
+            return m.has_flow;
+        });
+
+    const std::size_t max_len =
+        std::max_element(messages.begin(), messages.end(), [](const auto& a, const auto& b) {
+            return a.bytes.size() < b.bytes.size();
+        })->bytes.size();
+    const std::size_t max_offset = std::min(options.max_offset, max_len);
+
+    // Which byte offsets are already claimed by an accepted field.
+    std::vector<bool> claimed(max_offset, false);
+    auto range_free = [&](std::size_t offset, std::size_t width) {
+        for (std::size_t i = offset; i < offset + width && i < claimed.size(); ++i) {
+            if (claimed[i]) {
+                return false;
+            }
+        }
+        return true;
+    };
+    auto claim = [&](std::size_t offset, std::size_t width, fh_kind kind, bool big_endian,
+                     double score) {
+        for (std::size_t i = offset; i < offset + width && i < claimed.size(); ++i) {
+            claimed[i] = true;
+        }
+        result.fields.push_back({offset, width, big_endian, kind, score});
+        // Coverage: this field exists in every message long enough.
+        for (const fh_message& m : messages) {
+            if (offset + width <= m.bytes.size()) {
+                result.typed_bytes += width;
+            }
+        }
+    };
+
+    const double n_msgs = static_cast<double>(messages.size());
+    auto offset_support = [&](std::size_t offset, std::size_t width) {
+        std::size_t have = 0;
+        for (const fh_message& m : messages) {
+            if (offset + width <= m.bytes.size()) {
+                ++have;
+            }
+        }
+        return static_cast<double>(have) / n_msgs;
+    };
+
+    // Fraction of messages whose bytes at [offset, offset+width) are all
+    // printable ASCII — used to keep text content out of the binary rules.
+    auto printable_fraction = [&](std::size_t offset, std::size_t width) {
+        std::size_t have = 0;
+        std::size_t printable = 0;
+        for (const fh_message& m : messages) {
+            if (offset + width > m.bytes.size()) {
+                continue;
+            }
+            ++have;
+            bool all = true;
+            for (std::size_t i = 0; i < width; ++i) {
+                const std::uint8_t b = m.bytes[offset + i];
+                if (b < 0x20 || b > 0x7e) {
+                    all = false;
+                    break;
+                }
+            }
+            printable += all ? 1 : 0;
+        }
+        return have > 0 ? static_cast<double>(printable) / static_cast<double>(have) : 0.0;
+    };
+    auto looks_textual = [&](std::size_t offset, std::size_t width) {
+        return printable_fraction(offset, width) > options.max_printable_fraction;
+    };
+
+    // FieldHunter infers *the* field of each kind — "typically one or two
+    // fields per message" (DSN-W'22 paper, Sec. IV-D). Each rule therefore
+    // collects candidates and claims only its best one: highest score,
+    // widest field on ties, then lowest offset.
+    struct rule_candidate {
+        std::size_t offset = 0;
+        std::size_t width = 0;
+        bool big_endian = true;
+        double score = 0.0;
+    };
+    auto claim_best = [&](std::vector<rule_candidate>& candidates, fh_kind kind) {
+        const auto best = std::max_element(
+            candidates.begin(), candidates.end(),
+            [](const rule_candidate& a, const rule_candidate& b) {
+                if (a.score != b.score) {
+                    return a.score < b.score;
+                }
+                if (a.width != b.width) {
+                    return a.width < b.width;
+                }
+                return a.offset > b.offset;
+            });
+        if (best != candidates.end()) {
+            claim(best->offset, best->width, kind, best->big_endian, best->score);
+        }
+        candidates.clear();
+    };
+    std::vector<rule_candidate> candidates;
+
+    static constexpr std::size_t kWidths[] = {4, 2, 1};
+
+    // ---- Rule: MSG-Type (needs request/response pairs) ----
+    for (std::size_t width : {std::size_t{1}, std::size_t{2}}) {
+        for (std::size_t offset = 0; offset + width <= max_offset; ++offset) {
+            if (!range_free(offset, width) || pairs.empty()) {
+                continue;
+            }
+            if (offset_support(offset, width) < options.min_offset_support ||
+                looks_textual(offset, width)) {
+                continue;
+            }
+            std::set<std::uint64_t> req_values;
+            std::set<std::uint64_t> resp_values;
+            std::map<std::uint64_t, std::map<std::uint64_t, std::size_t>> joint;
+            std::size_t usable = 0;
+            for (const auto& [req, resp] : pairs) {
+                const auto rv = value_at(messages[req].bytes, offset, width, true);
+                const auto sv = value_at(messages[resp].bytes, offset, width, true);
+                if (!rv || !sv) {
+                    continue;
+                }
+                ++usable;
+                req_values.insert(*rv);
+                resp_values.insert(*sv);
+                ++joint[*rv][*sv];
+            }
+            if (usable < 8 || req_values.empty()) {
+                continue;
+            }
+            if (req_values.size() > options.max_type_cardinality ||
+                resp_values.size() > options.max_type_cardinality) {
+                continue;
+            }
+            if (req_values.size() < 2 && resp_values.size() < 2) {
+                continue;  // constant bytes are keywords, not message types
+            }
+            if (req_values.size() * 4 > usable && resp_values.size() * 4 > usable) {
+                continue;  // near-unique values: identifiers, not type codes
+            }
+            // Average concentration of the response value given the request
+            // value (categorical correlation).
+            double weighted = 0.0;
+            for (const auto& [rv, dist] : joint) {
+                std::size_t total = 0;
+                std::size_t best = 0;
+                for (const auto& [sv, count] : dist) {
+                    total += count;
+                    best = std::max(best, count);
+                }
+                weighted += static_cast<double>(best);
+            }
+            const double concentration = weighted / static_cast<double>(usable);
+            if (concentration >= options.min_type_correlation) {
+                candidates.push_back({offset, width, true, concentration});
+            }
+        }
+    }
+    claim_best(candidates, fh_kind::msg_type);
+
+    // ---- Rule: MSG-Len (numeric correlation with message length) ----
+    for (std::size_t width : {std::size_t{2}, std::size_t{4}}) {
+        for (bool big_endian : {true, false}) {
+            for (std::size_t offset = 0; offset + width <= max_offset; ++offset) {
+                if (!range_free(offset, width)) {
+                    continue;
+                }
+                std::vector<double> values;
+                std::vector<double> lengths;
+                for (const fh_message& m : messages) {
+                    if (const auto v = value_at(m.bytes, offset, width, big_endian)) {
+                        values.push_back(static_cast<double>(*v));
+                        lengths.push_back(static_cast<double>(m.bytes.size()));
+                    }
+                }
+                if (values.size() < std::max<std::size_t>(
+                                        8, static_cast<std::size_t>(
+                                               options.min_offset_support * n_msgs))) {
+                    continue;
+                }
+                // Degenerate unless both sides vary.
+                if (stddev(values) == 0.0 || stddev(lengths) == 0.0) {
+                    continue;
+                }
+                const double rho = pearson(values, lengths);
+                if (rho >= options.min_len_correlation) {
+                    candidates.push_back({offset, width, big_endian, rho});
+                }
+            }
+        }
+    }
+    claim_best(candidates, fh_kind::msg_len);
+
+    // ---- Rule: Trans-ID (request value echoed by the response) ----
+    for (std::size_t width : kWidths) {
+        if (width == 1) {
+            continue;  // single bytes echo too easily by chance
+        }
+        for (std::size_t offset = 0; offset + width <= max_offset; ++offset) {
+            if (!range_free(offset, width) || pairs.empty() ||
+                looks_textual(offset, width)) {
+                continue;
+            }
+            std::size_t usable = 0;
+            std::size_t echoed = 0;
+            std::set<std::uint64_t> distinct;
+            for (const auto& [req, resp] : pairs) {
+                const auto rv = value_at(messages[req].bytes, offset, width, true);
+                const auto sv = value_at(messages[resp].bytes, offset, width, true);
+                if (!rv || !sv) {
+                    continue;
+                }
+                ++usable;
+                if (*rv == *sv) {
+                    ++echoed;
+                }
+                distinct.insert(*rv);
+            }
+            if (usable < 8) {
+                continue;
+            }
+            const double echo = static_cast<double>(echoed) / static_cast<double>(usable);
+            const double distinct_ratio =
+                static_cast<double>(distinct.size()) / static_cast<double>(usable);
+            if (echo >= options.min_transid_echo &&
+                distinct_ratio >= options.min_transid_distinct) {
+                candidates.push_back({offset, width, true, echo * distinct_ratio});
+            }
+        }
+    }
+    claim_best(candidates, fh_kind::trans_id);
+
+    // ---- Rules: Host-ID / Session-ID (need flow context) ----
+    if (any_flow) {
+        std::vector<rule_candidate> host_candidates;
+        std::vector<rule_candidate> session_candidates;
+        for (std::size_t width : kWidths) {
+            if (width == 1) {
+                continue;
+            }
+            for (std::size_t offset = 0; offset + width <= max_offset; ++offset) {
+                if (!range_free(offset, width) || looks_textual(offset, width)) {
+                    continue;
+                }
+                std::map<std::uint32_t, std::set<std::uint64_t>> per_host;
+                std::map<std::uint32_t, std::size_t> host_messages;
+                std::map<pcap::flow_key, std::set<std::uint64_t>> per_session;
+                std::map<pcap::flow_key, std::size_t> session_messages;
+                std::set<std::uint64_t> all_values;
+                std::size_t usable = 0;
+                for (const fh_message& m : messages) {
+                    if (!m.has_flow) {
+                        continue;
+                    }
+                    const auto v = value_at(m.bytes, offset, width, true);
+                    if (!v) {
+                        continue;
+                    }
+                    ++usable;
+                    per_host[m.flow.src_ip.value].insert(*v);
+                    ++host_messages[m.flow.src_ip.value];
+                    pcap::flow_key session = m.is_request ? m.flow : m.flow.reversed();
+                    per_session[session].insert(*v);
+                    ++session_messages[session];
+                    all_values.insert(*v);
+                }
+                if (usable < 8 || all_values.size() < 2) {
+                    continue;
+                }
+                // Consistency is only evidence when a group holds several
+                // messages: count the multi-message groups and require at
+                // least two of them (a group of one is trivially constant).
+                // An identifier must also *identify*: the distinct values
+                // must scale with the number of groups, otherwise the field
+                // is a shared flag (e.g. a direction bit), not an id.
+                auto consistent = [&all_values](const auto& groups, const auto& counts,
+                                                std::size_t min_group) {
+                    std::size_t multi = 0;
+                    for (const auto& [key, values] : groups) {
+                        if (values.size() != 1) {
+                            return false;
+                        }
+                        if (counts.at(key) >= min_group) {
+                            ++multi;
+                        }
+                    }
+                    return multi >= 2 && 2 * all_values.size() >= groups.size();
+                };
+                if (per_host.size() >= 2 && consistent(per_host, host_messages, 2)) {
+                    host_candidates.push_back({offset, width, true, 1.0});
+                    continue;
+                }
+                // A session with a single request/response exchange echoes
+                // every payload byte, so demand several messages per flow.
+                if (per_session.size() >= 2 &&
+                    consistent(per_session, session_messages, 3)) {
+                    session_candidates.push_back({offset, width, true, 1.0});
+                }
+            }
+        }
+        claim_best(host_candidates, fh_kind::host_id);
+        claim_best(session_candidates, fh_kind::session_id);
+    }
+
+    // ---- Rule: Accumulator (monotone per directed flow) ----
+    if (any_flow) {
+        for (std::size_t width : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+            for (bool big_endian : {true, false}) {
+                for (std::size_t offset = 0; offset + width <= max_offset; ++offset) {
+                    if (!range_free(offset, width)) {
+                        continue;
+                    }
+                    std::map<pcap::flow_key, std::vector<std::uint64_t>> per_flow;
+                    for (const fh_message& m : messages) {
+                        if (!m.has_flow) {
+                            continue;
+                        }
+                        if (const auto v = value_at(m.bytes, offset, width, big_endian)) {
+                            per_flow[m.flow].push_back(*v);
+                        }
+                    }
+                    std::size_t checked_flows = 0;
+                    bool all_monotone = true;
+                    bool any_increase = false;
+                    for (const auto& [flow, seq] : per_flow) {
+                        if (seq.size() < 3) {
+                            continue;
+                        }
+                        ++checked_flows;
+                        for (std::size_t i = 1; i < seq.size(); ++i) {
+                            if (seq[i] < seq[i - 1]) {
+                                all_monotone = false;
+                                break;
+                            }
+                            if (seq[i] > seq[i - 1]) {
+                                any_increase = true;
+                            }
+                        }
+                        if (!all_monotone) {
+                            break;
+                        }
+                    }
+                    if (checked_flows >= 1 && all_monotone && any_increase) {
+                        candidates.push_back({offset, width, big_endian, 1.0});
+                    }
+                }
+            }
+        }
+        claim_best(candidates, fh_kind::accumulator);
+    }
+
+    std::sort(result.fields.begin(), result.fields.end(),
+              [](const fh_field& a, const fh_field& b) { return a.offset < b.offset; });
+    return result;
+}
+
+}  // namespace ftc::fieldhunter

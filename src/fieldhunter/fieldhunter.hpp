@@ -1,0 +1,98 @@
+/// \file fieldhunter.hpp
+/// Re-implementation of FieldHunter (Bermudez, Tongaonkar, Iliofotou,
+/// Mellia, Munafò — Computer Communications 2016: "Towards Automatic
+/// Protocol Field Inference"), the paper's state-of-the-art baseline.
+///
+/// FieldHunter infers a *fixed set* of concrete field types at *fixed
+/// message offsets* from request/response transactions:
+///   MSG-Type  — small value set, categorically correlated across the
+///               request/response direction,
+///   MSG-Len   — numeric value correlating with the message length,
+///   Trans-ID  — request value echoed in the response, random across
+///               transactions,
+///   Host-ID   — constant per source host, differing across hosts,
+///   Session-ID— constant per flow, differing across flows,
+///   Accumulator — monotonically increasing per flow (counters, clocks).
+///
+/// Both limitations the paper exploits are inherent here: fields at
+/// variable offsets are invisible, and everything except MSG-Type/MSG-Len
+/// requires flow context — for protocols without IP encapsulation (AWDL,
+/// AU) the context rules cannot apply. Typical coverage is a few percent
+/// of the message bytes (paper Sec. IV-D: 3 % on average, vs 87 % for the
+/// clustering method).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pcap/decap.hpp"
+#include "protocols/field.hpp"
+#include "util/byteio.hpp"
+
+namespace ftc::fieldhunter {
+
+/// One message with the flow context FieldHunter requires.
+struct fh_message {
+    byte_vector bytes;
+    pcap::flow_key flow;
+    bool is_request = true;
+    bool has_flow = true;  ///< false for non-IP captures (AWDL/AU)
+};
+
+/// Build FieldHunter input from an annotated trace (annotations unused).
+std::vector<fh_message> from_trace(const protocols::trace& input);
+
+/// Field types FieldHunter can emit.
+enum class fh_kind {
+    msg_type,
+    msg_len,
+    trans_id,
+    host_id,
+    session_id,
+    accumulator,
+};
+
+const char* to_string(fh_kind kind);
+
+/// One inferred field.
+struct fh_field {
+    std::size_t offset = 0;
+    std::size_t width = 1;
+    bool big_endian = true;
+    fh_kind kind = fh_kind::msg_type;
+    double score = 0.0;  ///< rule-specific confidence (correlation etc.)
+};
+
+/// Inference tunables (defaults follow the FieldHunter paper's choices
+/// where stated).
+struct fh_options {
+    std::size_t max_offset = 512;       ///< deepest offset examined
+    double min_offset_support = 0.3;    ///< messages that must reach offset
+    std::size_t max_type_cardinality = 16;  ///< MSG-Type distinct value cap
+    double min_type_correlation = 0.8;  ///< MSG-Type direction correlation
+    double min_len_correlation = 0.8;   ///< MSG-Len Pearson threshold
+    double min_transid_echo = 0.9;      ///< Trans-ID echo fraction
+    double min_transid_distinct = 0.66; ///< Trans-ID distinct/pairs ratio
+    /// Candidate values that are mostly printable text are excluded from
+    /// the binary-field rules (MSG-Type, Trans-ID, Host-ID, Session-ID):
+    /// echoed text fields (names, paths) would otherwise masquerade as ids.
+    double max_printable_fraction = 0.7;
+};
+
+/// Inference result with coverage accounting.
+struct fh_result {
+    std::vector<fh_field> fields;
+    std::uint64_t typed_bytes = 0;
+    std::uint64_t total_bytes = 0;
+
+    double coverage() const {
+        return total_bytes > 0
+                   ? static_cast<double>(typed_bytes) / static_cast<double>(total_bytes)
+                   : 0.0;
+    }
+};
+
+/// Run FieldHunter over a message set.
+fh_result infer(const std::vector<fh_message>& messages, const fh_options& options = {});
+
+}  // namespace ftc::fieldhunter

@@ -1,0 +1,84 @@
+#include "mathx/ecdf.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ftc::mathx {
+
+ecdf::ecdf(std::span<const double> samples) : sorted_(samples.begin(), samples.end()) {
+    expects(!sorted_.empty(), "ecdf: empty sample set");
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double ecdf::operator()(double x) const {
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+curve ecdf::as_curve() const {
+    curve out;
+    const double n = static_cast<double>(sorted_.size());
+    for (std::size_t i = 0; i < sorted_.size(); ++i) {
+        // Collapse runs of equal values into one point at the run's end.
+        if (i + 1 < sorted_.size() && sorted_[i + 1] == sorted_[i]) {
+            continue;
+        }
+        out.xs.push_back(sorted_[i]);
+        out.ys.push_back(static_cast<double>(i + 1) / n);
+    }
+    return out;
+}
+
+ecdf ecdf::trimmed_below(double limit) const {
+    std::vector<double> kept;
+    for (double v : sorted_) {
+        if (v < limit) {
+            kept.push_back(v);
+        }
+    }
+    expects(!kept.empty(), "ecdf::trimmed_below: no samples below limit");
+    return ecdf(kept);
+}
+
+curve resample_uniform(const curve& input, std::size_t points) {
+    expects(!input.empty(), "resample_uniform: empty curve");
+    expects(points >= 2, "resample_uniform: need at least two points");
+    curve out;
+    out.xs.reserve(points);
+    out.ys.reserve(points);
+    const double x0 = input.xs.front();
+    const double x1 = input.xs.back();
+    if (x1 == x0) {
+        // Degenerate: all x equal; replicate the single level.
+        for (std::size_t i = 0; i < points; ++i) {
+            out.xs.push_back(x0);
+            out.ys.push_back(input.ys.back());
+        }
+        return out;
+    }
+    std::size_t seg = 0;
+    for (std::size_t i = 0; i < points; ++i) {
+        const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+        const double x = x0 + t * (x1 - x0);
+        while (seg + 1 < input.xs.size() && input.xs[seg + 1] < x) {
+            ++seg;
+        }
+        double y;
+        if (seg + 1 >= input.xs.size()) {
+            y = input.ys.back();
+        } else {
+            const double xa = input.xs[seg];
+            const double xb = input.xs[seg + 1];
+            const double ya = input.ys[seg];
+            const double yb = input.ys[seg + 1];
+            const double u = (x - xa) / (xb - xa);
+            y = ya + std::clamp(u, 0.0, 1.0) * (yb - ya);
+        }
+        out.xs.push_back(x);
+        out.ys.push_back(y);
+    }
+    return out;
+}
+
+}  // namespace ftc::mathx

@@ -1,0 +1,59 @@
+/// \file ecdf.hpp
+/// Empirical cumulative distribution function (ECDF).
+///
+/// The epsilon auto-configuration (paper Sec. III-D) builds the ECDF of the
+/// k-nearest-neighbor dissimilarities of all unique segments and looks for
+/// its knee. The ECDF over n samples is a step function jumping by 1/n at
+/// each sample value.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ftc::mathx {
+
+/// A sampled curve: parallel x/y vectors with x strictly increasing.
+struct curve {
+    std::vector<double> xs;
+    std::vector<double> ys;
+
+    std::size_t size() const { return xs.size(); }
+    bool empty() const { return xs.empty(); }
+};
+
+/// Empirical CDF of a sample set.
+class ecdf {
+public:
+    /// Build from (unsorted) samples. Throws ftc::precondition_error when
+    /// the sample set is empty.
+    explicit ecdf(std::span<const double> samples);
+
+    /// Fraction of samples <= x, in [0, 1].
+    double operator()(double x) const;
+
+    /// Number of samples.
+    std::size_t sample_count() const { return sorted_.size(); }
+
+    /// Sorted sample values (ascending, duplicates preserved).
+    const std::vector<double>& sorted_samples() const { return sorted_; }
+
+    /// The ECDF as a curve over its distinct sample values:
+    /// points (d, fraction of samples <= d). Suitable as Kneedle input.
+    curve as_curve() const;
+
+    /// ECDF restricted to samples strictly below \p limit (the trimmed
+    /// ECDF Ê'_k of Sec. III-E used when the detected knee was too large).
+    /// Throws ftc::precondition_error if no sample lies below the limit.
+    ecdf trimmed_below(double limit) const;
+
+private:
+    std::vector<double> sorted_;
+};
+
+/// Resample a curve onto \p points evenly spaced x positions between the
+/// curve's first and last x, by linear interpolation. A curve with a single
+/// point is replicated. Throws on empty input or points < 2.
+curve resample_uniform(const curve& input, std::size_t points);
+
+}  // namespace ftc::mathx

@@ -1,0 +1,147 @@
+#include "mathx/kneedle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ftc::mathx {
+
+namespace {
+
+/// Normalize values to [0, 1]; constant input maps to all zeros.
+std::vector<double> normalize(const std::vector<double>& values) {
+    const auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+    const double mn = *mn_it;
+    const double mx = *mx_it;
+    std::vector<double> out(values.size(), 0.0);
+    if (mx == mn) {
+        return out;
+    }
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        out[i] = (values[i] - mn) / (mx - mn);
+    }
+    return out;
+}
+
+}  // namespace
+
+kneedle_result kneedle(const curve& input, const kneedle_options& options) {
+    expects(input.xs.size() == input.ys.size(), "kneedle: xs/ys size mismatch");
+    kneedle_result result;
+    const std::size_t n = input.size();
+    if (n < 5) {
+        return result;
+    }
+    for (std::size_t i = 1; i < n; ++i) {
+        expects(input.xs[i] > input.xs[i - 1], "kneedle: xs must be strictly increasing");
+    }
+
+    // Step 1: normalize to the unit square.
+    std::vector<double> xn = normalize(input.xs);
+    std::vector<double> yn = normalize(input.ys);
+
+    // Step 2: transform so every shape becomes "concave increasing", whose
+    // knee maximizes y - x.
+    switch (options.shape) {
+        case curve_shape::concave_increasing:
+            break;
+        case curve_shape::convex_increasing:
+            for (double& y : yn) {
+                y = 1.0 - y;
+            }
+            std::reverse(yn.begin(), yn.end());
+            // x axis keeps its spacing after mirroring.
+            {
+                std::vector<double> xr(n);
+                for (std::size_t i = 0; i < n; ++i) {
+                    xr[i] = xn.back() - xn[n - 1 - i];
+                }
+                xn = std::move(xr);
+            }
+            break;
+        case curve_shape::concave_decreasing: {
+            std::vector<double> xr(n);
+            std::vector<double> yr(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                xr[i] = xn.back() - xn[n - 1 - i];
+                yr[i] = yn[n - 1 - i];
+            }
+            xn = std::move(xr);
+            yn = std::move(yr);
+            break;
+        }
+        case curve_shape::convex_decreasing:
+            for (double& y : yn) {
+                y = 1.0 - y;
+            }
+            break;
+    }
+
+    // Step 3: difference curve.
+    std::vector<double> yd(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        yd[i] = yn[i] - xn[i];
+    }
+
+    // Step 4: local maxima and minima of the difference curve.
+    std::vector<std::size_t> maxima;
+    std::vector<std::size_t> minima;
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        if (yd[i] >= yd[i - 1] && yd[i] > yd[i + 1]) {
+            maxima.push_back(i);
+        } else if (yd[i] <= yd[i - 1] && yd[i] < yd[i + 1]) {
+            minima.push_back(i);
+        }
+    }
+    if (maxima.empty()) {
+        return result;
+    }
+
+    // Step 5: sensitivity thresholds T = y_lm - S * mean(delta x).
+    double mean_dx = 0.0;
+    for (std::size_t i = 1; i < n; ++i) {
+        mean_dx += xn[i] - xn[i - 1];
+    }
+    mean_dx /= static_cast<double>(n - 1);
+
+    // Step 6: scan forward from each local max; a knee is confirmed when the
+    // difference curve drops below the threshold before the next local max.
+    std::vector<double> knees_transformed;
+    std::size_t max_cursor = 0;
+    std::size_t min_cursor = 0;
+    constexpr std::size_t kNoCandidate = static_cast<std::size_t>(-1);
+    std::size_t candidate = kNoCandidate;
+    double threshold = 0.0;
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        if (max_cursor < maxima.size() && i == maxima[max_cursor]) {
+            candidate = i;
+            threshold = yd[i] - options.sensitivity * mean_dx;
+            ++max_cursor;
+        }
+        if (min_cursor < minima.size() && i == minima[min_cursor]) {
+            // Reaching a local minimum resets the pending candidate.
+            candidate = kNoCandidate;
+            ++min_cursor;
+        }
+        if (candidate != kNoCandidate && i > candidate && yd[i] < threshold) {
+            knees_transformed.push_back(xn[candidate]);
+            candidate = kNoCandidate;
+        }
+    }
+
+    // Map transformed x back to original coordinates.
+    const double x_min = *std::min_element(input.xs.begin(), input.xs.end());
+    const double x_max = *std::max_element(input.xs.begin(), input.xs.end());
+    const double span = x_max - x_min;
+    const bool mirrored = options.shape == curve_shape::convex_increasing ||
+                          options.shape == curve_shape::concave_decreasing;
+    for (double kx : knees_transformed) {
+        const double unit = mirrored ? (1.0 - kx) : kx;
+        result.knees.push_back(x_min + unit * span);
+    }
+    std::sort(result.knees.begin(), result.knees.end());
+    return result;
+}
+
+}  // namespace ftc::mathx

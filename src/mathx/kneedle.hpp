@@ -1,0 +1,51 @@
+/// \file kneedle.hpp
+/// Kneedle knee/elbow detection (Satopaa, Albrecht, Irwin, Raghavan:
+/// "Finding a 'Kneedle' in a Haystack", ICDCSW 2011).
+///
+/// The epsilon auto-configuration (paper Sec. III-D) applies Kneedle to the
+/// smoothed ECDF of k-NN dissimilarities and uses the *rightmost* detected
+/// knee as the DBSCAN epsilon.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mathx/ecdf.hpp"
+
+namespace ftc::mathx {
+
+/// Curve orientation for Kneedle's normalization step.
+enum class curve_shape {
+    concave_increasing,  ///< e.g. an ECDF: rises fast, then flattens (knee)
+    convex_increasing,   ///< flat first, then rises (elbow on the right)
+    concave_decreasing,
+    convex_decreasing,
+};
+
+/// Parameters of the Kneedle detector.
+struct kneedle_options {
+    /// Sensitivity S: how far the difference curve must fall below a local
+    /// maximum before it is declared a knee. Smaller is more aggressive.
+    double sensitivity = 1.0;
+    curve_shape shape = curve_shape::concave_increasing;
+};
+
+/// Result of a Kneedle run.
+struct kneedle_result {
+    /// All detected knee x positions, in ascending order.
+    std::vector<double> knees;
+
+    /// The rightmost knee, if any was found.
+    std::optional<double> rightmost() const {
+        if (knees.empty()) {
+            return std::nullopt;
+        }
+        return knees.back();
+    }
+};
+
+/// Run Kneedle on a (pre-smoothed) curve. Curves with fewer than five points
+/// yield no knees. x values must be strictly increasing.
+kneedle_result kneedle(const curve& input, const kneedle_options& options = {});
+
+}  // namespace ftc::mathx

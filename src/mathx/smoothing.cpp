@@ -1,0 +1,145 @@
+#include "mathx/smoothing.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ftc::mathx {
+
+std::vector<double> whittaker_smooth(std::span<const double> ys, double lambda) {
+    expects(lambda >= 0.0, "whittaker_smooth: lambda must be non-negative");
+    const std::size_t n = ys.size();
+    std::vector<double> z(ys.begin(), ys.end());
+    if (n < 3 || lambda == 0.0) {
+        return z;
+    }
+
+    // Build A = I + lambda * D2' D2 where D2 is the (n-2) x n second
+    // difference matrix. A is symmetric pentadiagonal; store three bands:
+    // d0 (main), d1 (first sub/super), d2 (second sub/super).
+    std::vector<double> d0(n), d1(n > 1 ? n - 1 : 0), d2(n > 2 ? n - 2 : 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Row i of D2'D2: squared coefficients of the D2 rows touching
+        // column i. D2 row r has entries (1, -2, 1) at columns r, r+1, r+2.
+        double diag = 0.0;
+        if (i + 2 < n) {
+            diag += 1.0;  // row r = i contributes 1^2
+        }
+        if (i >= 1 && i + 1 < n) {
+            diag += 4.0;  // row r = i-1 contributes (-2)^2
+        }
+        if (i >= 2) {
+            diag += 1.0;  // row r = i-2 contributes 1^2
+        }
+        d0[i] = 1.0 + lambda * diag;
+    }
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        // (D2'D2)[i][i+1]: rows touching both columns i and i+1.
+        double v = 0.0;
+        if (i + 2 < n) {
+            v += 1.0 * -2.0;  // row r=i: cols i (1), i+1 (-2)
+        }
+        if (i >= 1) {
+            v += -2.0 * 1.0;  // row r=i-1: cols i (-2), i+1 (1)
+        }
+        d1[i] = lambda * v;
+    }
+    for (std::size_t i = 0; i + 2 < n; ++i) {
+        d2[i] = lambda * 1.0;  // row r=i: cols i (1), i+2 (1)
+    }
+
+    // Banded Cholesky factorization A = L D L' for bandwidth 2.
+    std::vector<double> diag(n), l1(n > 1 ? n - 1 : 0), l2(n > 2 ? n - 2 : 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double di = d0[i];
+        if (i >= 1) {
+            di -= l1[i - 1] * l1[i - 1] * diag[i - 1];
+        }
+        if (i >= 2) {
+            di -= l2[i - 2] * l2[i - 2] * diag[i - 2];
+        }
+        ensures(di > 0.0, "whittaker_smooth: matrix not positive definite");
+        diag[i] = di;
+        if (i + 1 < n) {
+            double v = d1[i];
+            if (i >= 1) {
+                v -= l1[i - 1] * l2[i - 1] * diag[i - 1];
+            }
+            l1[i] = v / di;
+        }
+        if (i + 2 < n) {
+            l2[i] = d2[i] / di;
+        }
+    }
+
+    // Solve L w = y (forward), then D v = w, then L' z = v (backward).
+    std::vector<double> w(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double v = ys[i];
+        if (i >= 1) {
+            v -= l1[i - 1] * w[i - 1];
+        }
+        if (i >= 2) {
+            v -= l2[i - 2] * w[i - 2];
+        }
+        w[i] = v;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        w[i] /= diag[i];
+    }
+    for (std::size_t ri = 0; ri < n; ++ri) {
+        const std::size_t i = n - 1 - ri;
+        double v = w[i];
+        if (i + 1 < n) {
+            v -= l1[i] * z[i + 1];
+        }
+        if (i + 2 < n) {
+            v -= l2[i] * z[i + 2];
+        }
+        z[i] = v;
+    }
+    return z;
+}
+
+std::vector<double> gaussian_filter1d(std::span<const double> ys, double sigma) {
+    std::vector<double> out(ys.begin(), ys.end());
+    const std::size_t n = ys.size();
+    if (sigma <= 0.0 || n == 0) {
+        return out;
+    }
+    const int radius = std::max(1, static_cast<int>(std::lround(4.0 * sigma)));
+    std::vector<double> kernel(static_cast<std::size_t>(2 * radius + 1));
+    double sum = 0.0;
+    for (int k = -radius; k <= radius; ++k) {
+        const double v = std::exp(-0.5 * (k / sigma) * (k / sigma));
+        kernel[static_cast<std::size_t>(k + radius)] = v;
+        sum += v;
+    }
+    for (double& v : kernel) {
+        v /= sum;
+    }
+    // Reflect boundary mode (scipy default "reflect"): index -1 -> 0, -2 -> 1, ...
+    auto reflect = [n](long idx) -> std::size_t {
+        const long size = static_cast<long>(n);
+        while (idx < 0 || idx >= size) {
+            if (idx < 0) {
+                idx = -idx - 1;
+            }
+            if (idx >= size) {
+                idx = 2 * size - idx - 1;
+            }
+        }
+        return static_cast<std::size_t>(idx);
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (int k = -radius; k <= radius; ++k) {
+            acc += kernel[static_cast<std::size_t>(k + radius)] *
+                   ys[reflect(static_cast<long>(i) + k)];
+        }
+        out[i] = acc;
+    }
+    return out;
+}
+
+}  // namespace ftc::mathx

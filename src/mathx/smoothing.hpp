@@ -1,0 +1,28 @@
+/// \file smoothing.hpp
+/// Curve smoothing used before knee detection and by the NEMESYS segmenter.
+///
+/// * whittaker_smooth — penalized least-squares smoother (Whittaker-Eilers)
+///   with a second-order difference penalty; the discrete equivalent of the
+///   cubic smoothing spline the paper applies to the ECDF before Kneedle
+///   (substitution documented in DESIGN.md Sec. 1).
+/// * gaussian_filter1d — Gaussian convolution with reflected boundaries,
+///   matching scipy.ndimage.gaussian_filter1d, used by NEMESYS on the delta
+///   bit-congruence sequence (sigma = 0.6 in the WOOT'18 paper).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ftc::mathx {
+
+/// Whittaker-Eilers smoother: returns z minimizing
+///   sum_i (z_i - y_i)^2 + lambda * sum_i (z_{i-1} - 2 z_i + z_{i+1})^2.
+/// Larger lambda gives a smoother result; lambda = 0 returns the input.
+/// Sequences shorter than 3 are returned unchanged.
+std::vector<double> whittaker_smooth(std::span<const double> ys, double lambda);
+
+/// 1-D Gaussian filter, kernel truncated at 4 sigma, reflect boundary mode.
+/// sigma <= 0 returns the input unchanged.
+std::vector<double> gaussian_filter1d(std::span<const double> ys, double sigma);
+
+}  // namespace ftc::mathx

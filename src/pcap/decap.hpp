@@ -1,0 +1,164 @@
+/// \file decap.hpp
+/// Decapsulation of captured frames down to application payloads.
+///
+/// Supports Ethernet II -> IPv4 -> UDP/TCP. UDP datagrams map 1:1 to
+/// application messages; TCP segments are reassembled per flow in sequence
+/// order (enough for the captures ftclust generates: in-order, no loss) and
+/// then split into messages by a caller-provided framing function, e.g. the
+/// NetBIOS session service length prefix used by SMB.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pcap/pcap.hpp"
+
+namespace ftc::pcap {
+
+/// A MAC address.
+using mac_address = std::array<std::uint8_t, 6>;
+
+/// IPv4 address as a host-order integer; use dotted() for display.
+struct ipv4_address {
+    std::uint32_t value = 0;
+
+    auto operator<=>(const ipv4_address&) const = default;
+
+    /// Dotted-quad rendering, e.g. "192.168.1.17".
+    std::string dotted() const;
+};
+
+/// Make an address from four octets.
+constexpr ipv4_address make_ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) {
+    return ipv4_address{(static_cast<std::uint32_t>(a) << 24) |
+                        (static_cast<std::uint32_t>(b) << 16) |
+                        (static_cast<std::uint32_t>(c) << 8) | d};
+}
+
+/// Transport protocol of an extracted payload.
+enum class transport : std::uint8_t { udp = 17, tcp = 6 };
+
+/// Flow identity of an extracted application message.
+struct flow_key {
+    ipv4_address src_ip;
+    ipv4_address dst_ip;
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    transport proto = transport::udp;
+
+    auto operator<=>(const flow_key&) const = default;
+
+    /// The same flow seen from the other direction.
+    flow_key reversed() const { return {dst_ip, src_ip, dst_port, src_port, proto}; }
+};
+
+/// One application-layer message extracted from a capture.
+struct datagram {
+    flow_key flow;
+    std::uint32_t ts_sec = 0;
+    std::uint32_t ts_usec = 0;
+    byte_vector payload;
+};
+
+/// Parsed Ethernet II header.
+struct ethernet_header {
+    mac_address dst{};
+    mac_address src{};
+    std::uint16_t ethertype = 0;
+    static constexpr std::size_t size = 14;
+};
+
+/// Parsed IPv4 header (options are skipped, not interpreted).
+struct ipv4_header {
+    std::uint8_t header_length = 20;  ///< in bytes
+    std::uint8_t ttl = 0;
+    std::uint8_t protocol = 0;
+    std::uint16_t total_length = 0;
+    std::uint16_t identification = 0;
+    ipv4_address src;
+    ipv4_address dst;
+};
+
+/// Parsed UDP header.
+struct udp_header {
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    std::uint16_t length = 0;
+    static constexpr std::size_t size = 8;
+};
+
+/// Parsed TCP header.
+struct tcp_header {
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t ack = 0;
+    std::uint8_t data_offset = 20;  ///< in bytes
+    std::uint8_t flags = 0;
+};
+
+/// RFC 1071 Internet checksum over \p data (with virtual trailing zero pad
+/// for odd lengths).
+std::uint16_t internet_checksum(byte_view data);
+
+/// Parse headers at the given offsets; all throw ftc::parse_error on
+/// truncation or structural errors (e.g. IHL < 5).
+ethernet_header parse_ethernet(byte_view frame);
+ipv4_header parse_ipv4(byte_view packet_bytes, bool verify_checksum = true);
+udp_header parse_udp(byte_view segment);
+tcp_header parse_tcp(byte_view segment);
+
+/// Splits a reassembled TCP byte stream into application messages.
+/// Returns the length of the first complete message at the stream head, or
+/// nullopt if more bytes are needed.
+using stream_framer = std::function<std::optional<std::size_t>(byte_view stream)>;
+
+/// Framer for the NetBIOS session service (RFC 1002, used by SMB over TCP):
+/// a 4-byte header whose low 24 bits give the following message length; the
+/// returned message includes the 4-byte NBSS header.
+std::optional<std::size_t> nbss_framer(byte_view stream);
+
+/// TCP stream reassembly per flow. Segments beyond the expected sequence
+/// number are buffered until the gap closes; a segment that precedes the
+/// current buffer start (the stream head was reordered and no bytes have
+/// been consumed yet) is prepended when it is exactly adjacent;
+/// retransmissions of already-delivered data are dropped.
+class tcp_reassembler {
+public:
+    /// Feed one TCP segment's payload. Returns messages completed by it.
+    std::vector<byte_vector> feed(const flow_key& flow, std::uint32_t seq, byte_view payload,
+                                  const stream_framer& framer);
+
+private:
+    struct stream_state {
+        bool initialized = false;
+        bool consumed_any = false;   ///< bytes already framed away
+        std::uint32_t buffer_seq = 0;  ///< sequence number of buffer.front()
+        std::uint32_t next_seq = 0;    ///< sequence number after buffer.back()
+        byte_vector buffer;
+        std::map<std::uint32_t, byte_vector> out_of_order;
+    };
+
+    std::map<flow_key, stream_state> streams_;
+};
+
+/// Options for extract_datagrams.
+struct extract_options {
+    /// Verify IPv4 header checksums and drop packets failing the check.
+    bool verify_checksums = true;
+    /// Framer for TCP payload streams (default: NBSS framing).
+    stream_framer tcp_framer = nbss_framer;
+};
+
+/// Walk a capture and extract application messages: UDP payloads directly,
+/// TCP via reassembly + framing. Frames for linktype::user0 / raw captures
+/// are returned as messages with a zeroed flow key. Non-IPv4 ethertypes and
+/// unsupported IP protocols are skipped.
+std::vector<datagram> extract_datagrams(const capture& cap, const extract_options& options = {});
+
+}  // namespace ftc::pcap

@@ -1,0 +1,58 @@
+/// \file encap.hpp
+/// Encapsulation: wrap application messages into Ethernet/IPv4/UDP/TCP
+/// frames with valid lengths and checksums, producing captures that the
+/// decapsulation path (decap.hpp) — or any other pcap consumer — can read.
+#pragma once
+
+#include "pcap/decap.hpp"
+#include "pcap/pcap.hpp"
+
+namespace ftc::pcap {
+
+/// Build an Ethernet II + IPv4 + UDP frame around \p payload.
+/// The IPv4 header checksum is computed; identification/ttl are fixed,
+/// deterministic values.
+byte_vector build_udp_frame(const mac_address& src_mac, const mac_address& dst_mac,
+                            const flow_key& flow, byte_view payload,
+                            std::uint16_t ip_identification = 0);
+
+/// Build an Ethernet II + IPv4 + TCP frame (PSH|ACK) carrying \p payload at
+/// the given sequence number.
+byte_vector build_tcp_frame(const mac_address& src_mac, const mac_address& dst_mac,
+                            const flow_key& flow, std::uint32_t seq, byte_view payload,
+                            std::uint16_t ip_identification = 0);
+
+/// Prefix \p smb_message with a NetBIOS session service header (RFC 1002)
+/// as used by SMB over TCP.
+byte_vector wrap_nbss(byte_view smb_message);
+
+/// Helper that appends application messages to a capture, choosing the
+/// appropriate encapsulation per flow. UDP messages become single frames;
+/// TCP messages are NBSS-wrapped and sequenced per flow.
+class capture_builder {
+public:
+    /// Create a builder for the given link type. For linktype::user0 the
+    /// messages are stored without any headers.
+    explicit capture_builder(linktype link);
+
+    /// Append one message; timestamps advance by ~1 ms per message.
+    void add_message(const flow_key& flow, byte_view payload);
+
+    /// Append a raw (non-IP) message; only valid for linktype::user0.
+    void add_raw(byte_view payload);
+
+    /// Take the finished capture.
+    capture finish() &&;
+
+private:
+    capture cap_;
+    std::uint32_t ts_sec_ = 1300000000;  // deterministic base timestamp
+    std::uint32_t ts_usec_ = 0;
+    std::uint16_t next_ip_id_ = 1;
+    std::map<flow_key, std::uint32_t> tcp_seq_;
+
+    void advance_clock();
+    void push_packet(byte_vector frame);
+};
+
+}  // namespace ftc::pcap

@@ -1,0 +1,126 @@
+#include "pcap/pcap.hpp"
+
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace ftc::pcap {
+
+namespace {
+
+constexpr std::uint32_t kMagicUsec = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNsec = 0xa1b23c4d;
+constexpr std::uint32_t kMagicUsecSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNsecSwapped = 0x4d3cb2a1;
+constexpr std::uint16_t kVersionMajor = 2;
+constexpr std::uint16_t kVersionMinor = 4;
+constexpr std::size_t kGlobalHeaderSize = 24;
+constexpr std::size_t kRecordHeaderSize = 16;
+
+}  // namespace
+
+byte_vector to_pcap_bytes(const capture& cap) {
+    byte_vector out;
+    out.reserve(kGlobalHeaderSize + cap.packets.size() * kRecordHeaderSize);
+    put_u32_be(out, kMagicUsec);
+    put_u16_be(out, kVersionMajor);
+    put_u16_be(out, kVersionMinor);
+    put_u32_be(out, 0);  // thiszone
+    put_u32_be(out, 0);  // sigfigs
+    put_u32_be(out, cap.snaplen);
+    put_u32_be(out, static_cast<std::uint32_t>(cap.link));
+    for (const packet& p : cap.packets) {
+        put_u32_be(out, p.ts_sec);
+        put_u32_be(out, p.ts_usec);
+        put_u32_be(out, static_cast<std::uint32_t>(p.data.size()));  // incl_len
+        put_u32_be(out, static_cast<std::uint32_t>(p.data.size()));  // orig_len
+        put_bytes(out, p.data);
+    }
+    return out;
+}
+
+capture from_pcap_bytes(byte_view bytes) {
+    if (bytes.size() < kGlobalHeaderSize) {
+        throw parse_error(message("pcap: file too short (", bytes.size(), " bytes)"));
+    }
+    // The magic is written in the producer's byte order; try big-endian
+    // first, then the byte-swapped variants.
+    const std::uint32_t magic_be = get_u32_be(bytes, 0);
+    bool little_endian = false;
+    switch (magic_be) {
+        case kMagicUsec:
+        case kMagicNsec:
+            little_endian = false;
+            break;
+        case kMagicUsecSwapped:
+        case kMagicNsecSwapped:
+            little_endian = true;
+            break;
+        default:
+            throw parse_error(message("pcap: bad magic 0x", std::hex, magic_be));
+    }
+    auto u16 = [&](std::size_t off) {
+        return little_endian ? get_u16_le(bytes, off) : get_u16_be(bytes, off);
+    };
+    auto u32 = [&](std::size_t off) {
+        return little_endian ? get_u32_le(bytes, off) : get_u32_be(bytes, off);
+    };
+
+    const std::uint16_t major = u16(4);
+    if (major != kVersionMajor) {
+        throw parse_error(message("pcap: unsupported version ", major));
+    }
+    capture cap;
+    cap.snaplen = u32(16);
+    cap.link = static_cast<linktype>(u32(20));
+
+    std::size_t offset = kGlobalHeaderSize;
+    while (offset < bytes.size()) {
+        if (offset + kRecordHeaderSize > bytes.size()) {
+            throw parse_error("pcap: truncated record header");
+        }
+        packet p;
+        p.ts_sec = u32(offset);
+        p.ts_usec = u32(offset + 4);
+        const std::uint32_t incl_len = u32(offset + 8);
+        offset += kRecordHeaderSize;
+        if (offset + incl_len > bytes.size()) {
+            throw parse_error("pcap: truncated packet data");
+        }
+        const byte_view body = bytes.subspan(offset, incl_len);
+        p.data.assign(body.begin(), body.end());
+        offset += incl_len;
+        cap.packets.push_back(std::move(p));
+    }
+    return cap;
+}
+
+void write_file(const std::filesystem::path& path, const capture& cap) {
+    const byte_vector bytes = to_pcap_bytes(cap);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        throw error(message("pcap: cannot open for writing: ", path.string()));
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+        throw error(message("pcap: write failed: ", path.string()));
+    }
+}
+
+capture read_file(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+        throw error(message("pcap: cannot open for reading: ", path.string()));
+    }
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    byte_vector bytes(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+    if (!in) {
+        throw error(message("pcap: read failed: ", path.string()));
+    }
+    return from_pcap_bytes(bytes);
+}
+
+}  // namespace ftc::pcap

@@ -1,0 +1,56 @@
+/// \file pcap.hpp
+/// Reader/writer for the classic libpcap capture file format.
+///
+/// The evaluation traces travel through real capture files: the protocol
+/// generators write pcap files, and the analysis pipeline reads them back,
+/// exercising the same ingestion path an analyst would use with recorded
+/// traffic. Both file byte orders (magic 0xa1b2c3d4 / 0xd4c3b2a1) and
+/// microsecond as well as nanosecond (0xa1b23c4d) timestamp variants are
+/// supported for reading; writing always uses native big-endian microsecond
+/// format for determinism.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "util/byteio.hpp"
+
+namespace ftc::pcap {
+
+/// Subset of IANA linktype registry values used by ftclust.
+enum class linktype : std::uint32_t {
+    ethernet = 1,    ///< LINKTYPE_ETHERNET
+    raw_ip = 101,    ///< LINKTYPE_RAW (starts with the IPv4/IPv6 header)
+    ieee802_11 = 105,///< LINKTYPE_IEEE802_11
+    user0 = 147,     ///< LINKTYPE_USER0: ftclust uses it for non-IP payloads
+};
+
+/// One captured packet.
+struct packet {
+    std::uint32_t ts_sec = 0;   ///< seconds since epoch
+    std::uint32_t ts_usec = 0;  ///< microseconds (or ns for ns-format files)
+    byte_vector data;           ///< captured bytes (we never truncate)
+};
+
+/// An in-memory capture: a link type plus packet records.
+struct capture {
+    linktype link = linktype::ethernet;
+    std::uint32_t snaplen = 262144;
+    std::vector<packet> packets;
+};
+
+/// Serialize a capture into pcap file bytes (big-endian, microsecond magic).
+byte_vector to_pcap_bytes(const capture& cap);
+
+/// Parse pcap file bytes. Throws ftc::parse_error on malformed input
+/// (bad magic, truncated header or record).
+capture from_pcap_bytes(byte_view bytes);
+
+/// Write a capture to disk. Throws ftc::error on I/O failure.
+void write_file(const std::filesystem::path& path, const capture& cap);
+
+/// Read a capture from disk. Throws ftc::error / ftc::parse_error.
+capture read_file(const std::filesystem::path& path);
+
+}  // namespace ftc::pcap

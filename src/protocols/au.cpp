@@ -1,0 +1,94 @@
+#include "protocols/au.hpp"
+
+#include "protocols/builder.hpp"
+#include "util/check.hpp"
+
+namespace ftc::protocols {
+
+namespace {
+
+constexpr std::uint16_t kMagic = 0x4155;  // "AU"
+
+enum : std::uint8_t {
+    kRangingRequest = 0x01,
+    kRangingResponse = 0x02,
+    kRangingResult = 0x03,
+};
+
+}  // namespace
+
+au_generator::au_generator(std::uint64_t seed) : rand_(seed) {}
+
+annotated_message au_generator::next() {
+    message_builder b;
+
+    if (phase_ == 0) {
+        session_id_ = static_cast<std::uint32_t>(rand_());
+        ++counter_;
+        // Two plausible unlock distances: at-the-door vs across-the-room.
+        range_base_ = rand_.chance(0.7) ? 0x00012000 : 0x00033000;
+    }
+    const std::uint8_t msg_type = phase_ == 0   ? kRangingRequest
+                                  : phase_ == 1 ? kRangingResponse
+                                                : kRangingResult;
+
+    b.u16be(field_type::id, "magic", kMagic);
+    b.u8(field_type::enumeration, "version", 0x02);
+    b.u8(field_type::enumeration, "msg_type", msg_type);
+    b.u32be(field_type::id, "session_id", session_id_);
+    b.u32be(field_type::unsigned_int, "counter", counter_);
+    b.raw(field_type::nonce, "nonce", rand_.bytes(8));
+
+    if (msg_type == kRangingResult) {
+        // Array of 32-bit ranging measurements: high bytes near-constant
+        // within a session, low bytes noisy (paper Sec. IV-C).
+        const std::size_t count = rand_.uniform(8, 16);
+        b.u8(field_type::length, "measurement_count", static_cast<std::uint8_t>(count));
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::uint32_t noise = static_cast<std::uint32_t>(rand_.uniform(0, 0x7ff));
+            const std::uint32_t value = range_base_ + noise - 0x400;
+            b.u32be(field_type::measurement, "measurement", value);
+        }
+    }
+
+    b.raw(field_type::signature, "auth_tag", rand_.bytes(16));
+
+    annotated_message msg = std::move(b).finish({}, phase_ == 0);
+    phase_ = (phase_ + 1) % 3;
+    return msg;
+}
+
+std::vector<field_annotation> dissect_au(byte_view payload) {
+    if (payload.size() < 36) {
+        throw parse_error("au: message shorter than minimum layout");
+    }
+    if (get_u16_be(payload, 0) != kMagic) {
+        throw parse_error("au: bad magic");
+    }
+    const std::uint8_t msg_type = payload[3];
+    std::vector<field_annotation> fields;
+    fields.push_back({0, 2, field_type::id, "magic"});
+    fields.push_back({2, 1, field_type::enumeration, "version"});
+    fields.push_back({3, 1, field_type::enumeration, "msg_type"});
+    fields.push_back({4, 4, field_type::id, "session_id"});
+    fields.push_back({8, 4, field_type::unsigned_int, "counter"});
+    fields.push_back({12, 8, field_type::nonce, "nonce"});
+
+    std::size_t cursor = 20;
+    if (msg_type == kRangingResult) {
+        const std::uint8_t count = get_u8(payload, cursor);
+        fields.push_back({cursor, 1, field_type::length, "measurement_count"});
+        ++cursor;
+        for (std::uint8_t i = 0; i < count; ++i) {
+            fields.push_back({cursor, 4, field_type::measurement, "measurement"});
+            cursor += 4;
+        }
+    }
+    if (cursor + 16 != payload.size()) {
+        throw parse_error("au: inconsistent message length");
+    }
+    fields.push_back({cursor, 16, field_type::signature, "auth_tag"});
+    return fields;
+}
+
+}  // namespace ftc::protocols

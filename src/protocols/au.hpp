@@ -1,0 +1,38 @@
+/// \file au.hpp
+/// Auto Unlock (AU)-style distance-bounding workload generator & dissector.
+///
+/// Apple's Auto Unlock protocol is proprietary and its traces/dissector are
+/// private; the paper describes it as a distance-bounding protocol whose
+/// messages carry "long sequences of 32-bit integers, representing
+/// measurement results, [that] look static in some instances and random in
+/// others" (Sec. IV-C). This module implements a synthetic protocol with
+/// exactly that property: ranging-measurement arrays whose high bytes are
+/// near-constant per session while the low bytes fluctuate, plus nonces and
+/// a 16-byte authentication tag. The substitution is documented in
+/// DESIGN.md Sec. 1.
+#pragma once
+
+#include "protocols/field.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::protocols {
+
+/// Generates AU ranging request / response / result messages.
+class au_generator {
+public:
+    explicit au_generator(std::uint64_t seed);
+
+    annotated_message next();
+
+private:
+    rng rand_;
+    int phase_ = 0;  ///< 0=request, 1=response, 2=result
+    std::uint32_t session_id_ = 0;
+    std::uint32_t counter_ = 0;
+    std::uint32_t range_base_ = 0;  ///< per-session ranging baseline
+};
+
+/// Dissect an AU message into ground-truth fields.
+std::vector<field_annotation> dissect_au(byte_view payload);
+
+}  // namespace ftc::protocols

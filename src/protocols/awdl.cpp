@@ -1,0 +1,203 @@
+#include "protocols/awdl.hpp"
+
+#include "protocols/builder.hpp"
+#include "protocols/names.hpp"
+#include "util/check.hpp"
+
+namespace ftc::protocols {
+
+namespace {
+
+enum : std::uint8_t {
+    kTlvSyncParams = 0x02,
+    kTlvElectionParams = 0x04,
+    kTlvServiceParams = 0x10,
+    kTlvChannelSequence = 0x12,
+    kTlvHostname = 0x14,
+    kTlvVersion = 0x15,
+};
+
+constexpr std::uint8_t kCategoryVendor = 0x7f;
+constexpr std::uint8_t kTypeAwdl = 0x08;
+
+void put_tlv_header(message_builder& b, std::uint8_t type, std::uint16_t length) {
+    b.u8(field_type::enumeration, "tlv_type", type);
+    b.u16le(field_type::length, "tlv_length", length);
+}
+
+pcap::mac_address peer_mac(rng& rand) {
+    // 24 deterministic Apple-style peers, Zipf-skewed.
+    const auto idx = static_cast<std::uint8_t>(rand.zipf_index(24));
+    return pcap::mac_address{0x3c, 0x22, 0xfb, 0x00, 0x10, idx};
+}
+
+}  // namespace
+
+awdl_generator::awdl_generator(std::uint64_t seed) : rand_(seed) {}
+
+annotated_message awdl_generator::next() {
+    message_builder b;
+    const bool master_indication = rand_.chance(0.45);
+    clock_ += static_cast<std::uint32_t>(rand_.uniform(0x100, 0x4000));
+
+    // Fixed action-frame header.
+    b.u8(field_type::enumeration, "category", kCategoryVendor);
+    b.begin(field_type::id, "oui");
+    put_u8(b.bytes(), 0x00);
+    put_u8(b.bytes(), 0x17);
+    put_u8(b.bytes(), 0xf2);
+    b.end();
+    b.u8(field_type::enumeration, "af_type", kTypeAwdl);
+    b.u8(field_type::enumeration, "version", 0x10);
+    b.u8(field_type::enumeration, "subtype", master_indication ? 0x03 : 0x00);
+    b.u8(field_type::padding, "af_reserved", 0);
+    b.u32le(field_type::timestamp, "phy_tx_time", clock_);
+    b.u32le(field_type::timestamp, "target_tx_time",
+            clock_ + static_cast<std::uint32_t>(rand_.uniform(0x10, 0x200)));
+
+    // Sync parameters TLV (simplified layout: 16 bytes).
+    {
+        put_tlv_header(b, kTlvSyncParams, 16);
+        const pcap::mac_address master = peer_mac(rand_);
+        b.raw(field_type::mac_addr, "master_addr", byte_view{master.data(), master.size()});
+        b.u16le(field_type::unsigned_int, "aw_seq_number",
+                static_cast<std::uint16_t>(clock_ >> 6));
+        b.u16le(field_type::unsigned_int, "aw_period", 16);
+        b.u8(field_type::enumeration, "master_channel", rand_.chance(0.7) ? 6 : 44);
+        b.u8(field_type::unsigned_int, "guard_time", 0);
+        b.u16le(field_type::flags, "sync_flags", 0x1800);
+        b.u16le(field_type::unsigned_int, "ext_count",
+                static_cast<std::uint16_t>(rand_.uniform(4, 12)));
+    }
+
+    // Election parameters TLV (18 bytes).
+    {
+        put_tlv_header(b, kTlvElectionParams, 18);
+        b.u8(field_type::flags, "election_flags", 0x00);
+        b.u16le(field_type::id, "election_id", 0);
+        b.u8(field_type::unsigned_int, "distance_to_master",
+             static_cast<std::uint8_t>(rand_.uniform(0, 2)));
+        const pcap::mac_address master = peer_mac(rand_);
+        b.raw(field_type::mac_addr, "master_address", byte_view{master.data(), master.size()});
+        b.u32le(field_type::unsigned_int, "master_metric",
+                static_cast<std::uint32_t>(rand_.uniform(0x100, 0x3ff)));
+        b.u32le(field_type::unsigned_int, "self_metric",
+                static_cast<std::uint32_t>(rand_.uniform(0x60, 0x2ff)));
+    }
+
+    // Channel sequence TLV (1 count byte + 2 bytes per channel).
+    {
+        const std::size_t channels = 8;
+        put_tlv_header(b, kTlvChannelSequence, static_cast<std::uint16_t>(1 + 2 * channels));
+        b.u8(field_type::length, "chanseq_count", static_cast<std::uint8_t>(channels));
+        b.begin(field_type::bytes, "chanseq");
+        for (std::size_t i = 0; i < channels; ++i) {
+            const bool social = i % 4 == 0 || rand_.chance(0.3);
+            put_u8(b.bytes(), social ? 6 : 44);    // channel number
+            put_u8(b.bytes(), social ? 0x51 : 0x80);  // flags
+        }
+        b.end();
+    }
+
+    if (master_indication) {
+        // Service parameters TLV (opaque bitmap, 10 bytes).
+        put_tlv_header(b, kTlvServiceParams, 10);
+        b.begin(field_type::bytes, "service_bitmap");
+        put_u16_le(b.bytes(), static_cast<std::uint16_t>(rand_.uniform(0, 0x0fff)));
+        put_fill(b.bytes(), 6, 0);
+        put_u16_le(b.bytes(), static_cast<std::uint16_t>(rand_.uniform(0, 0x00ff)));
+        b.end();
+
+        // Hostname TLV.
+        std::string host = random_hostname(rand_);
+        put_tlv_header(b, kTlvHostname, static_cast<std::uint16_t>(2 + host.size()));
+        b.u16le(field_type::flags, "hostname_flags", 0x0001);
+        b.chars(field_type::chars, "hostname", host);
+    }
+
+    // Version TLV (2 bytes).
+    put_tlv_header(b, kTlvVersion, 2);
+    b.u8(field_type::enumeration, "device_class", rand_.chance(0.6) ? 0x01 : 0x02);
+    b.u8(field_type::enumeration, "awdl_version", 0x40);
+
+    return std::move(b).finish({}, /*is_request=*/true);
+}
+
+std::vector<field_annotation> dissect_awdl(byte_view payload) {
+    if (payload.size() < 16) {
+        throw parse_error("awdl: frame shorter than action header");
+    }
+    if (payload[0] != kCategoryVendor || payload[4] != kTypeAwdl) {
+        throw parse_error("awdl: not an AWDL action frame");
+    }
+    std::vector<field_annotation> fields;
+    fields.push_back({0, 1, field_type::enumeration, "category"});
+    fields.push_back({1, 3, field_type::id, "oui"});
+    fields.push_back({4, 1, field_type::enumeration, "af_type"});
+    fields.push_back({5, 1, field_type::enumeration, "version"});
+    fields.push_back({6, 1, field_type::enumeration, "subtype"});
+    fields.push_back({7, 1, field_type::padding, "af_reserved"});
+    fields.push_back({8, 4, field_type::timestamp, "phy_tx_time"});
+    fields.push_back({12, 4, field_type::timestamp, "target_tx_time"});
+
+    std::size_t cursor = 16;
+    while (cursor < payload.size()) {
+        const std::uint8_t type = get_u8(payload, cursor);
+        const std::uint16_t length = get_u16_le(payload, cursor + 1);
+        fields.push_back({cursor, 1, field_type::enumeration, "tlv_type"});
+        fields.push_back({cursor + 1, 2, field_type::length, "tlv_length"});
+        cursor += 3;
+        if (cursor + length > payload.size()) {
+            throw parse_error("awdl: TLV value runs past end of frame");
+        }
+        switch (type) {
+            case kTlvSyncParams:
+                if (length != 16) {
+                    throw parse_error("awdl: unexpected sync params length");
+                }
+                fields.push_back({cursor, 6, field_type::mac_addr, "master_addr"});
+                fields.push_back({cursor + 6, 2, field_type::unsigned_int, "aw_seq_number"});
+                fields.push_back({cursor + 8, 2, field_type::unsigned_int, "aw_period"});
+                fields.push_back({cursor + 10, 1, field_type::enumeration, "master_channel"});
+                fields.push_back({cursor + 11, 1, field_type::unsigned_int, "guard_time"});
+                fields.push_back({cursor + 12, 2, field_type::flags, "sync_flags"});
+                fields.push_back({cursor + 14, 2, field_type::unsigned_int, "ext_count"});
+                break;
+            case kTlvElectionParams:
+                if (length != 18) {
+                    throw parse_error("awdl: unexpected election params length");
+                }
+                fields.push_back({cursor, 1, field_type::flags, "election_flags"});
+                fields.push_back({cursor + 1, 2, field_type::id, "election_id"});
+                fields.push_back({cursor + 3, 1, field_type::unsigned_int, "distance_to_master"});
+                fields.push_back({cursor + 4, 6, field_type::mac_addr, "master_address"});
+                fields.push_back({cursor + 10, 4, field_type::unsigned_int, "master_metric"});
+                fields.push_back({cursor + 14, 4, field_type::unsigned_int, "self_metric"});
+                break;
+            case kTlvChannelSequence:
+                fields.push_back({cursor, 1, field_type::length, "chanseq_count"});
+                fields.push_back({cursor + 1, static_cast<std::size_t>(length) - 1,
+                                  field_type::bytes, "chanseq"});
+                break;
+            case kTlvServiceParams:
+                fields.push_back({cursor, length, field_type::bytes, "service_bitmap"});
+                break;
+            case kTlvHostname:
+                fields.push_back({cursor, 2, field_type::flags, "hostname_flags"});
+                fields.push_back({cursor + 2, static_cast<std::size_t>(length) - 2,
+                                  field_type::chars, "hostname"});
+                break;
+            case kTlvVersion:
+                fields.push_back({cursor, 1, field_type::enumeration, "device_class"});
+                fields.push_back({cursor + 1, 1, field_type::enumeration, "awdl_version"});
+                break;
+            default:
+                fields.push_back({cursor, length, field_type::bytes, "tlv_value"});
+                break;
+        }
+        cursor += length;
+    }
+    return fields;
+}
+
+}  // namespace ftc::protocols

@@ -1,0 +1,33 @@
+/// \file awdl.hpp
+/// AWDL-style (Apple Wireless Direct Link) workload generator and dissector.
+///
+/// AWDL is a Wi-Fi link-layer protocol without IP encapsulation; its action
+/// frames carry a fixed header followed by a type-length-value (TLV) record
+/// sequence (Stute et al., MobiCom 2018). The TLV repetition is what makes
+/// alignment-based segmentation (Netzob) shine on AWDL in the paper's
+/// Table II, and the missing IP context is what defeats FieldHunter.
+/// The generator emits Periodic/Master Indication style frames with sync,
+/// election, channel-sequence, service and hostname TLVs.
+#pragma once
+
+#include "protocols/field.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::protocols {
+
+/// Generates AWDL action frames from a small population of peers.
+class awdl_generator {
+public:
+    explicit awdl_generator(std::uint64_t seed);
+
+    annotated_message next();
+
+private:
+    rng rand_;
+    std::uint32_t clock_ = 0x10000;  ///< advancing PHY timestamp base
+};
+
+/// Dissect an AWDL action frame into ground-truth fields.
+std::vector<field_annotation> dissect_awdl(byte_view payload);
+
+}  // namespace ftc::protocols

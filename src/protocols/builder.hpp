@@ -1,0 +1,118 @@
+/// \file builder.hpp
+/// Fluent builder that appends wire bytes and records the matching
+/// ground-truth field annotation in one step, keeping generated messages and
+/// their annotations structurally consistent by construction.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "protocols/field.hpp"
+#include "util/byteio.hpp"
+
+namespace ftc::protocols {
+
+/// Builds an annotated_message field by field.
+class message_builder {
+public:
+    /// Append a single byte field.
+    void u8(field_type type, std::string name, std::uint8_t value) {
+        begin(type, std::move(name));
+        put_u8(msg_.bytes, value);
+        end();
+    }
+
+    /// Append a big-endian 16-bit field.
+    void u16be(field_type type, std::string name, std::uint16_t value) {
+        begin(type, std::move(name));
+        put_u16_be(msg_.bytes, value);
+        end();
+    }
+
+    /// Append a little-endian 16-bit field.
+    void u16le(field_type type, std::string name, std::uint16_t value) {
+        begin(type, std::move(name));
+        put_u16_le(msg_.bytes, value);
+        end();
+    }
+
+    /// Append a big-endian 32-bit field.
+    void u32be(field_type type, std::string name, std::uint32_t value) {
+        begin(type, std::move(name));
+        put_u32_be(msg_.bytes, value);
+        end();
+    }
+
+    /// Append a little-endian 32-bit field.
+    void u32le(field_type type, std::string name, std::uint32_t value) {
+        begin(type, std::move(name));
+        put_u32_le(msg_.bytes, value);
+        end();
+    }
+
+    /// Append a big-endian 64-bit field.
+    void u64be(field_type type, std::string name, std::uint64_t value) {
+        begin(type, std::move(name));
+        put_u64_be(msg_.bytes, value);
+        end();
+    }
+
+    /// Append a little-endian 64-bit field.
+    void u64le(field_type type, std::string name, std::uint64_t value) {
+        begin(type, std::move(name));
+        put_u64_le(msg_.bytes, value);
+        end();
+    }
+
+    /// Append raw bytes as one field.
+    void raw(field_type type, std::string name, byte_view data) {
+        begin(type, std::move(name));
+        put_bytes(msg_.bytes, data);
+        end();
+    }
+
+    /// Append printable characters as one field.
+    void chars(field_type type, std::string name, std::string_view text) {
+        begin(type, std::move(name));
+        put_chars(msg_.bytes, text);
+        end();
+    }
+
+    /// Append \p count filler bytes as one field.
+    void fill(field_type type, std::string name, std::size_t count, std::uint8_t value = 0) {
+        begin(type, std::move(name));
+        put_fill(msg_.bytes, count, value);
+        end();
+    }
+
+    /// Start a multi-part field written via bytes(); finish with end().
+    void begin(field_type type, std::string name) {
+        pending_ = field_annotation{msg_.bytes.size(), 0, type, std::move(name)};
+    }
+
+    /// Close the field opened by begin().
+    void end() {
+        pending_.length = msg_.bytes.size() - pending_.offset;
+        msg_.fields.push_back(pending_);
+    }
+
+    /// Direct access to the byte buffer for begin()/end() composition.
+    byte_vector& bytes() { return msg_.bytes; }
+
+    /// Current message size in bytes.
+    std::size_t size() const { return msg_.bytes.size(); }
+
+    /// Finish the message; validates the annotation invariant.
+    annotated_message finish(pcap::flow_key flow = {}, bool is_request = true) && {
+        msg_.flow = flow;
+        msg_.is_request = is_request;
+        validate_annotations(msg_);
+        return std::move(msg_);
+    }
+
+private:
+    annotated_message msg_;
+    field_annotation pending_;
+};
+
+}  // namespace ftc::protocols

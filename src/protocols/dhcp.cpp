@@ -1,0 +1,222 @@
+#include "protocols/dhcp.hpp"
+
+#include "protocols/builder.hpp"
+#include "protocols/names.hpp"
+#include "util/check.hpp"
+
+namespace ftc::protocols {
+
+namespace {
+
+constexpr std::uint32_t kMagicCookie = 0x63825363;
+constexpr std::uint16_t kServerPort = 67;
+constexpr std::uint16_t kClientPort = 68;
+
+enum : std::uint8_t {
+    kOptSubnetMask = 1,
+    kOptRouter = 3,
+    kOptDns = 6,
+    kOptHostname = 12,
+    kOptRequestedIp = 50,
+    kOptLeaseTime = 51,
+    kOptMessageType = 53,
+    kOptServerId = 54,
+    kOptParamList = 55,
+    kOptClientId = 61,
+    kOptEnd = 255,
+};
+
+enum : std::uint8_t {
+    kDiscover = 1,
+    kOffer = 2,
+    kRequest = 3,
+    kAck = 5,
+};
+
+void put_option_header(message_builder& b, std::uint8_t tag, std::uint8_t length,
+                       const char* tag_name) {
+    b.u8(field_type::enumeration, tag_name, tag);
+    b.u8(field_type::length, "opt_len", length);
+}
+
+}  // namespace
+
+dhcp_generator::dhcp_generator(std::uint64_t seed) : rand_(seed) {}
+
+annotated_message dhcp_generator::next() {
+    if (phase_ == 0) {
+        // New lease transaction.
+        xid_ = static_cast<std::uint32_t>(rand_());
+        client_mac_ = random_client_mac(rand_);
+        offered_ip_ = random_lan_ip(rand_);
+        server_ip_ = pcap::make_ipv4(10, 17, 0, 1);
+        hostname_ = random_hostname(rand_);
+        secs_ = static_cast<std::uint16_t>(rand_.uniform(0, 8));
+    }
+
+    const bool from_client = phase_ == 0 || phase_ == 2;
+    const std::uint8_t msg_type = phase_ == 0   ? kDiscover
+                                  : phase_ == 1 ? kOffer
+                                  : phase_ == 2 ? kRequest
+                                                : kAck;
+
+    message_builder b;
+    b.u8(field_type::enumeration, "op", from_client ? 1 : 2);
+    b.u8(field_type::enumeration, "htype", 1);
+    b.u8(field_type::length, "hlen", 6);
+    b.u8(field_type::unsigned_int, "hops", 0);
+    b.u32be(field_type::id, "xid", xid_);
+    b.u16be(field_type::unsigned_int, "secs", from_client ? secs_ : 0);
+    b.u16be(field_type::flags, "bootp_flags", rand_.chance(0.2) ? 0x8000 : 0x0000);
+    b.u32be(field_type::ipv4_addr, "ciaddr",
+            (phase_ == 2 && rand_.chance(0.3)) ? offered_ip_.value : 0);
+    b.u32be(field_type::ipv4_addr, "yiaddr", from_client ? 0 : offered_ip_.value);
+    b.u32be(field_type::ipv4_addr, "siaddr", from_client ? 0 : server_ip_.value);
+    b.u32be(field_type::ipv4_addr, "giaddr", 0);
+    b.raw(field_type::mac_addr, "chaddr_mac",
+          byte_view{client_mac_.data(), client_mac_.size()});
+    b.fill(field_type::padding, "chaddr_pad", 10);
+    b.fill(field_type::padding, "sname", 64);
+    b.fill(field_type::padding, "file", 128);
+    b.u32be(field_type::enumeration, "magic_cookie", kMagicCookie);
+
+    // Options section.
+    put_option_header(b, kOptMessageType, 1, "opt53_tag");
+    b.u8(field_type::enumeration, "dhcp_msg_type", msg_type);
+
+    put_option_header(b, kOptClientId, 7, "opt61_tag");
+    b.u8(field_type::enumeration, "client_id_hwtype", 1);
+    b.raw(field_type::mac_addr, "client_id_mac",
+          byte_view{client_mac_.data(), client_mac_.size()});
+
+    if (from_client) {
+        if (phase_ == 2 || rand_.chance(0.5)) {
+            put_option_header(b, kOptRequestedIp, 4, "opt50_tag");
+            b.u32be(field_type::ipv4_addr, "requested_ip", offered_ip_.value);
+        }
+        put_option_header(b, kOptHostname, static_cast<std::uint8_t>(hostname_.size()),
+                          "opt12_tag");
+        b.chars(field_type::chars, "hostname", hostname_);
+        // Parameter request list: 4-7 well-known tags.
+        const std::size_t param_count = rand_.small_count(4, 7, 0.6);
+        static constexpr std::uint8_t kParams[] = {1, 3, 6, 12, 15, 28, 42};
+        put_option_header(b, kOptParamList, static_cast<std::uint8_t>(param_count), "opt55_tag");
+        b.begin(field_type::bytes, "param_list");
+        for (std::size_t i = 0; i < param_count; ++i) {
+            put_u8(b.bytes(), kParams[i]);
+        }
+        b.end();
+        if (phase_ == 2) {
+            put_option_header(b, kOptServerId, 4, "opt54_tag");
+            b.u32be(field_type::ipv4_addr, "server_id", server_ip_.value);
+        }
+    } else {
+        put_option_header(b, kOptServerId, 4, "opt54_tag");
+        b.u32be(field_type::ipv4_addr, "server_id", server_ip_.value);
+        static constexpr std::uint32_t kLeases[] = {600, 3600, 7200, 86400};
+        put_option_header(b, kOptLeaseTime, 4, "opt51_tag");
+        b.u32be(field_type::unsigned_int, "lease_time", kLeases[rand_.uniform(0, 3)]);
+        put_option_header(b, kOptSubnetMask, 4, "opt1_tag");
+        b.u32be(field_type::ipv4_addr, "subnet_mask", 0xffffff00);
+        put_option_header(b, kOptRouter, 4, "opt3_tag");
+        b.u32be(field_type::ipv4_addr, "router", server_ip_.value);
+        put_option_header(b, kOptDns, 4, "opt6_tag");
+        b.u32be(field_type::ipv4_addr, "dns_server",
+                pcap::make_ipv4(10, 17, 0, 2).value);
+    }
+    b.u8(field_type::enumeration, "opt_end", kOptEnd);
+
+    const pcap::flow_key flow =
+        from_client
+            ? pcap::flow_key{pcap::make_ipv4(0, 0, 0, 0), pcap::make_ipv4(255, 255, 255, 255),
+                             kClientPort, kServerPort, pcap::transport::udp}
+            : pcap::flow_key{server_ip_, offered_ip_, kServerPort, kClientPort,
+                             pcap::transport::udp};
+
+    annotated_message msg = std::move(b).finish(flow, from_client);
+    phase_ = (phase_ + 1) % 4;
+    return msg;
+}
+
+std::vector<field_annotation> dissect_dhcp(byte_view payload) {
+    if (payload.size() < 241) {
+        throw parse_error("dhcp: message shorter than BOOTP fixed part + magic");
+    }
+    if (get_u32_be(payload, 236) != kMagicCookie) {
+        throw parse_error("dhcp: missing magic cookie");
+    }
+    std::vector<field_annotation> fields;
+    fields.push_back({0, 1, field_type::enumeration, "op"});
+    fields.push_back({1, 1, field_type::enumeration, "htype"});
+    fields.push_back({2, 1, field_type::length, "hlen"});
+    fields.push_back({3, 1, field_type::unsigned_int, "hops"});
+    fields.push_back({4, 4, field_type::id, "xid"});
+    fields.push_back({8, 2, field_type::unsigned_int, "secs"});
+    fields.push_back({10, 2, field_type::flags, "bootp_flags"});
+    fields.push_back({12, 4, field_type::ipv4_addr, "ciaddr"});
+    fields.push_back({16, 4, field_type::ipv4_addr, "yiaddr"});
+    fields.push_back({20, 4, field_type::ipv4_addr, "siaddr"});
+    fields.push_back({24, 4, field_type::ipv4_addr, "giaddr"});
+    fields.push_back({28, 6, field_type::mac_addr, "chaddr_mac"});
+    fields.push_back({34, 10, field_type::padding, "chaddr_pad"});
+    fields.push_back({44, 64, field_type::padding, "sname"});
+    fields.push_back({108, 128, field_type::padding, "file"});
+    fields.push_back({236, 4, field_type::enumeration, "magic_cookie"});
+
+    std::size_t cursor = 240;
+    while (cursor < payload.size()) {
+        const std::uint8_t tag = payload[cursor];
+        if (tag == kOptEnd) {
+            fields.push_back({cursor, 1, field_type::enumeration, "opt_end"});
+            ++cursor;
+            break;
+        }
+        if (tag == 0) {  // pad option
+            fields.push_back({cursor, 1, field_type::padding, "opt_pad"});
+            ++cursor;
+            continue;
+        }
+        const std::uint8_t len = get_u8(payload, cursor + 1);
+        if (cursor + 2 + len > payload.size()) {
+            throw parse_error("dhcp: option value runs past end of message");
+        }
+        fields.push_back({cursor, 1, field_type::enumeration, "opt_tag"});
+        fields.push_back({cursor + 1, 1, field_type::length, "opt_len"});
+        const std::size_t value_at = cursor + 2;
+        switch (tag) {
+            case kOptMessageType:
+                fields.push_back({value_at, len, field_type::enumeration, "dhcp_msg_type"});
+                break;
+            case kOptRequestedIp:
+            case kOptServerId:
+            case kOptSubnetMask:
+            case kOptRouter:
+            case kOptDns:
+                fields.push_back({value_at, len, field_type::ipv4_addr, "opt_addr"});
+                break;
+            case kOptLeaseTime:
+                fields.push_back({value_at, len, field_type::unsigned_int, "lease_time"});
+                break;
+            case kOptHostname:
+                fields.push_back({value_at, len, field_type::chars, "hostname"});
+                break;
+            case kOptClientId:
+                fields.push_back({value_at, 1, field_type::enumeration, "client_id_hwtype"});
+                if (len > 1) {
+                    fields.push_back({value_at + 1, static_cast<std::size_t>(len) - 1,
+                                      field_type::mac_addr, "client_id_mac"});
+                }
+                break;
+            default:
+                fields.push_back({value_at, len, field_type::bytes, "opt_value"});
+                break;
+        }
+        cursor = value_at + len;
+    }
+    if (cursor != payload.size()) {
+        throw parse_error("dhcp: trailing bytes after end option");
+    }
+    return fields;
+}
+
+}  // namespace ftc::protocols

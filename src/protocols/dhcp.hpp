@@ -1,0 +1,38 @@
+/// \file dhcp.hpp
+/// DHCP (RFC 2131) workload generator and ground-truth dissector.
+///
+/// DHCP is the paper's "complex message format" example: a 236-byte BOOTP
+/// fixed part (addresses, large zero-padded name/file areas) followed by a
+/// variable type-length-value options section mixing enums, addresses,
+/// durations and host names. Complex formats need large traces for good
+/// recall (paper Sec. IV-B) — the generator reproduces that by spreading
+/// value variability across a DISCOVER/OFFER/REQUEST/ACK state machine.
+#pragma once
+
+#include "protocols/field.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::protocols {
+
+/// Generates full DORA (Discover-Offer-Request-Ack) exchanges.
+class dhcp_generator {
+public:
+    explicit dhcp_generator(std::uint64_t seed);
+
+    annotated_message next();
+
+private:
+    rng rand_;
+    int phase_ = 0;  ///< 0=DISCOVER, 1=OFFER, 2=REQUEST, 3=ACK
+    std::uint32_t xid_ = 0;
+    pcap::mac_address client_mac_{};
+    pcap::ipv4_address offered_ip_;
+    pcap::ipv4_address server_ip_;
+    std::string hostname_;
+    std::uint16_t secs_ = 0;
+};
+
+/// Dissect a DHCP message into ground-truth fields.
+std::vector<field_annotation> dissect_dhcp(byte_view payload);
+
+}  // namespace ftc::protocols

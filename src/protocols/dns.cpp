@@ -1,0 +1,229 @@
+#include "protocols/dns.hpp"
+
+#include "protocols/builder.hpp"
+#include "protocols/names.hpp"
+#include "util/check.hpp"
+
+namespace ftc::protocols {
+
+namespace {
+
+constexpr std::uint16_t kDnsPort = 53;
+constexpr std::uint16_t kTypeA = 1;
+constexpr std::uint16_t kTypeCname = 5;
+constexpr std::uint16_t kTypeMx = 15;
+constexpr std::uint16_t kTypeAaaa = 28;
+constexpr std::uint16_t kClassIn = 1;
+
+void append_name_field(message_builder& b, std::string name_label, std::string_view dotted) {
+    const byte_vector encoded = encode_dns_name(dotted);
+    b.raw(field_type::chars, std::move(name_label), encoded);
+}
+
+}  // namespace
+
+byte_vector encode_dns_name(std::string_view dotted) {
+    byte_vector out;
+    std::size_t start = 0;
+    while (start <= dotted.size()) {
+        std::size_t dot = dotted.find('.', start);
+        if (dot == std::string_view::npos) {
+            dot = dotted.size();
+        }
+        const std::size_t len = dot - start;
+        expects(len > 0 && len <= 63, "encode_dns_name: label length out of range");
+        out.push_back(static_cast<std::uint8_t>(len));
+        for (std::size_t i = start; i < dot; ++i) {
+            out.push_back(static_cast<std::uint8_t>(dotted[i]));
+        }
+        if (dot == dotted.size()) {
+            break;
+        }
+        start = dot + 1;
+    }
+    out.push_back(0x00);
+    return out;
+}
+
+dns_generator::dns_generator(std::uint64_t seed) : rand_(seed) {}
+
+annotated_message dns_generator::next() {
+    message_builder b;
+
+    if (!pending_reply_) {
+        // Query.
+        query_flow_ = pcap::flow_key{random_lan_ip(rand_), random_server_ip(rand_),
+                                     static_cast<std::uint16_t>(rand_.uniform(1024, 65535)),
+                                     kDnsPort, pcap::transport::udp};
+        txid_ = static_cast<std::uint16_t>(rand_.uniform(0, 0xffff));
+        qname_ = random_fqdn(rand_);
+        const double roll = rand_.uniform01();
+        qtype_ = roll < 0.70 ? kTypeA : (roll < 0.85 ? kTypeAaaa : kTypeMx);
+
+        b.u16be(field_type::id, "txid", txid_);
+        b.u16be(field_type::flags, "flags", 0x0100);  // standard query, RD
+        b.u16be(field_type::unsigned_int, "qdcount", 1);
+        b.u16be(field_type::unsigned_int, "ancount", 0);
+        b.u16be(field_type::unsigned_int, "nscount", 0);
+        b.u16be(field_type::unsigned_int, "arcount", 0);
+        append_name_field(b, "qname", qname_);
+        b.u16be(field_type::enumeration, "qtype", qtype_);
+        b.u16be(field_type::enumeration, "qclass", kClassIn);
+
+        pending_reply_ = true;
+        return std::move(b).finish(query_flow_, /*is_request=*/true);
+    }
+
+    // Response.
+    pending_reply_ = false;
+    const bool with_cname = qtype_ == kTypeA && rand_.chance(0.25);
+    const std::uint16_t ancount = static_cast<std::uint16_t>(
+        with_cname ? 2 : (qtype_ == kTypeMx ? 1 : rand_.uniform(1, 2)));
+
+    b.u16be(field_type::id, "txid", txid_);
+    b.u16be(field_type::flags, "flags", 0x8180);  // response, RD+RA, NOERROR
+    b.u16be(field_type::unsigned_int, "qdcount", 1);
+    b.u16be(field_type::unsigned_int, "ancount", ancount);
+    b.u16be(field_type::unsigned_int, "nscount", 0);
+    b.u16be(field_type::unsigned_int, "arcount", 0);
+    append_name_field(b, "qname", qname_);
+    b.u16be(field_type::enumeration, "qtype", qtype_);
+    b.u16be(field_type::enumeration, "qclass", kClassIn);
+
+    auto answer_header = [&](std::uint16_t rtype, std::uint32_t ttl, std::uint16_t rdlength) {
+        b.u16be(field_type::enumeration, "name_ptr", 0xc00c);
+        b.u16be(field_type::enumeration, "rtype", rtype);
+        b.u16be(field_type::enumeration, "rclass", kClassIn);
+        b.u32be(field_type::unsigned_int, "ttl", ttl);
+        b.u16be(field_type::length, "rdlength", rdlength);
+    };
+    auto random_ttl = [&]() {
+        static constexpr std::uint32_t kTtls[] = {60, 300, 600, 3600, 14400, 86400};
+        return kTtls[rand_.uniform(0, 5)];
+    };
+
+    std::uint16_t remaining = ancount;
+    if (with_cname) {
+        const std::string target = random_fqdn(rand_);
+        const byte_vector encoded = encode_dns_name(target);
+        answer_header(kTypeCname, random_ttl(), static_cast<std::uint16_t>(encoded.size()));
+        b.raw(field_type::chars, "cname", encoded);
+        --remaining;
+    }
+    for (; remaining > 0; --remaining) {
+        if (qtype_ == kTypeMx) {
+            const std::string target = random_fqdn(rand_);
+            const byte_vector encoded = encode_dns_name(target);
+            answer_header(kTypeMx, random_ttl(), static_cast<std::uint16_t>(2 + encoded.size()));
+            b.u16be(field_type::unsigned_int, "mx_preference",
+                    static_cast<std::uint16_t>(10 * rand_.uniform(1, 5)));
+            b.raw(field_type::chars, "mx_exchange", encoded);
+        } else if (qtype_ == kTypeAaaa) {
+            answer_header(kTypeAaaa, random_ttl(), 16);
+            // Deterministic ULA-style prefix with a varied interface id.
+            b.begin(field_type::bytes, "aaaa_addr");
+            put_u32_be(b.bytes(), 0xfd00176aU);
+            put_u32_be(b.bytes(), 0x00000000U);
+            put_u32_be(b.bytes(), static_cast<std::uint32_t>(rand_() & 0xffff));
+            put_u32_be(b.bytes(), static_cast<std::uint32_t>(rand_()));
+            b.end();
+        } else {
+            answer_header(kTypeA, random_ttl(), 4);
+            b.u32be(field_type::ipv4_addr, "a_addr", random_server_ip(rand_).value);
+        }
+    }
+
+    return std::move(b).finish(query_flow_.reversed(), /*is_request=*/false);
+}
+
+namespace {
+
+/// Length of the encoded name starting at \p offset (labels up to the root
+/// byte, inclusive). Compression pointers terminate the name (2 bytes).
+std::size_t encoded_name_length(byte_view payload, std::size_t offset) {
+    std::size_t cursor = offset;
+    while (true) {
+        const std::uint8_t len = get_u8(payload, cursor);
+        if (len == 0) {
+            return cursor + 1 - offset;
+        }
+        if ((len & 0xc0) == 0xc0) {
+            return cursor + 2 - offset;
+        }
+        if (len > 63) {
+            throw parse_error(message("dns: invalid label length ", int{len}));
+        }
+        cursor += 1 + len;
+        if (cursor >= payload.size()) {
+            throw parse_error("dns: name runs past end of message");
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<field_annotation> dissect_dns(byte_view payload) {
+    if (payload.size() < 12) {
+        throw parse_error("dns: message shorter than header");
+    }
+    std::vector<field_annotation> fields;
+    fields.push_back({0, 2, field_type::id, "txid"});
+    fields.push_back({2, 2, field_type::flags, "flags"});
+    fields.push_back({4, 2, field_type::unsigned_int, "qdcount"});
+    fields.push_back({6, 2, field_type::unsigned_int, "ancount"});
+    fields.push_back({8, 2, field_type::unsigned_int, "nscount"});
+    fields.push_back({10, 2, field_type::unsigned_int, "arcount"});
+    const std::uint16_t qdcount = get_u16_be(payload, 4);
+    const std::uint16_t ancount = get_u16_be(payload, 6);
+
+    std::size_t cursor = 12;
+    for (std::uint16_t q = 0; q < qdcount; ++q) {
+        const std::size_t name_len = encoded_name_length(payload, cursor);
+        fields.push_back({cursor, name_len, field_type::chars, "qname"});
+        cursor += name_len;
+        fields.push_back({cursor, 2, field_type::enumeration, "qtype"});
+        fields.push_back({cursor + 2, 2, field_type::enumeration, "qclass"});
+        cursor += 4;
+    }
+    for (std::uint16_t a = 0; a < ancount; ++a) {
+        const std::uint8_t first = get_u8(payload, cursor);
+        if ((first & 0xc0) == 0xc0) {
+            fields.push_back({cursor, 2, field_type::enumeration, "name_ptr"});
+            cursor += 2;
+        } else {
+            const std::size_t name_len = encoded_name_length(payload, cursor);
+            fields.push_back({cursor, name_len, field_type::chars, "rname"});
+            cursor += name_len;
+        }
+        const std::uint16_t rtype = get_u16_be(payload, cursor);
+        fields.push_back({cursor, 2, field_type::enumeration, "rtype"});
+        fields.push_back({cursor + 2, 2, field_type::enumeration, "rclass"});
+        fields.push_back({cursor + 4, 4, field_type::unsigned_int, "ttl"});
+        const std::uint16_t rdlength = get_u16_be(payload, cursor + 8);
+        fields.push_back({cursor + 8, 2, field_type::length, "rdlength"});
+        cursor += 10;
+        if (cursor + rdlength > payload.size()) {
+            throw parse_error("dns: rdata runs past end of message");
+        }
+        if (rtype == kTypeA && rdlength == 4) {
+            fields.push_back({cursor, 4, field_type::ipv4_addr, "a_addr"});
+        } else if (rtype == kTypeCname) {
+            fields.push_back({cursor, rdlength, field_type::chars, "cname"});
+        } else if (rtype == kTypeMx && rdlength > 2) {
+            fields.push_back({cursor, 2, field_type::unsigned_int, "mx_preference"});
+            fields.push_back(
+                {cursor + 2, static_cast<std::size_t>(rdlength) - 2, field_type::chars,
+                 "mx_exchange"});
+        } else {
+            fields.push_back({cursor, rdlength, field_type::bytes, "rdata"});
+        }
+        cursor += rdlength;
+    }
+    if (cursor != payload.size()) {
+        throw parse_error(message("dns: trailing bytes after records (", cursor, " of ",
+                                  payload.size(), ")"));
+    }
+    return fields;
+}
+
+}  // namespace ftc::protocols

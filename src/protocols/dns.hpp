@@ -1,0 +1,41 @@
+/// \file dns.hpp
+/// DNS (RFC 1035) workload generator and ground-truth dissector.
+///
+/// DNS contributes variable-length messages with embedded character
+/// sequences (encoded names) next to fixed binary header fields — the
+/// combination the paper highlights for DNS/DHCP/SMB.
+#pragma once
+
+#include <string>
+
+#include "protocols/field.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::protocols {
+
+/// Generates DNS query/response pairs over UDP port 53. Names are drawn
+/// from a skewed pool; answers carry A, CNAME and MX records.
+class dns_generator {
+public:
+    explicit dns_generator(std::uint64_t seed);
+
+    annotated_message next();
+
+private:
+    rng rand_;
+    bool pending_reply_ = false;
+    pcap::flow_key query_flow_;
+    std::uint16_t txid_ = 0;
+    std::string qname_;
+    std::uint16_t qtype_ = 1;
+};
+
+/// Encode a dotted name ("mail.example.com") into DNS wire labels.
+byte_vector encode_dns_name(std::string_view dotted);
+
+/// Dissect a DNS message into ground-truth fields. Handles questions,
+/// answer records and 0xc0-compression pointers at record-name positions.
+/// Throws ftc::parse_error on malformed input.
+std::vector<field_annotation> dissect_dns(byte_view payload);
+
+}  // namespace ftc::protocols

@@ -1,0 +1,72 @@
+#include "protocols/names.hpp"
+
+#include <array>
+
+namespace ftc::protocols {
+
+namespace {
+
+constexpr std::array<std::string_view, 24> kDomains = {
+    "example.com",    "corp.local",      "campus.edu",     "intra.net",
+    "services.org",   "cloudapp.io",     "backend.dev",    "staging.site",
+    "uni-ulm.de",     "seemoo.tu-da.de", "printers.lan",   "storage.lan",
+    "mail.example.com", "www.example.com", "cdn.cloudapp.io", "api.backend.dev",
+    "ns1.services.org", "ns2.services.org", "time.campus.edu", "proxy.corp.local",
+    "vpn.corp.local", "wiki.intra.net",  "git.backend.dev", "db.storage.lan",
+};
+
+constexpr std::array<std::string_view, 32> kHostnames = {
+    "fileserver01", "fileserver02", "printsrv",   "dc01",        "dc02",
+    "workstation1", "workstation2", "workstation3","laptop-anna", "laptop-ben",
+    "laptop-clara", "macbook-dan",  "iphone-eva",  "ipad-frank",  "nas-main",
+    "nas-backup",   "buildbot",     "jenkins",     "gitlab",      "mailhub",
+    "timesrv",      "dnscache",     "gateway",     "firewall",    "scanner",
+    "camera-lobby", "camera-yard",  "iot-hub",     "thermostat",  "doorlock",
+    "mediacenter",  "testrig",
+};
+
+constexpr std::array<std::string_view, 12> kUsernames = {
+    "alice", "bob", "carol", "dave", "erin", "frank",
+    "grace", "heidi", "ivan", "judy", "mallory", "peggy",
+};
+
+}  // namespace
+
+std::span<const std::string_view> domain_pool() { return kDomains; }
+std::span<const std::string_view> hostname_pool() { return kHostnames; }
+std::span<const std::string_view> username_pool() { return kUsernames; }
+
+std::string random_fqdn(rng& rand) {
+    const std::size_t host = rand.zipf_index(kHostnames.size());
+    const std::size_t dom = rand.zipf_index(kDomains.size());
+    std::string out{kHostnames[host]};
+    out += '.';
+    out += kDomains[dom];
+    return out;
+}
+
+std::string random_hostname(rng& rand) {
+    return std::string{kHostnames[rand.zipf_index(kHostnames.size())]};
+}
+
+pcap::ipv4_address random_lan_ip(rng& rand) {
+    // 10.17.0.0/22-ish population: four subnets, 60 hosts each.
+    const auto subnet = static_cast<std::uint8_t>(rand.zipf_index(4));
+    const auto host = static_cast<std::uint8_t>(2 + rand.zipf_index(60));
+    return pcap::make_ipv4(10, 17, subnet, host);
+}
+
+pcap::ipv4_address random_server_ip(rng& rand) {
+    // Deterministic pool of "public" server addresses.
+    static constexpr std::array<std::uint8_t, 8> kHostOctet = {10, 20, 30, 40, 53, 80, 99, 123};
+    const auto idx = rand.zipf_index(kHostOctet.size());
+    return pcap::make_ipv4(198, 51, 100, kHostOctet[idx]);
+}
+
+pcap::mac_address random_client_mac(rng& rand) {
+    // 48 distinct locally administered MACs, Zipf-skewed.
+    const auto idx = static_cast<std::uint8_t>(rand.zipf_index(48));
+    return pcap::mac_address{0x02, 0x1a, 0x2b, 0x3c, 0x4d, idx};
+}
+
+}  // namespace ftc::protocols

@@ -1,0 +1,43 @@
+/// \file names.hpp
+/// Deterministic pools of host names, domain names and service strings used
+/// by the trace generators. Real traces draw names from a limited, skewed
+/// population; the generators sample these pools Zipf-style to reproduce
+/// the value-popularity skew the clustering method exploits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pcap/decap.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::protocols {
+
+/// Pool of second-level domain names (e.g. "example.com").
+std::span<const std::string_view> domain_pool();
+
+/// Pool of bare host names (e.g. "fileserver01").
+std::span<const std::string_view> hostname_pool();
+
+/// Pool of user/account names.
+std::span<const std::string_view> username_pool();
+
+/// Draw a fully qualified domain name like "mail.example.com".
+std::string random_fqdn(rng& rand);
+
+/// Draw a host name, Zipf-skewed toward the head of the pool.
+std::string random_hostname(rng& rand);
+
+/// Draw a LAN IPv4 address from a small deterministic subnet population.
+pcap::ipv4_address random_lan_ip(rng& rand);
+
+/// Draw a public-looking IPv4 address from a deterministic server pool.
+pcap::ipv4_address random_server_ip(rng& rand);
+
+/// Draw a locally administered MAC address from a deterministic pool.
+pcap::mac_address random_client_mac(rng& rand);
+
+}  // namespace ftc::protocols

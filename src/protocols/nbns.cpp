@@ -1,0 +1,156 @@
+#include "protocols/nbns.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "protocols/builder.hpp"
+#include "protocols/names.hpp"
+#include "util/check.hpp"
+
+namespace ftc::protocols {
+
+namespace {
+
+constexpr std::uint16_t kNbnsPort = 137;
+constexpr std::uint16_t kTypeNb = 0x0020;
+constexpr std::uint16_t kClassIn = 1;
+constexpr std::size_t kEncodedNameLen = 34;  // 0x20 length + 32 chars + 0x00
+
+}  // namespace
+
+byte_vector encode_netbios_name(std::string_view name, std::uint8_t suffix) {
+    expects(name.size() <= 15, "encode_netbios_name: name longer than 15 chars");
+    byte_vector out;
+    out.push_back(0x20);
+    char padded[16];
+    std::size_t i = 0;
+    for (; i < name.size(); ++i) {
+        padded[i] = static_cast<char>(std::toupper(static_cast<unsigned char>(name[i])));
+    }
+    for (; i < 15; ++i) {
+        padded[i] = ' ';
+    }
+    padded[15] = static_cast<char>(suffix);
+    for (char c : padded) {
+        const auto b = static_cast<std::uint8_t>(c);
+        out.push_back(static_cast<std::uint8_t>('A' + (b >> 4)));
+        out.push_back(static_cast<std::uint8_t>('A' + (b & 0x0f)));
+    }
+    out.push_back(0x00);
+    ensures(out.size() == kEncodedNameLen, "encode_netbios_name: unexpected length");
+    return out;
+}
+
+nbns_generator::nbns_generator(std::uint64_t seed) : rand_(seed) {}
+
+annotated_message nbns_generator::next() {
+    message_builder b;
+
+    if (!pending_reply_) {
+        txid_ = static_cast<std::uint16_t>(rand_.uniform(0, 0xffff));
+        netbios_name_ = random_hostname(rand_);
+        if (netbios_name_.size() > 15) {
+            netbios_name_.resize(15);
+        }
+        suffix_ = rand_.chance(0.7) ? 0x00 : 0x20;  // workstation / server service
+        const bool registration = rand_.chance(0.3);
+        query_flow_ = pcap::flow_key{random_lan_ip(rand_), pcap::make_ipv4(10, 17, 3, 255),
+                                     kNbnsPort, kNbnsPort, pcap::transport::udp};
+
+        b.u16be(field_type::id, "txid", txid_);
+        // Name query: 0x0110 (RD+B); registration: opcode 5 -> 0x2910.
+        b.u16be(field_type::flags, "flags", registration ? 0x2910 : 0x0110);
+        b.u16be(field_type::unsigned_int, "qdcount", 1);
+        b.u16be(field_type::unsigned_int, "ancount", 0);
+        b.u16be(field_type::unsigned_int, "nscount", 0);
+        b.u16be(field_type::unsigned_int, "arcount", registration ? 1 : 0);
+        b.raw(field_type::chars, "qname", encode_netbios_name(netbios_name_, suffix_));
+        b.u16be(field_type::enumeration, "qtype", kTypeNb);
+        b.u16be(field_type::enumeration, "qclass", kClassIn);
+
+        if (registration) {
+            // Additional record: the address being registered.
+            b.raw(field_type::chars, "rname", encode_netbios_name(netbios_name_, suffix_));
+            b.u16be(field_type::enumeration, "rtype", kTypeNb);
+            b.u16be(field_type::enumeration, "rclass", kClassIn);
+            b.u32be(field_type::unsigned_int, "ttl", 300000);
+            b.u16be(field_type::length, "rdlength", 6);
+            b.u16be(field_type::flags, "nb_flags", 0x0000);
+            b.u32be(field_type::ipv4_addr, "nb_addr", random_lan_ip(rand_).value);
+            // Registrations are not answered in our traces.
+            return std::move(b).finish(query_flow_, /*is_request=*/true);
+        }
+        pending_reply_ = true;
+        return std::move(b).finish(query_flow_, /*is_request=*/true);
+    }
+
+    // Positive name query response.
+    pending_reply_ = false;
+    b.u16be(field_type::id, "txid", txid_);
+    b.u16be(field_type::flags, "flags", 0x8500);  // response, AA, RD
+    b.u16be(field_type::unsigned_int, "qdcount", 0);
+    b.u16be(field_type::unsigned_int, "ancount", 1);
+    b.u16be(field_type::unsigned_int, "nscount", 0);
+    b.u16be(field_type::unsigned_int, "arcount", 0);
+    b.raw(field_type::chars, "rname", encode_netbios_name(netbios_name_, suffix_));
+    b.u16be(field_type::enumeration, "rtype", kTypeNb);
+    b.u16be(field_type::enumeration, "rclass", kClassIn);
+    b.u32be(field_type::unsigned_int, "ttl", 300000);
+    b.u16be(field_type::length, "rdlength", 6);
+    b.u16be(field_type::flags, "nb_flags", 0x6000);  // group=0, M-node
+    b.u32be(field_type::ipv4_addr, "nb_addr", random_lan_ip(rand_).value);
+
+    return std::move(b).finish(query_flow_.reversed(), /*is_request=*/false);
+}
+
+std::vector<field_annotation> dissect_nbns(byte_view payload) {
+    if (payload.size() < 12) {
+        throw parse_error("nbns: message shorter than header");
+    }
+    std::vector<field_annotation> fields;
+    fields.push_back({0, 2, field_type::id, "txid"});
+    fields.push_back({2, 2, field_type::flags, "flags"});
+    fields.push_back({4, 2, field_type::unsigned_int, "qdcount"});
+    fields.push_back({6, 2, field_type::unsigned_int, "ancount"});
+    fields.push_back({8, 2, field_type::unsigned_int, "nscount"});
+    fields.push_back({10, 2, field_type::unsigned_int, "arcount"});
+    const std::uint16_t qdcount = get_u16_be(payload, 4);
+    const std::uint16_t ancount = get_u16_be(payload, 6);
+    const std::uint16_t arcount = get_u16_be(payload, 10);
+
+    std::size_t cursor = 12;
+    for (std::uint16_t q = 0; q < qdcount; ++q) {
+        if (get_u8(payload, cursor) != 0x20) {
+            throw parse_error("nbns: question name is not a NetBIOS encoded name");
+        }
+        fields.push_back({cursor, kEncodedNameLen, field_type::chars, "qname"});
+        cursor += kEncodedNameLen;
+        fields.push_back({cursor, 2, field_type::enumeration, "qtype"});
+        fields.push_back({cursor + 2, 2, field_type::enumeration, "qclass"});
+        cursor += 4;
+    }
+    const std::uint16_t records = static_cast<std::uint16_t>(ancount + arcount);
+    for (std::uint16_t a = 0; a < records; ++a) {
+        fields.push_back({cursor, kEncodedNameLen, field_type::chars, "rname"});
+        cursor += kEncodedNameLen;
+        fields.push_back({cursor, 2, field_type::enumeration, "rtype"});
+        fields.push_back({cursor + 2, 2, field_type::enumeration, "rclass"});
+        fields.push_back({cursor + 4, 4, field_type::unsigned_int, "ttl"});
+        const std::uint16_t rdlength = get_u16_be(payload, cursor + 8);
+        fields.push_back({cursor + 8, 2, field_type::length, "rdlength"});
+        cursor += 10;
+        if (rdlength == 6) {
+            fields.push_back({cursor, 2, field_type::flags, "nb_flags"});
+            fields.push_back({cursor + 2, 4, field_type::ipv4_addr, "nb_addr"});
+        } else {
+            fields.push_back({cursor, rdlength, field_type::bytes, "rdata"});
+        }
+        cursor += rdlength;
+    }
+    if (cursor != payload.size()) {
+        throw parse_error("nbns: trailing bytes after records");
+    }
+    return fields;
+}
+
+}  // namespace ftc::protocols

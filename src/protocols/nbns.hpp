@@ -1,0 +1,40 @@
+/// \file nbns.hpp
+/// NetBIOS Name Service (RFC 1002) workload generator and dissector.
+///
+/// NBNS shares the DNS header layout but encodes names as 32 fixed
+/// half-ASCII characters, giving the trace fixed-length binary fields with
+/// long char sequences — the paper's easiest protocol for clustering.
+#pragma once
+
+#include <string>
+
+#include "protocols/field.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::protocols {
+
+/// Generates NBNS name queries, positive responses and registrations over
+/// UDP port 137.
+class nbns_generator {
+public:
+    explicit nbns_generator(std::uint64_t seed);
+
+    annotated_message next();
+
+private:
+    rng rand_;
+    bool pending_reply_ = false;
+    pcap::flow_key query_flow_;
+    std::uint16_t txid_ = 0;
+    std::string netbios_name_;
+    std::uint8_t suffix_ = 0x00;
+};
+
+/// First-level encode a NetBIOS name (padded to 15 chars + suffix byte)
+/// into the 32-character half-ASCII form, wrapped as an encoded DNS label.
+byte_vector encode_netbios_name(std::string_view name, std::uint8_t suffix);
+
+/// Dissect an NBNS message into ground-truth fields.
+std::vector<field_annotation> dissect_nbns(byte_view payload);
+
+}  // namespace ftc::protocols

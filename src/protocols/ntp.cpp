@@ -1,0 +1,104 @@
+#include "protocols/ntp.hpp"
+
+#include "protocols/builder.hpp"
+#include "protocols/names.hpp"
+#include "util/check.hpp"
+
+namespace ftc::protocols {
+
+namespace {
+
+constexpr std::size_t kNtpSize = 48;
+constexpr std::uint16_t kNtpPort = 123;
+
+/// Seconds of the NTP era for mid-2011 (the SMIA capture window); the high
+/// bytes 0xd23d.. are the static prefix visible in the paper's Fig. 3.
+constexpr std::uint64_t kEraSeconds = 0xd23d1900ULL;
+
+std::uint64_t make_timestamp(std::uint64_t seconds, rng& rand) {
+    return (seconds << 32) | (rand() & 0xffffffffULL);
+}
+
+}  // namespace
+
+ntp_generator::ntp_generator(std::uint64_t seed) : rand_(seed), clock_seconds_(kEraSeconds) {}
+
+annotated_message ntp_generator::next() {
+    message_builder b;
+
+    if (!pending_reply_) {
+        // Client request (mode 3).
+        request_flow_ = pcap::flow_key{random_lan_ip(rand_), random_server_ip(rand_),
+                                       static_cast<std::uint16_t>(rand_.uniform(1024, 65535)),
+                                       kNtpPort, pcap::transport::udp};
+        clock_seconds_ += rand_.uniform(1, 32);
+
+        // LI=0, VN=3, mode=3 -> 0x1b; occasionally LI=3 (clock unsynchronized).
+        const std::uint8_t li = rand_.chance(0.15) ? 3 : 0;
+        b.u8(field_type::flags, "li_vn_mode", static_cast<std::uint8_t>((li << 6) | (3 << 3) | 3));
+        b.u8(field_type::enumeration, "stratum", 0);
+        b.u8(field_type::signed_int, "poll", static_cast<std::uint8_t>(rand_.uniform(4, 10)));
+        b.u8(field_type::signed_int, "precision",
+             static_cast<std::uint8_t>(0x100 - rand_.uniform(6, 25)));
+        b.u32be(field_type::unsigned_int, "root_delay", 0);
+        b.u32be(field_type::unsigned_int, "root_dispersion",
+                static_cast<std::uint32_t>(rand_.uniform(0x0001, 0x0400)) << 4);
+        b.u32be(field_type::ipv4_addr, "reference_id", 0);
+        b.u64be(field_type::timestamp, "reference_ts", 0);
+        b.u64be(field_type::timestamp, "origin_ts", 0);
+        b.u64be(field_type::timestamp, "receive_ts", 0);
+        client_xmit_ts_ = make_timestamp(clock_seconds_, rand_);
+        b.u64be(field_type::timestamp, "transmit_ts", client_xmit_ts_);
+
+        pending_reply_ = true;
+        return std::move(b).finish(request_flow_, /*is_request=*/true);
+    }
+
+    // Server reply (mode 4) to the previous request.
+    pending_reply_ = false;
+    const std::uint8_t stratum = static_cast<std::uint8_t>(rand_.uniform(1, 4));
+    b.u8(field_type::flags, "li_vn_mode", static_cast<std::uint8_t>((0 << 6) | (3 << 3) | 4));
+    b.u8(field_type::enumeration, "stratum", stratum);
+    b.u8(field_type::signed_int, "poll", static_cast<std::uint8_t>(rand_.uniform(4, 10)));
+    b.u8(field_type::signed_int, "precision",
+         static_cast<std::uint8_t>(0x100 - rand_.uniform(16, 25)));
+    b.u32be(field_type::unsigned_int, "root_delay",
+            static_cast<std::uint32_t>(rand_.uniform(0x0010, 0x2000)));
+    b.u32be(field_type::unsigned_int, "root_dispersion",
+            static_cast<std::uint32_t>(rand_.uniform(0x0010, 0x0800)));
+    b.u32be(field_type::ipv4_addr, "reference_id", random_server_ip(rand_).value);
+    // Reference timestamp: the server's last sync, up to ~17 min old.
+    b.u64be(field_type::timestamp, "reference_ts",
+            make_timestamp(clock_seconds_ - rand_.uniform(1, 1024), rand_));
+    // Origin = client's transmit, echoed back.
+    b.u64be(field_type::timestamp, "origin_ts", client_xmit_ts_);
+    b.u64be(field_type::timestamp, "receive_ts", make_timestamp(clock_seconds_, rand_));
+    b.u64be(field_type::timestamp, "transmit_ts", make_timestamp(clock_seconds_, rand_));
+
+    return std::move(b).finish(request_flow_.reversed(), /*is_request=*/false);
+}
+
+std::vector<field_annotation> dissect_ntp(byte_view payload) {
+    if (payload.size() != kNtpSize) {
+        throw parse_error(message("ntp: expected ", kNtpSize, " bytes, got ", payload.size()));
+    }
+    const std::uint8_t mode = payload[0] & 0x07;
+    if (mode < 1 || mode > 5) {
+        throw parse_error(message("ntp: implausible mode ", int{mode}));
+    }
+    std::vector<field_annotation> fields;
+    fields.push_back({0, 1, field_type::flags, "li_vn_mode"});
+    fields.push_back({1, 1, field_type::enumeration, "stratum"});
+    fields.push_back({2, 1, field_type::signed_int, "poll"});
+    fields.push_back({3, 1, field_type::signed_int, "precision"});
+    fields.push_back({4, 4, field_type::unsigned_int, "root_delay"});
+    fields.push_back({8, 4, field_type::unsigned_int, "root_dispersion"});
+    fields.push_back({12, 4, field_type::ipv4_addr, "reference_id"});
+    fields.push_back({16, 8, field_type::timestamp, "reference_ts"});
+    fields.push_back({24, 8, field_type::timestamp, "origin_ts"});
+    fields.push_back({32, 8, field_type::timestamp, "receive_ts"});
+    fields.push_back({40, 8, field_type::timestamp, "transmit_ts"});
+    return fields;
+}
+
+}  // namespace ftc::protocols

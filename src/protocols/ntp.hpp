@@ -1,0 +1,37 @@
+/// \file ntp.hpp
+/// NTP (RFC 958 / v3) workload generator and ground-truth dissector.
+///
+/// NTP is the paper's fixed-structure protocol: every message is 48 bytes
+/// of purely binary, fixed-length fields, dominated by four 8-byte
+/// timestamps whose shared era prefix and random fractional bytes drive the
+/// Fig. 2 (ECDF knee) and Fig. 3 (boundary error) experiments.
+#pragma once
+
+#include "protocols/field.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::protocols {
+
+/// Generates client/server NTP exchanges with a 2011-era clock (seconds
+/// around 0xd23d1900, matching the SMIA-2011 captures the paper uses).
+class ntp_generator {
+public:
+    explicit ntp_generator(std::uint64_t seed);
+
+    /// Next message; alternates client request (mode 3) / server reply
+    /// (mode 4) within deterministic client/server flow pairs.
+    annotated_message next();
+
+private:
+    rng rand_;
+    bool pending_reply_ = false;
+    pcap::flow_key request_flow_;
+    std::uint64_t client_xmit_ts_ = 0;
+    std::uint64_t clock_seconds_;  ///< advancing NTP-era clock
+};
+
+/// Dissect a 48-byte NTP message into ground-truth fields.
+/// Throws ftc::parse_error if the message cannot be NTP.
+std::vector<field_annotation> dissect_ntp(byte_view payload);
+
+}  // namespace ftc::protocols

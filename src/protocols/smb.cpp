@@ -1,0 +1,491 @@
+#include "protocols/smb.hpp"
+
+#include "protocols/builder.hpp"
+#include "protocols/names.hpp"
+#include "util/check.hpp"
+
+namespace ftc::protocols {
+
+namespace {
+
+constexpr std::uint16_t kSmbPort = 445;
+
+enum : std::uint8_t {
+    kCmdReadAndX = 0x2e,
+    kCmdTrans2 = 0x32,
+    kCmdNegotiate = 0x72,
+    kCmdTreeConnectAndX = 0x75,
+};
+
+constexpr std::uint8_t kFlagsReply = 0x80;
+
+/// FILETIME origin for mid-2011 (100 ns ticks since 1601-01-01); the top
+/// two bytes 0x01cc stay constant across the trace while the low bytes vary
+/// — the distribution that collides with random signatures.
+constexpr std::uint64_t kFiletime2011 = 0x01cc000000000000ULL;
+
+void put_header(message_builder& b, rng& rand, bool signed_session, std::uint8_t command,
+                bool reply, std::uint16_t tid, std::uint16_t pid, std::uint16_t uid,
+                std::uint16_t mid) {
+    b.begin(field_type::enumeration, "server_component");
+    put_u8(b.bytes(), 0xff);
+    put_chars(b.bytes(), "SMB");
+    b.end();
+    b.u8(field_type::enumeration, "command", command);
+    b.u32le(field_type::enumeration, "nt_status", 0);
+    b.u8(field_type::flags, "flags", reply ? 0x98 : 0x18);
+    b.u16le(field_type::flags, "flags2", 0xc807);
+    b.u16le(field_type::id, "pid_high", 0);
+    // 8-byte security signature: random content when the session negotiated
+    // signing, zeroed otherwise (as in real captures where only some peers
+    // enable SMB signing).
+    if (signed_session) {
+        b.raw(field_type::signature, "signature", rand.bytes(8));
+    } else {
+        b.fill(field_type::signature, "signature", 8);
+    }
+    b.fill(field_type::padding, "reserved", 2);
+    b.u16le(field_type::id, "tid", tid);
+    b.u16le(field_type::id, "pid", pid);
+    b.u16le(field_type::id, "uid", uid);
+    b.u16le(field_type::id, "mid", mid);
+}
+
+void put_andx(message_builder& b) {
+    b.u8(field_type::enumeration, "andx_command", 0xff);  // no further command
+    b.u8(field_type::padding, "andx_reserved", 0);
+    b.u16le(field_type::unsigned_int, "andx_offset", 0);
+}
+
+std::uint64_t next_filetime(rng& rand, std::uint64_t& clock) {
+    clock += rand.uniform(1, 0x40000000);  // advance up to ~107 s
+    return kFiletime2011 + (clock & 0x0000ffffffffffffULL);
+}
+
+}  // namespace
+
+smb_generator::smb_generator(std::uint64_t seed)
+    : rand_(seed), filetime_clock_(rand_.uniform(0, 0xffffffffffffULL)) {}
+
+annotated_message smb_generator::next() {
+    if (phase_ == 0) {
+        session_flow_ = pcap::flow_key{random_lan_ip(rand_), random_server_ip(rand_),
+                                       static_cast<std::uint16_t>(rand_.uniform(1024, 65535)),
+                                       kSmbPort, pcap::transport::tcp};
+        tid_ = 0;
+        pid_ = static_cast<std::uint16_t>(rand_.uniform(0x100, 0xfeff));
+        uid_ = 0;
+        mid_ = 1;
+        session_signed_ = rand_.chance(0.5);
+    }
+
+    const int step = phase_;        // 0..7
+    const int exchange = step / 2;  // 0=negotiate, 1=tree connect, 2=read, 3=trans2
+    const bool reply = (step % 2) == 1;
+    if (!reply && step > 0) {
+        ++mid_;
+    }
+    if (exchange >= 1) {
+        uid_ = static_cast<std::uint16_t>(0x0800 + (pid_ & 0xff));
+    }
+    if (exchange >= 2) {
+        tid_ = static_cast<std::uint16_t>(0x4000 + (pid_ & 0x7f));
+    }
+
+    message_builder b;
+    put_header(b, rand_, session_signed_,
+               static_cast<std::uint8_t>(exchange == 0   ? kCmdNegotiate
+                                         : exchange == 1 ? kCmdTreeConnectAndX
+                                         : exchange == 2 ? kCmdReadAndX
+                                                         : kCmdTrans2),
+               reply, tid_, pid_, uid_, mid_);
+
+    switch (exchange) {
+        case 0: {
+            if (!reply) {
+                // Negotiate request: WC=0, BC, dialect list.
+                b.u8(field_type::length, "word_count", 0);
+                static constexpr std::string_view kDialects[] = {"NT LM 0.12", "SMB 2.002"};
+                std::size_t bc = 0;
+                for (auto d : kDialects) {
+                    bc += 1 + d.size() + 1;
+                }
+                b.u16le(field_type::length, "byte_count", static_cast<std::uint16_t>(bc));
+                for (auto d : kDialects) {
+                    b.u8(field_type::enumeration, "buffer_format", 0x02);
+                    b.begin(field_type::chars, "dialect");
+                    put_chars(b.bytes(), d);
+                    put_u8(b.bytes(), 0);
+                    b.end();
+                }
+            } else {
+                // Negotiate response: WC=17 parameter words + GUID blob.
+                b.u8(field_type::length, "word_count", 17);
+                b.u16le(field_type::enumeration, "dialect_index", 0);
+                b.u8(field_type::flags, "security_mode", 0x03);
+                b.u16le(field_type::unsigned_int, "max_mpx", 50);
+                b.u16le(field_type::unsigned_int, "max_vcs", 1);
+                b.u32le(field_type::unsigned_int, "max_buffer", 16644);
+                b.u32le(field_type::unsigned_int, "max_raw", 65536);
+                b.u32le(field_type::id, "session_key", static_cast<std::uint32_t>(rand_()));
+                b.u32le(field_type::flags, "capabilities", 0x8001f3fd);
+                b.u64le(field_type::timestamp, "system_time",
+                        next_filetime(rand_, filetime_clock_));
+                b.u16le(field_type::signed_int, "server_tz", 0xff88);  // -120 min
+                b.u8(field_type::length, "key_length", 0);
+                b.u16le(field_type::length, "byte_count", 16);
+                b.raw(field_type::nonce, "server_guid", rand_.bytes(16));
+            }
+            break;
+        }
+        case 1: {
+            if (!reply) {
+                // Tree Connect AndX request: WC=4.
+                b.u8(field_type::length, "word_count", 4);
+                put_andx(b);
+                b.u16le(field_type::flags, "tree_flags", 0x0008);
+                const byte_vector password = rand_.bytes(1);  // empty-style 1-byte pw
+                b.u16le(field_type::length, "password_length",
+                        static_cast<std::uint16_t>(password.size()));
+                std::string path = "\\\\";
+                path += random_hostname(rand_);
+                path += '\\';
+                path += rand_.chance(0.5) ? "public" : "home";
+                const std::string service = "?????";
+                const std::size_t bc = password.size() + path.size() + 1 + service.size() + 1;
+                b.u16le(field_type::length, "byte_count", static_cast<std::uint16_t>(bc));
+                b.raw(field_type::nonce, "password", password);
+                b.begin(field_type::chars, "path");
+                put_chars(b.bytes(), path);
+                put_u8(b.bytes(), 0);
+                b.end();
+                b.begin(field_type::chars, "service");
+                put_chars(b.bytes(), service);
+                put_u8(b.bytes(), 0);
+                b.end();
+            } else {
+                // Tree Connect AndX response: WC=3.
+                b.u8(field_type::length, "word_count", 3);
+                put_andx(b);
+                b.u16le(field_type::flags, "optional_support", 0x0001);
+                const std::string service = "A:";
+                const std::string fs = "NTFS";
+                const std::size_t bc = service.size() + 1 + fs.size() + 1;
+                b.u16le(field_type::length, "byte_count", static_cast<std::uint16_t>(bc));
+                b.begin(field_type::chars, "service");
+                put_chars(b.bytes(), service);
+                put_u8(b.bytes(), 0);
+                b.end();
+                b.begin(field_type::chars, "native_fs");
+                put_chars(b.bytes(), fs);
+                put_u8(b.bytes(), 0);
+                b.end();
+            }
+            break;
+        }
+        case 2: {
+            if (!reply) {
+                // Read AndX request: WC=12.
+                b.u8(field_type::length, "word_count", 12);
+                put_andx(b);
+                b.u16le(field_type::id, "fid", static_cast<std::uint16_t>(rand_.uniform(1, 64)));
+                b.u32le(field_type::unsigned_int, "file_offset",
+                        static_cast<std::uint32_t>(rand_.uniform(0, 0x100000) & ~0xfffu));
+                b.u16le(field_type::length, "max_count", 4096);
+                b.u16le(field_type::length, "min_count", 0);
+                b.u32le(field_type::unsigned_int, "max_count_high", 0);
+                b.u16le(field_type::unsigned_int, "remaining", 0);
+                b.u32le(field_type::unsigned_int, "offset_high", 0);
+                b.u16le(field_type::length, "byte_count", 0);
+            } else {
+                // Read AndX response: WC=12 + data block.
+                const std::size_t data_len = rand_.uniform(16, 48);
+                b.u8(field_type::length, "word_count", 12);
+                put_andx(b);
+                b.u16le(field_type::unsigned_int, "remaining", 0xffff);
+                b.u16le(field_type::unsigned_int, "data_compaction", 0);
+                b.fill(field_type::padding, "reserved2", 2);
+                b.u16le(field_type::length, "data_length",
+                        static_cast<std::uint16_t>(data_len));
+                b.u16le(field_type::unsigned_int, "data_offset", 60);
+                b.fill(field_type::padding, "reserved3", 10);
+                b.u16le(field_type::length, "byte_count",
+                        static_cast<std::uint16_t>(data_len + 1));
+                b.u8(field_type::padding, "pad", 0);
+                b.raw(field_type::bytes, "file_data", rand_.bytes(data_len));
+            }
+            break;
+        }
+        default: {
+            if (!reply) {
+                // Trans2 QUERY_PATH_INFO request (simplified layout): WC=15.
+                b.u8(field_type::length, "word_count", 15);
+                b.u16le(field_type::length, "total_param_count", 0);
+                b.u16le(field_type::length, "total_data_count", 0);
+                b.u16le(field_type::length, "max_param_count", 2);
+                b.u16le(field_type::length, "max_data_count", 40);
+                b.u8(field_type::unsigned_int, "max_setup_count", 0);
+                b.u8(field_type::padding, "t2_reserved", 0);
+                b.u16le(field_type::flags, "t2_flags", 0);
+                b.u32le(field_type::unsigned_int, "t2_timeout", 0);
+                b.u16le(field_type::enumeration, "subcommand", 0x0005);
+                b.u16le(field_type::enumeration, "info_level", 0x0101);
+                std::string path = "\\docs\\";
+                path += random_hostname(rand_);
+                path += rand_.chance(0.5) ? ".txt" : ".dat";
+                b.u16le(field_type::length, "byte_count",
+                        static_cast<std::uint16_t>(path.size() + 1));
+                b.begin(field_type::chars, "query_path");
+                put_chars(b.bytes(), path);
+                put_u8(b.bytes(), 0);
+                b.end();
+            } else {
+                // Trans2 response (simplified): WC=10 + FILE_BASIC_INFO-style data.
+                b.u8(field_type::length, "word_count", 10);
+                b.u16le(field_type::length, "total_param_count", 2);
+                b.u16le(field_type::length, "total_data_count", 40);
+                b.u16le(field_type::unsigned_int, "t2r_reserved", 0);
+                b.u16le(field_type::length, "param_count", 2);
+                b.u16le(field_type::unsigned_int, "param_offset", 56);
+                b.u16le(field_type::unsigned_int, "param_displacement", 0);
+                b.u16le(field_type::length, "data_count", 40);
+                b.u16le(field_type::unsigned_int, "data_offset", 60);
+                b.u8(field_type::unsigned_int, "setup_count", 0);
+                b.u8(field_type::padding, "t2r_pad", 0);
+                b.u16le(field_type::length, "byte_count", 42);
+                b.u16le(field_type::unsigned_int, "ea_error_offset", 0);
+                b.u64le(field_type::timestamp, "create_time",
+                        next_filetime(rand_, filetime_clock_));
+                b.u64le(field_type::timestamp, "access_time",
+                        next_filetime(rand_, filetime_clock_));
+                b.u64le(field_type::timestamp, "write_time",
+                        next_filetime(rand_, filetime_clock_));
+                b.u64le(field_type::timestamp, "change_time",
+                        next_filetime(rand_, filetime_clock_));
+                b.u32le(field_type::flags, "file_attributes", 0x00000020);
+                b.u32le(field_type::unsigned_int, "file_size",
+                        static_cast<std::uint32_t>(rand_.uniform(128, 1u << 20)));
+            }
+            break;
+        }
+    }
+
+    const pcap::flow_key flow = reply ? session_flow_.reversed() : session_flow_;
+    annotated_message msg = std::move(b).finish(flow, !reply);
+    phase_ = (phase_ + 1) % 8;
+    return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Dissector
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 32;
+
+void dissect_header(byte_view payload, std::vector<field_annotation>& fields) {
+    if (payload.size() < kHeaderSize) {
+        throw parse_error("smb: message shorter than header");
+    }
+    if (payload[0] != 0xff || payload[1] != 'S' || payload[2] != 'M' || payload[3] != 'B') {
+        throw parse_error("smb: missing protocol id");
+    }
+    fields.push_back({0, 4, field_type::enumeration, "server_component"});
+    fields.push_back({4, 1, field_type::enumeration, "command"});
+    fields.push_back({5, 4, field_type::enumeration, "nt_status"});
+    fields.push_back({9, 1, field_type::flags, "flags"});
+    fields.push_back({10, 2, field_type::flags, "flags2"});
+    fields.push_back({12, 2, field_type::id, "pid_high"});
+    fields.push_back({14, 8, field_type::signature, "signature"});
+    fields.push_back({22, 2, field_type::padding, "reserved"});
+    fields.push_back({24, 2, field_type::id, "tid"});
+    fields.push_back({26, 2, field_type::id, "pid"});
+    fields.push_back({28, 2, field_type::id, "uid"});
+    fields.push_back({30, 2, field_type::id, "mid"});
+}
+
+/// Annotate a null-terminated char sequence starting at \p cursor;
+/// returns the offset just past the terminator.
+std::size_t annotate_cstring(byte_view payload, std::size_t cursor, const char* name,
+                             std::vector<field_annotation>& fields) {
+    std::size_t end = cursor;
+    while (end < payload.size() && payload[end] != 0) {
+        ++end;
+    }
+    if (end >= payload.size()) {
+        throw parse_error(message("smb: unterminated string field '", name, "'"));
+    }
+    fields.push_back({cursor, end - cursor + 1, field_type::chars, name});
+    return end + 1;
+}
+
+std::size_t dissect_negotiate(byte_view payload, bool reply,
+                              std::vector<field_annotation>& fields) {
+    std::size_t cursor = kHeaderSize;
+    fields.push_back({cursor, 1, field_type::length, "word_count"});
+    ++cursor;
+    if (!reply) {
+        fields.push_back({cursor, 2, field_type::length, "byte_count"});
+        const std::uint16_t bc = get_u16_le(payload, cursor);
+        cursor += 2;
+        const std::size_t end = cursor + bc;
+        while (cursor < end) {
+            fields.push_back({cursor, 1, field_type::enumeration, "buffer_format"});
+            cursor = annotate_cstring(payload, cursor + 1, "dialect", fields);
+        }
+        return cursor;
+    }
+    fields.push_back({cursor, 2, field_type::enumeration, "dialect_index"});
+    fields.push_back({cursor + 2, 1, field_type::flags, "security_mode"});
+    fields.push_back({cursor + 3, 2, field_type::unsigned_int, "max_mpx"});
+    fields.push_back({cursor + 5, 2, field_type::unsigned_int, "max_vcs"});
+    fields.push_back({cursor + 7, 4, field_type::unsigned_int, "max_buffer"});
+    fields.push_back({cursor + 11, 4, field_type::unsigned_int, "max_raw"});
+    fields.push_back({cursor + 15, 4, field_type::id, "session_key"});
+    fields.push_back({cursor + 19, 4, field_type::flags, "capabilities"});
+    fields.push_back({cursor + 23, 8, field_type::timestamp, "system_time"});
+    fields.push_back({cursor + 31, 2, field_type::signed_int, "server_tz"});
+    fields.push_back({cursor + 33, 1, field_type::length, "key_length"});
+    cursor += 34;
+    fields.push_back({cursor, 2, field_type::length, "byte_count"});
+    const std::uint16_t bc = get_u16_le(payload, cursor);
+    cursor += 2;
+    fields.push_back({cursor, bc, field_type::nonce, "server_guid"});
+    return cursor + bc;
+}
+
+std::size_t annotate_andx(std::size_t cursor, std::vector<field_annotation>& fields) {
+    fields.push_back({cursor, 1, field_type::enumeration, "andx_command"});
+    fields.push_back({cursor + 1, 1, field_type::padding, "andx_reserved"});
+    fields.push_back({cursor + 2, 2, field_type::unsigned_int, "andx_offset"});
+    return cursor + 4;
+}
+
+std::size_t dissect_tree_connect(byte_view payload, bool reply,
+                                 std::vector<field_annotation>& fields) {
+    std::size_t cursor = kHeaderSize;
+    fields.push_back({cursor, 1, field_type::length, "word_count"});
+    cursor = annotate_andx(cursor + 1, fields);
+    if (!reply) {
+        fields.push_back({cursor, 2, field_type::flags, "tree_flags"});
+        const std::uint16_t pwlen = get_u16_le(payload, cursor + 2);
+        fields.push_back({cursor + 2, 2, field_type::length, "password_length"});
+        fields.push_back({cursor + 4, 2, field_type::length, "byte_count"});
+        cursor += 6;
+        fields.push_back({cursor, pwlen, field_type::nonce, "password"});
+        cursor += pwlen;
+        cursor = annotate_cstring(payload, cursor, "path", fields);
+        cursor = annotate_cstring(payload, cursor, "service", fields);
+        return cursor;
+    }
+    fields.push_back({cursor, 2, field_type::flags, "optional_support"});
+    fields.push_back({cursor + 2, 2, field_type::length, "byte_count"});
+    cursor += 4;
+    cursor = annotate_cstring(payload, cursor, "service", fields);
+    cursor = annotate_cstring(payload, cursor, "native_fs", fields);
+    return cursor;
+}
+
+std::size_t dissect_read(byte_view payload, bool reply, std::vector<field_annotation>& fields) {
+    std::size_t cursor = kHeaderSize;
+    fields.push_back({cursor, 1, field_type::length, "word_count"});
+    cursor = annotate_andx(cursor + 1, fields);
+    if (!reply) {
+        fields.push_back({cursor, 2, field_type::id, "fid"});
+        fields.push_back({cursor + 2, 4, field_type::unsigned_int, "file_offset"});
+        fields.push_back({cursor + 6, 2, field_type::length, "max_count"});
+        fields.push_back({cursor + 8, 2, field_type::length, "min_count"});
+        fields.push_back({cursor + 10, 4, field_type::unsigned_int, "max_count_high"});
+        fields.push_back({cursor + 14, 2, field_type::unsigned_int, "remaining"});
+        fields.push_back({cursor + 16, 4, field_type::unsigned_int, "offset_high"});
+        fields.push_back({cursor + 20, 2, field_type::length, "byte_count"});
+        return cursor + 22;
+    }
+    fields.push_back({cursor, 2, field_type::unsigned_int, "remaining"});
+    fields.push_back({cursor + 2, 2, field_type::unsigned_int, "data_compaction"});
+    fields.push_back({cursor + 4, 2, field_type::padding, "reserved2"});
+    const std::uint16_t data_len = get_u16_le(payload, cursor + 6);
+    fields.push_back({cursor + 6, 2, field_type::length, "data_length"});
+    fields.push_back({cursor + 8, 2, field_type::unsigned_int, "data_offset"});
+    fields.push_back({cursor + 10, 10, field_type::padding, "reserved3"});
+    fields.push_back({cursor + 20, 2, field_type::length, "byte_count"});
+    fields.push_back({cursor + 22, 1, field_type::padding, "pad"});
+    fields.push_back({cursor + 23, data_len, field_type::bytes, "file_data"});
+    return cursor + 23 + data_len;
+}
+
+std::size_t dissect_trans2(byte_view payload, bool reply,
+                           std::vector<field_annotation>& fields) {
+    std::size_t cursor = kHeaderSize;
+    fields.push_back({cursor, 1, field_type::length, "word_count"});
+    ++cursor;
+    if (!reply) {
+        fields.push_back({cursor, 2, field_type::length, "total_param_count"});
+        fields.push_back({cursor + 2, 2, field_type::length, "total_data_count"});
+        fields.push_back({cursor + 4, 2, field_type::length, "max_param_count"});
+        fields.push_back({cursor + 6, 2, field_type::length, "max_data_count"});
+        fields.push_back({cursor + 8, 1, field_type::unsigned_int, "max_setup_count"});
+        fields.push_back({cursor + 9, 1, field_type::padding, "t2_reserved"});
+        fields.push_back({cursor + 10, 2, field_type::flags, "t2_flags"});
+        fields.push_back({cursor + 12, 4, field_type::unsigned_int, "t2_timeout"});
+        fields.push_back({cursor + 16, 2, field_type::enumeration, "subcommand"});
+        fields.push_back({cursor + 18, 2, field_type::enumeration, "info_level"});
+        fields.push_back({cursor + 20, 2, field_type::length, "byte_count"});
+        cursor += 22;
+        cursor = annotate_cstring(payload, cursor, "query_path", fields);
+        return cursor;
+    }
+    fields.push_back({cursor, 2, field_type::length, "total_param_count"});
+    fields.push_back({cursor + 2, 2, field_type::length, "total_data_count"});
+    fields.push_back({cursor + 4, 2, field_type::unsigned_int, "t2r_reserved"});
+    fields.push_back({cursor + 6, 2, field_type::length, "param_count"});
+    fields.push_back({cursor + 8, 2, field_type::unsigned_int, "param_offset"});
+    fields.push_back({cursor + 10, 2, field_type::unsigned_int, "param_displacement"});
+    fields.push_back({cursor + 12, 2, field_type::length, "data_count"});
+    fields.push_back({cursor + 14, 2, field_type::unsigned_int, "data_offset"});
+    fields.push_back({cursor + 16, 1, field_type::unsigned_int, "setup_count"});
+    fields.push_back({cursor + 17, 1, field_type::padding, "t2r_pad"});
+    fields.push_back({cursor + 18, 2, field_type::length, "byte_count"});
+    fields.push_back({cursor + 20, 2, field_type::unsigned_int, "ea_error_offset"});
+    fields.push_back({cursor + 22, 8, field_type::timestamp, "create_time"});
+    fields.push_back({cursor + 30, 8, field_type::timestamp, "access_time"});
+    fields.push_back({cursor + 38, 8, field_type::timestamp, "write_time"});
+    fields.push_back({cursor + 46, 8, field_type::timestamp, "change_time"});
+    fields.push_back({cursor + 54, 4, field_type::flags, "file_attributes"});
+    fields.push_back({cursor + 58, 4, field_type::unsigned_int, "file_size"});
+    return cursor + 62;
+}
+
+}  // namespace
+
+std::vector<field_annotation> dissect_smb(byte_view payload) {
+    std::vector<field_annotation> fields;
+    dissect_header(payload, fields);
+    const std::uint8_t command = payload[4];
+    const bool reply = (payload[9] & kFlagsReply) != 0;
+
+    std::size_t end;
+    switch (command) {
+        case kCmdNegotiate:
+            end = dissect_negotiate(payload, reply, fields);
+            break;
+        case kCmdTreeConnectAndX:
+            end = dissect_tree_connect(payload, reply, fields);
+            break;
+        case kCmdReadAndX:
+            end = dissect_read(payload, reply, fields);
+            break;
+        case kCmdTrans2:
+            end = dissect_trans2(payload, reply, fields);
+            break;
+        default:
+            throw parse_error(message("smb: unsupported command 0x", int{command}));
+    }
+    if (end != payload.size()) {
+        throw parse_error(message("smb: body dissected ", end, " of ", payload.size(), " bytes"));
+    }
+    return fields;
+}
+
+}  // namespace ftc::protocols

@@ -1,0 +1,156 @@
+#include "segmentation/csp.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace ftc::segmentation {
+
+namespace {
+
+/// Key an n-gram as a std::string for hashing.
+std::string gram_key(byte_view msg, std::size_t offset, std::size_t length) {
+    return std::string(reinterpret_cast<const char*>(msg.data() + offset), length);
+}
+
+}  // namespace
+
+std::vector<byte_vector> csp_segmenter::mine_patterns(const std::vector<byte_vector>& messages,
+                                                      const deadline& dl) const {
+    expects(options_.min_pattern_length >= 2, "csp: patterns must be at least 2 bytes");
+    expects(options_.max_pattern_length >= options_.min_pattern_length,
+            "csp: max pattern length below min");
+
+    // Message support per n-gram: count each n-gram once per message.
+    std::unordered_map<std::string, std::uint32_t> support;
+    std::unordered_map<std::string, std::uint32_t> last_message;
+    for (std::size_t m = 0; m < messages.size(); ++m) {
+        if (m % 16 == 0) {
+            dl.check("CSP pattern mining");
+        }
+        const byte_view msg{messages[m]};
+        for (std::size_t len = options_.min_pattern_length; len <= options_.max_pattern_length;
+             ++len) {
+            if (msg.size() < len) {
+                continue;
+            }
+            for (std::size_t off = 0; off + len <= msg.size(); ++off) {
+                std::string key = gram_key(msg, off, len);
+                auto [it, inserted] = last_message.try_emplace(std::move(key), 0);
+                if (inserted || it->second != m + 1) {
+                    it->second = static_cast<std::uint32_t>(m + 1);
+                    ++support[it->first];
+                }
+            }
+        }
+    }
+
+    const auto threshold = static_cast<std::uint32_t>(
+        std::max<double>(2.0, options_.min_support * static_cast<double>(messages.size())));
+
+    // Keep frequent patterns; prefer maximal ones by dropping any frequent
+    // pattern that is a substring of a longer frequent pattern.
+    std::vector<std::string> frequent;
+    for (const auto& [gram, count] : support) {
+        if (count >= threshold) {
+            frequent.push_back(gram);
+        }
+    }
+    std::sort(frequent.begin(), frequent.end(), [](const std::string& a, const std::string& b) {
+        return a.size() != b.size() ? a.size() > b.size() : a < b;
+    });
+    std::vector<std::string> maximal;
+    for (const std::string& gram : frequent) {
+        bool contained = false;
+        for (const std::string& longer : maximal) {
+            if (longer.size() > gram.size() && longer.find(gram) != std::string::npos) {
+                contained = true;
+                break;
+            }
+        }
+        if (!contained) {
+            maximal.push_back(gram);
+        }
+    }
+
+    std::vector<byte_vector> out;
+    out.reserve(maximal.size());
+    for (const std::string& gram : maximal) {
+        out.emplace_back(gram.begin(), gram.end());
+    }
+    return out;
+}
+
+message_segments csp_segmenter::run(const std::vector<byte_vector>& messages,
+                                    const deadline& dl) const {
+    const std::vector<byte_vector> patterns = mine_patterns(messages, dl);
+
+    // Index patterns by their first two bytes for fast lookup.
+    std::unordered_map<std::uint32_t, std::vector<const byte_vector*>> by_prefix;
+    for (const byte_vector& p : patterns) {
+        const std::uint32_t prefix = (static_cast<std::uint32_t>(p[0]) << 8) | p[1];
+        by_prefix[prefix].push_back(&p);
+    }
+    for (auto& entry : by_prefix) {
+        std::vector<const byte_vector*>& list = entry.second;
+        std::sort(list.begin(), list.end(),
+                  [](const byte_vector* a, const byte_vector* b) { return a->size() > b->size(); });
+    }
+
+    message_segments out;
+    out.reserve(messages.size());
+    for (std::size_t m = 0; m < messages.size(); ++m) {
+        if (m % 64 == 0) {
+            dl.check("CSP placement");
+        }
+        const byte_view msg{messages[m]};
+        // Greedy longest-match placement of mined patterns.
+        std::vector<std::size_t> bounds;
+        std::size_t pos = 0;
+        while (pos + 1 < msg.size()) {
+            const std::uint32_t prefix =
+                (static_cast<std::uint32_t>(msg[pos]) << 8) | msg[pos + 1];
+            const auto it = by_prefix.find(prefix);
+            const byte_vector* hit = nullptr;
+            if (it != by_prefix.end()) {
+                for (const byte_vector* p : it->second) {
+                    if (p->size() <= msg.size() - pos &&
+                        std::equal(p->begin(), p->end(), msg.begin() + static_cast<long>(pos))) {
+                        hit = p;
+                        break;
+                    }
+                }
+            }
+            if (hit != nullptr) {
+                if (pos != 0) {
+                    bounds.push_back(pos);
+                }
+                if (pos + hit->size() != msg.size()) {
+                    bounds.push_back(pos + hit->size());
+                }
+                pos += hit->size();
+            } else {
+                ++pos;
+            }
+        }
+        std::sort(bounds.begin(), bounds.end());
+        bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+        std::vector<segment> segs;
+        std::size_t start = 0;
+        for (std::size_t b : bounds) {
+            segs.push_back(segment{m, start, b - start});
+            start = b;
+        }
+        if (msg.size() > start) {
+            segs.push_back(segment{m, start, msg.size() - start});
+        }
+        out.push_back(std::move(segs));
+    }
+    validate_segmentation(messages, out);
+    return out;
+}
+
+}  // namespace ftc::segmentation

@@ -1,0 +1,49 @@
+/// \file csp.hpp
+/// CSP heuristic segmenter (Goo, Shim, Lee, Kim — IEEE Access 2019:
+/// "Protocol Specification Extraction Based on Contiguous Sequential
+/// Pattern Algorithm").
+///
+/// CSP performs frequency analysis of contiguous byte strings across the
+/// whole trace: byte n-grams whose *message support* (fraction of messages
+/// containing them) exceeds a threshold are protocol constants/keywords.
+/// Placing the maximal frequent patterns greedily in each message marks
+/// field boundaries at the pattern edges; uncovered gaps become segments.
+/// Because support is counted across messages, CSP "is more dependent on
+/// the variance in the trace [and] is best applied to large traces"
+/// (paper Sec. IV-C) — with few messages, few patterns clear the threshold
+/// and segmentation degenerates.
+#pragma once
+
+#include "segmentation/segment.hpp"
+
+namespace ftc::segmentation {
+
+/// Tunables of the CSP pattern mining.
+struct csp_options {
+    std::size_t min_pattern_length = 2;
+    std::size_t max_pattern_length = 4;
+    /// Minimum fraction of messages that must contain an n-gram.
+    double min_support = 0.3;
+};
+
+/// Trace-global frequency-analysis segmenter.
+class csp_segmenter final : public segmenter {
+public:
+    csp_segmenter() = default;
+    explicit csp_segmenter(csp_options options) : options_(options) {}
+
+    std::string_view name() const override { return "CSP"; }
+
+    message_segments run(const std::vector<byte_vector>& messages,
+                         const deadline& dl) const override;
+
+    /// The mined frequent patterns (sorted, longest first) — exposed for
+    /// tests.
+    std::vector<byte_vector> mine_patterns(const std::vector<byte_vector>& messages,
+                                           const deadline& dl) const;
+
+private:
+    csp_options options_;
+};
+
+}  // namespace ftc::segmentation

@@ -1,0 +1,193 @@
+#include "segmentation/nemesys.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+
+#include "mathx/smoothing.hpp"
+#include "util/check.hpp"
+#include "util/hex.hpp"
+
+namespace ftc::segmentation {
+
+namespace {
+
+/// Merge adjacent segments whose union still reads as a character sequence
+/// — heuristic segmenters shred text fields, and the WOOT'18 refinement
+/// glues them back together. "Char-like" tolerates a minority of embedded
+/// structural bytes (e.g. DNS label length prefixes) but no null bytes.
+std::vector<std::size_t> merge_char_runs(byte_view msg, std::vector<std::size_t> bounds,
+                                         std::size_t min_run) {
+    if (bounds.empty()) {
+        return bounds;
+    }
+    auto charlike = [&](std::size_t begin, std::size_t end) {
+        if (end <= begin || end - begin < min_run) {
+            return false;
+        }
+        std::size_t printable = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+            if (msg[i] == 0x00) {
+                return false;
+            }
+            printable += is_printable_ascii(msg[i]) ? 1 : 0;
+        }
+        return 3 * printable >= 2 * (end - begin);  // at least two thirds text
+    };
+    // Iterate to a fixpoint: dropping one boundary can enable the next
+    // merge (long names split into many fragments).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::vector<std::size_t> kept;
+        std::size_t prev_start = 0;
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+            const std::size_t b = bounds[i];
+            const std::size_t next_end = i + 1 < bounds.size() ? bounds[i + 1] : msg.size();
+            // Merge when both sides are char-like and so is their union.
+            if (charlike(prev_start, b) && charlike(b, next_end) &&
+                charlike(prev_start, next_end)) {
+                changed = true;
+                continue;  // drop boundary inside the char run
+            }
+            kept.push_back(b);
+            prev_start = b;
+        }
+        bounds = std::move(kept);
+    }
+    return bounds;
+}
+
+/// Isolate maximal runs of >= min_run zero bytes into their own segments,
+/// approximating padding detection.
+std::vector<std::size_t> isolate_null_runs(byte_view msg, std::vector<std::size_t> bounds,
+                                           std::size_t min_run) {
+    std::vector<std::size_t> extra;
+    std::size_t i = 0;
+    while (i < msg.size()) {
+        if (msg[i] != 0) {
+            ++i;
+            continue;
+        }
+        std::size_t j = i;
+        while (j < msg.size() && msg[j] == 0) {
+            ++j;
+        }
+        if (j - i >= min_run) {
+            if (i != 0) {
+                extra.push_back(i);
+            }
+            if (j != msg.size()) {
+                extra.push_back(j);
+            }
+        }
+        i = j;
+    }
+    bounds.insert(bounds.end(), extra.begin(), extra.end());
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    return bounds;
+}
+
+}  // namespace
+
+std::vector<double> nemesys_segmenter::bit_congruence(byte_view msg) {
+    std::vector<double> bc;
+    if (msg.size() < 2) {
+        return bc;
+    }
+    bc.reserve(msg.size() - 1);
+    for (std::size_t i = 1; i < msg.size(); ++i) {
+        const int differing = std::popcount(static_cast<unsigned>(msg[i - 1] ^ msg[i]));
+        bc.push_back(static_cast<double>(8 - differing) / 8.0);
+    }
+    return bc;
+}
+
+std::vector<std::size_t> nemesys_segmenter::boundaries(byte_view msg) const {
+    std::vector<std::size_t> bounds;
+    if (msg.size() < 3) {
+        return bounds;
+    }
+    // bc[i] describes the transition between bytes i and i+1.
+    const std::vector<double> bc = bit_congruence(msg);
+    // delta[i] = bc[i+1] - bc[i]; describes the change at byte i+1.
+    std::vector<double> delta(bc.size() - 1);
+    for (std::size_t i = 0; i + 1 < bc.size(); ++i) {
+        delta[i] = bc[i + 1] - bc[i];
+    }
+    const std::vector<double> smooth = mathx::gaussian_filter1d(delta, options_.smoothing_sigma);
+
+    // Local extrema of the smoothed delta.
+    auto is_min = [&](std::size_t i) {
+        return smooth[i] <= smooth[i - 1] && smooth[i] < smooth[i + 1];
+    };
+    auto is_max = [&](std::size_t i) {
+        return smooth[i] >= smooth[i - 1] && smooth[i] > smooth[i + 1];
+    };
+
+    constexpr std::size_t kNoMin = static_cast<std::size_t>(-1);
+    std::size_t pending_min = kNoMin;
+    if (smooth.size() >= 2 && smooth[0] < smooth[1]) {
+        pending_min = 0;  // leading slope counts as a minimum
+    }
+    for (std::size_t i = 1; i + 1 < smooth.size(); ++i) {
+        if (is_min(i)) {
+            pending_min = i;
+        } else if (is_max(i) && pending_min != kNoMin) {
+            // Steepest rise of the *raw* delta between min and max gives the
+            // most probable boundary position.
+            std::size_t best = pending_min + 1;
+            double best_rise = -1.0;
+            for (std::size_t k = pending_min + 1; k <= i; ++k) {
+                const double rise = delta[k] - delta[k - 1];
+                if (rise > best_rise) {
+                    best_rise = rise;
+                    best = k;
+                }
+            }
+            // delta[k] describes the change at byte k+1 -> boundary offset.
+            const std::size_t boundary = best + 1;
+            if (boundary > 0 && boundary < msg.size()) {
+                bounds.push_back(boundary);
+            }
+            pending_min = kNoMin;
+        }
+    }
+
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    bounds = merge_char_runs(msg, std::move(bounds), options_.char_merge_min_run);
+    bounds = isolate_null_runs(msg, std::move(bounds), options_.null_run_min);
+    return bounds;
+}
+
+message_segments nemesys_segmenter::run(const std::vector<byte_vector>& messages,
+                                        const deadline& dl) const {
+    message_segments out;
+    out.reserve(messages.size());
+    for (std::size_t m = 0; m < messages.size(); ++m) {
+        if (m % 64 == 0) {
+            dl.check("NEMESYS segmentation");
+        }
+        const byte_view msg{messages[m]};
+        std::vector<std::size_t> bounds = boundaries(msg);
+        std::vector<segment> segs;
+        std::size_t start = 0;
+        for (std::size_t b : bounds) {
+            segs.push_back(segment{m, start, b - start});
+            start = b;
+        }
+        if (msg.size() > start) {
+            segs.push_back(segment{m, start, msg.size() - start});
+        }
+        if (msg.empty()) {
+            segs.clear();
+        }
+        out.push_back(std::move(segs));
+    }
+    validate_segmentation(messages, out);
+    return out;
+}
+
+}  // namespace ftc::segmentation

@@ -1,0 +1,49 @@
+/// \file nemesys.hpp
+/// NEMESYS heuristic segmenter (Kleber, Kopp, Kargl — WOOT 2018).
+///
+/// NEMESYS infers field boundaries from the *intrinsic structure of a
+/// single message*: the bit congruence between consecutive bytes drops
+/// where a new field begins. The pipeline is
+///   bit congruence -> delta -> Gaussian smoothing (sigma 0.6) ->
+///   boundary at the steepest raw-delta rise between each local minimum
+///   and the following local maximum of the smoothed delta,
+/// followed by refinements that merge printable-character runs and isolate
+/// long null-padding runs. The paper selects NEMESYS for "large and complex
+/// messages ... a mixture of number values and chars" (Sec. IV-C).
+#pragma once
+
+#include "segmentation/segment.hpp"
+
+namespace ftc::segmentation {
+
+/// Tunables of the NEMESYS heuristic (defaults follow the WOOT'18 paper).
+struct nemesys_options {
+    double smoothing_sigma = 0.6;  ///< Gaussian sigma on the delta sequence
+    std::size_t char_merge_min_run = 2;   ///< min printable run to merge
+    std::size_t null_run_min = 3;         ///< min null run split into padding
+};
+
+/// Single-message statistical segmenter.
+class nemesys_segmenter final : public segmenter {
+public:
+    nemesys_segmenter() = default;
+    explicit nemesys_segmenter(nemesys_options options) : options_(options) {}
+
+    std::string_view name() const override { return "NEMESYS"; }
+
+    message_segments run(const std::vector<byte_vector>& messages,
+                         const deadline& dl) const override;
+
+    /// Segment boundaries (offsets, excluding 0 and size) for one message —
+    /// exposed for tests and the Fig. 3 boundary-error bench.
+    std::vector<std::size_t> boundaries(byte_view msg) const;
+
+    /// Bit congruence sequence of a message: bc[i] is the fraction of equal
+    /// bits between bytes i and i+1 (size = len-1). Exposed for tests.
+    static std::vector<double> bit_congruence(byte_view msg);
+
+private:
+    nemesys_options options_;
+};
+
+}  // namespace ftc::segmentation

@@ -1,0 +1,359 @@
+#include "segmentation/netzob.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ftc::segmentation {
+
+namespace {
+
+/// One aligned message: byte values, or kGap for an alignment gap.
+constexpr std::int16_t kGap = -1;
+using aligned_row = std::vector<std::int16_t>;
+
+/// A profile: a set of messages aligned to a common column space.
+struct profile {
+    std::vector<std::size_t> message_indices;  ///< original message ids per row
+    std::vector<aligned_row> rows;             ///< all rows have equal width
+
+    std::size_t width() const { return rows.empty() ? 0 : rows.front().size(); }
+};
+
+/// Column summary for profile-profile alignment: the dominant value and its
+/// conservation among non-gap cells.
+struct column_summary {
+    std::int16_t consensus = kGap;
+    double conservation = 0.0;  ///< dominant count / non-gap count
+    double gap_fraction = 1.0;
+};
+
+std::vector<column_summary> summarize(const profile& p) {
+    std::vector<column_summary> out(p.width());
+    for (std::size_t c = 0; c < p.width(); ++c) {
+        std::array<std::uint32_t, 256> counts{};
+        std::uint32_t non_gap = 0;
+        for (const aligned_row& row : p.rows) {
+            if (row[c] != kGap) {
+                ++counts[static_cast<std::size_t>(row[c])];
+                ++non_gap;
+            }
+        }
+        column_summary& s = out[c];
+        if (non_gap == 0) {
+            continue;
+        }
+        std::uint32_t best = 0;
+        for (std::size_t v = 0; v < counts.size(); ++v) {
+            if (counts[v] > best) {
+                best = counts[v];
+                s.consensus = static_cast<std::int16_t>(v);
+            }
+        }
+        s.conservation = static_cast<double>(best) / static_cast<double>(non_gap);
+        s.gap_fraction =
+            1.0 - static_cast<double>(non_gap) / static_cast<double>(p.rows.size());
+    }
+    return out;
+}
+
+/// Alignment op emitted by the profile-profile traceback.
+enum class align_op : std::uint8_t { both, gap_a, gap_b };
+
+}  // namespace
+
+int netzob_segmenter::pairwise_score(byte_view a, byte_view b) const {
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    std::vector<int> prev(m + 1);
+    std::vector<int> curr(m + 1);
+    for (std::size_t j = 0; j <= m; ++j) {
+        prev[j] = static_cast<int>(j) * options_.gap_score;
+    }
+    for (std::size_t i = 1; i <= n; ++i) {
+        curr[0] = static_cast<int>(i) * options_.gap_score;
+        const std::uint8_t ai = a[i - 1];
+        for (std::size_t j = 1; j <= m; ++j) {
+            const int diag =
+                prev[j - 1] + (ai == b[j - 1] ? options_.match_score : options_.mismatch_score);
+            const int up = prev[j] + options_.gap_score;
+            const int left = curr[j - 1] + options_.gap_score;
+            curr[j] = std::max(diag, std::max(up, left));
+        }
+        std::swap(prev, curr);
+    }
+    return prev[m];
+}
+
+namespace {
+
+/// Profile-profile Needleman-Wunsch over column summaries; returns the op
+/// sequence from start to end.
+std::vector<align_op> align_profiles(const std::vector<column_summary>& a,
+                                     const std::vector<column_summary>& b,
+                                     const netzob_options& opt, const deadline& dl) {
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    auto score_cols = [&](const column_summary& ca, const column_summary& cb) {
+        if (ca.consensus == kGap || cb.consensus == kGap) {
+            return 0.0;  // all-gap column aligns neutrally
+        }
+        if (ca.consensus == cb.consensus) {
+            return static_cast<double>(opt.match_score) *
+                   std::min(ca.conservation, cb.conservation);
+        }
+        return static_cast<double>(opt.mismatch_score);
+    };
+
+    // Full DP with traceback matrix (byte-sized ops).
+    std::vector<double> prev(m + 1);
+    std::vector<double> curr(m + 1);
+    std::vector<std::uint8_t> back((n + 1) * (m + 1));
+    const double gap = opt.gap_score;
+    for (std::size_t j = 0; j <= m; ++j) {
+        prev[j] = static_cast<double>(j) * gap;
+        back[j] = 2;  // gap_a (consume b)
+    }
+    for (std::size_t i = 1; i <= n; ++i) {
+        if (i % 128 == 0) {
+            dl.check("Netzob profile alignment");
+        }
+        curr[0] = static_cast<double>(i) * gap;
+        back[i * (m + 1)] = 1;  // gap_b (consume a)
+        for (std::size_t j = 1; j <= m; ++j) {
+            const double diag = prev[j - 1] + score_cols(a[i - 1], b[j - 1]);
+            const double up = prev[j] + gap;
+            const double left = curr[j - 1] + gap;
+            double best = diag;
+            std::uint8_t op = 0;
+            if (up > best) {
+                best = up;
+                op = 1;
+            }
+            if (left > best) {
+                best = left;
+                op = 2;
+            }
+            curr[j] = best;
+            back[i * (m + 1) + j] = op;
+        }
+        std::swap(prev, curr);
+    }
+
+    std::vector<align_op> ops;
+    std::size_t i = n;
+    std::size_t j = m;
+    while (i > 0 || j > 0) {
+        const std::uint8_t op = back[i * (m + 1) + j];
+        if (i > 0 && j > 0 && op == 0) {
+            ops.push_back(align_op::both);
+            --i;
+            --j;
+        } else if (i > 0 && (op == 1 || j == 0)) {
+            ops.push_back(align_op::gap_b);
+            --i;
+        } else {
+            ops.push_back(align_op::gap_a);
+            --j;
+        }
+    }
+    std::reverse(ops.begin(), ops.end());
+    return ops;
+}
+
+/// Merge two profiles along an op sequence.
+profile merge_profiles(const profile& a, const profile& b, const std::vector<align_op>& ops,
+                       std::size_t max_width) {
+    profile out;
+    out.message_indices = a.message_indices;
+    out.message_indices.insert(out.message_indices.end(), b.message_indices.begin(),
+                               b.message_indices.end());
+    const std::size_t width = ops.size();
+    ensures(width <= max_width, "netzob: profile width exceeds cap");
+    out.rows.reserve(a.rows.size() + b.rows.size());
+    for (const aligned_row& row : a.rows) {
+        aligned_row expanded;
+        expanded.reserve(width);
+        std::size_t c = 0;
+        for (const align_op op : ops) {
+            if (op == align_op::gap_a) {
+                expanded.push_back(kGap);
+            } else {
+                expanded.push_back(row[c]);
+                ++c;
+            }
+        }
+        out.rows.push_back(std::move(expanded));
+    }
+    for (const aligned_row& row : b.rows) {
+        aligned_row expanded;
+        expanded.reserve(width);
+        std::size_t c = 0;
+        for (const align_op op : ops) {
+            if (op == align_op::gap_b) {
+                expanded.push_back(kGap);
+            } else {
+                expanded.push_back(row[c]);
+                ++c;
+            }
+        }
+        out.rows.push_back(std::move(expanded));
+    }
+    return out;
+}
+
+}  // namespace
+
+message_segments netzob_segmenter::run(const std::vector<byte_vector>& messages,
+                                       const deadline& dl) const {
+    const std::size_t n = messages.size();
+    expects(n > 0, "netzob: empty trace");
+
+    if (n == 1) {
+        message_segments single(1);
+        if (!messages[0].empty()) {
+            single[0].push_back(segment{0, 0, messages[0].size()});
+        }
+        return single;
+    }
+
+    // Stage 1: pairwise NW similarity -> normalized distance matrix.
+    // This is the quadratic stage that blows up on long messages.
+    std::vector<double> dist(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        dl.check("Netzob pairwise alignment");
+        const byte_view a{messages[i]};
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const byte_view b{messages[j]};
+            const int score = pairwise_score(a, b);
+            const double best = static_cast<double>(options_.match_score) *
+                                static_cast<double>(std::max(a.size(), b.size()));
+            const double d = best > 0.0 ? 1.0 - static_cast<double>(score) / best : 0.0;
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+
+    // Stage 2: UPGMA guide tree, executed as an agglomeration order over
+    // active profiles (average linkage).
+    std::vector<profile> profiles(n);
+    std::vector<std::size_t> cluster_size(n, 1);
+    std::vector<bool> active(n, true);
+    for (std::size_t i = 0; i < n; ++i) {
+        profiles[i].message_indices = {i};
+        aligned_row row(messages[i].size());
+        for (std::size_t c = 0; c < messages[i].size(); ++c) {
+            row[c] = static_cast<std::int16_t>(messages[i][c]);
+        }
+        profiles[i].rows.push_back(std::move(row));
+    }
+
+    for (std::size_t merges = 0; merges + 1 < n; ++merges) {
+        dl.check("Netzob progressive alignment");
+        // Find the closest active pair.
+        double best = std::numeric_limits<double>::max();
+        std::size_t bi = 0;
+        std::size_t bj = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!active[i]) {
+                continue;
+            }
+            for (std::size_t j = i + 1; j < n; ++j) {
+                if (!active[j]) {
+                    continue;
+                }
+                if (dist[i * n + j] < best) {
+                    best = dist[i * n + j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        // Align and merge bj into bi.
+        const std::vector<column_summary> sa = summarize(profiles[bi]);
+        const std::vector<column_summary> sb = summarize(profiles[bj]);
+        const std::vector<align_op> ops = align_profiles(sa, sb, options_, dl);
+        profiles[bi] = merge_profiles(profiles[bi], profiles[bj], ops,
+                                      options_.max_profile_width);
+        profiles[bj] = profile{};
+        active[bj] = false;
+        // Average-linkage distance update.
+        const double wi = static_cast<double>(cluster_size[bi]);
+        const double wj = static_cast<double>(cluster_size[bj]);
+        for (std::size_t k = 0; k < n; ++k) {
+            if (!active[k] || k == bi) {
+                continue;
+            }
+            const double dik = dist[bi * n + k];
+            const double djk = dist[bj * n + k];
+            const double merged = (wi * dik + wj * djk) / (wi + wj);
+            dist[bi * n + k] = merged;
+            dist[k * n + bi] = merged;
+        }
+        cluster_size[bi] += cluster_size[bj];
+    }
+
+    // The single remaining active profile holds the full alignment.
+    std::size_t root = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (active[i]) {
+            root = i;
+            break;
+        }
+    }
+    const profile& full = profiles[root];
+
+    // Stage 3: column classification -> field boundaries in column space.
+    const std::vector<column_summary> cols = summarize(full);
+    std::vector<bool> is_static(cols.size());
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+        is_static[c] = cols[c].consensus != kGap &&
+                       cols[c].conservation >= options_.static_threshold &&
+                       cols[c].gap_fraction == 0.0;
+    }
+    std::vector<std::size_t> column_bounds;  // boundary *before* column c
+    for (std::size_t c = 1; c < cols.size(); ++c) {
+        if (is_static[c] != is_static[c - 1]) {
+            column_bounds.push_back(c);
+        }
+    }
+
+    // Stage 4: project boundaries back onto each message.
+    message_segments out(n);
+    for (std::size_t r = 0; r < full.rows.size(); ++r) {
+        const std::size_t msg_idx = full.message_indices[r];
+        const aligned_row& row = full.rows[r];
+        const std::size_t msg_len = messages[msg_idx].size();
+        std::vector<std::size_t> bounds;
+        std::size_t offset = 0;
+        std::size_t bound_cursor = 0;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            while (bound_cursor < column_bounds.size() && column_bounds[bound_cursor] == c) {
+                if (offset > 0 && offset < msg_len) {
+                    bounds.push_back(offset);
+                }
+                ++bound_cursor;
+            }
+            if (row[c] != kGap) {
+                ++offset;
+            }
+        }
+        std::vector<segment>& segs = out[msg_idx];
+        std::size_t start = 0;
+        for (std::size_t b : bounds) {
+            if (b > start) {
+                segs.push_back(segment{msg_idx, start, b - start});
+                start = b;
+            }
+        }
+        if (msg_len > start) {
+            segs.push_back(segment{msg_idx, start, msg_len - start});
+        }
+    }
+    validate_segmentation(messages, out);
+    return out;
+}
+
+}  // namespace ftc::segmentation

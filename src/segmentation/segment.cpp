@@ -1,0 +1,72 @@
+#include "segmentation/segment.hpp"
+
+#include "segmentation/csp.hpp"
+#include "segmentation/nemesys.hpp"
+#include "segmentation/netzob.hpp"
+#include "util/check.hpp"
+
+namespace ftc::segmentation {
+
+byte_view segment_bytes(const std::vector<byte_vector>& messages, const segment& seg) {
+    expects(seg.message_index < messages.size(), "segment_bytes: message index out of range");
+    const byte_vector& msg = messages[seg.message_index];
+    expects(seg.offset + seg.length <= msg.size(), "segment_bytes: segment exceeds message");
+    return byte_view{msg}.subspan(seg.offset, seg.length);
+}
+
+void validate_segmentation(const std::vector<byte_vector>& messages,
+                           const message_segments& segs) {
+    ensures(messages.size() == segs.size(),
+            message("segmentation covers ", segs.size(), " of ", messages.size(), " messages"));
+    for (std::size_t m = 0; m < messages.size(); ++m) {
+        std::size_t cursor = 0;
+        for (const segment& s : segs[m]) {
+            ensures(s.message_index == m, "segment has wrong message index");
+            ensures(s.length > 0, "segment has zero length");
+            ensures(s.offset == cursor,
+                    message("message ", m, ": segment at ", s.offset, ", expected ", cursor));
+            cursor += s.length;
+        }
+        ensures(cursor == messages[m].size(),
+                message("message ", m, ": segments cover ", cursor, " of ", messages[m].size(),
+                        " bytes"));
+    }
+}
+
+message_segments segments_from_annotations(const protocols::trace& input) {
+    message_segments out;
+    out.reserve(input.messages.size());
+    for (std::size_t m = 0; m < input.messages.size(); ++m) {
+        std::vector<segment> segs;
+        segs.reserve(input.messages[m].fields.size());
+        for (const protocols::field_annotation& f : input.messages[m].fields) {
+            segs.push_back(segment{m, f.offset, f.length});
+        }
+        out.push_back(std::move(segs));
+    }
+    return out;
+}
+
+std::vector<byte_vector> message_bytes(const protocols::trace& input) {
+    std::vector<byte_vector> out;
+    out.reserve(input.messages.size());
+    for (const protocols::annotated_message& msg : input.messages) {
+        out.push_back(msg.bytes);
+    }
+    return out;
+}
+
+std::unique_ptr<segmenter> make_segmenter(std::string_view name) {
+    if (name == "NEMESYS") {
+        return std::make_unique<nemesys_segmenter>();
+    }
+    if (name == "CSP") {
+        return std::make_unique<csp_segmenter>();
+    }
+    if (name == "Netzob") {
+        return std::make_unique<netzob_segmenter>();
+    }
+    throw precondition_error(message("unknown segmenter: ", std::string{name}));
+}
+
+}  // namespace ftc::segmentation

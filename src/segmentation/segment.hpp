@@ -1,0 +1,66 @@
+/// \file segment.hpp
+/// Segment model: field candidates produced by message segmentation.
+///
+/// A *segment* (paper Sec. III-B) is a byte range of one message, produced
+/// by a segmenter as a candidate for a true protocol field. Segments of one
+/// message are contiguous and cover it completely.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "protocols/field.hpp"
+#include "util/byteio.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ftc::segmentation {
+
+/// A byte range within one message of a trace.
+struct segment {
+    std::size_t message_index = 0;
+    std::size_t offset = 0;
+    std::size_t length = 0;
+
+    auto operator<=>(const segment&) const = default;
+};
+
+/// Segmentation of a whole trace: one segment list per message, in message
+/// order. Invariant (checked by validate_segmentation): per message the
+/// segments are sorted, contiguous and cover the message exactly.
+using message_segments = std::vector<std::vector<segment>>;
+
+/// View of a segment's bytes within its message.
+byte_view segment_bytes(const std::vector<byte_vector>& messages, const segment& seg);
+
+/// Throws ftc::error unless \p segs is a valid segmentation of \p messages.
+void validate_segmentation(const std::vector<byte_vector>& messages,
+                           const message_segments& segs);
+
+/// Abstract message segmenter.
+class segmenter {
+public:
+    virtual ~segmenter() = default;
+
+    /// Display name ("NEMESYS", "CSP", "Netzob", "true fields").
+    virtual std::string_view name() const = 0;
+
+    /// Segment all messages. Implementations periodically poll \p dl and
+    /// throw ftc::budget_exceeded_error when the budget is exhausted
+    /// (reproducing the paper's "fails" entries).
+    virtual message_segments run(const std::vector<byte_vector>& messages,
+                                 const deadline& dl) const = 0;
+};
+
+/// Perfect segmentation from ground-truth annotations (the "Wireshark
+/// dissector" path used for Table I).
+message_segments segments_from_annotations(const protocols::trace& input);
+
+/// Extract the raw message bytes of a trace (segmenter input).
+std::vector<byte_vector> message_bytes(const protocols::trace& input);
+
+/// Factory: "NEMESYS", "CSP" or "Netzob". Throws on unknown names.
+std::unique_ptr<segmenter> make_segmenter(std::string_view name);
+
+}  // namespace ftc::segmentation

@@ -1,0 +1,38 @@
+/// \file error.hpp
+/// Error hierarchy used throughout ftclust.
+///
+/// All library errors derive from ftc::error (itself a std::runtime_error),
+/// so callers can catch either the precise category or the whole family.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ftc {
+
+/// Base class of all errors thrown by the ftclust library.
+class error : public std::runtime_error {
+public:
+    explicit error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class precondition_error : public error {
+public:
+    explicit precondition_error(const std::string& what_arg) : error(what_arg) {}
+};
+
+/// Input data (trace, pcap file, message bytes) is malformed.
+class parse_error : public error {
+public:
+    explicit parse_error(const std::string& what_arg) : error(what_arg) {}
+};
+
+/// An analysis could not complete within its configured resource budget.
+/// Used to reproduce the paper's "fails" entries (runtime/memory blowup).
+class budget_exceeded_error : public error {
+public:
+    explicit budget_exceeded_error(const std::string& what_arg) : error(what_arg) {}
+};
+
+}  // namespace ftc

@@ -1,0 +1,85 @@
+#include "util/hex.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+
+namespace ftc {
+
+namespace {
+constexpr std::array<char, 16> kDigits = {'0', '1', '2', '3', '4', '5', '6', '7',
+                                          '8', '9', 'a', 'b', 'c', 'd', 'e', 'f'};
+
+int nibble_value(char c) {
+    if (c >= '0' && c <= '9') {
+        return c - '0';
+    }
+    if (c >= 'a' && c <= 'f') {
+        return c - 'a' + 10;
+    }
+    if (c >= 'A' && c <= 'F') {
+        return c - 'A' + 10;
+    }
+    return -1;
+}
+}  // namespace
+
+std::string to_hex(byte_view data) {
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (std::uint8_t b : data) {
+        out.push_back(kDigits[b >> 4]);
+        out.push_back(kDigits[b & 0xf]);
+    }
+    return out;
+}
+
+byte_vector from_hex(std::string_view hex) {
+    if (hex.size() % 2 != 0) {
+        throw parse_error(message("from_hex: odd length ", hex.size()));
+    }
+    byte_vector out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = nibble_value(hex[i]);
+        const int lo = nibble_value(hex[i + 1]);
+        if (hi < 0 || lo < 0) {
+            throw parse_error(message("from_hex: invalid digit at offset ", i));
+        }
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+std::string hexdump(byte_view data) {
+    std::string out;
+    for (std::size_t line = 0; line < data.size(); line += 16) {
+        // Offset column.
+        char offset[32];
+        std::snprintf(offset, sizeof offset, "%08zx  ", line);
+        out += offset;
+        // Hex columns.
+        for (std::size_t i = 0; i < 16; ++i) {
+            if (line + i < data.size()) {
+                const std::uint8_t b = data[line + i];
+                out.push_back(kDigits[b >> 4]);
+                out.push_back(kDigits[b & 0xf]);
+                out.push_back(' ');
+            } else {
+                out += "   ";
+            }
+            if (i == 7) {
+                out.push_back(' ');
+            }
+        }
+        out += " |";
+        for (std::size_t i = 0; i < 16 && line + i < data.size(); ++i) {
+            const std::uint8_t b = data[line + i];
+            out.push_back(is_printable_ascii(b) ? static_cast<char>(b) : '.');
+        }
+        out += "|\n";
+    }
+    return out;
+}
+
+}  // namespace ftc

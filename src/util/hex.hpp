@@ -1,0 +1,25 @@
+/// \file hex.hpp
+/// Hex encoding/decoding and hexdump rendering for diagnostics and reports.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/byteio.hpp"
+
+namespace ftc {
+
+/// Lower-case hex string without separators, e.g. {0xd2,0x3d} -> "d23d".
+std::string to_hex(byte_view data);
+
+/// Parse a hex string (even length, case-insensitive); throws parse_error on
+/// malformed input.
+byte_vector from_hex(std::string_view hex);
+
+/// Classic 16-bytes-per-line hexdump with offsets and printable-ASCII gutter.
+std::string hexdump(byte_view data);
+
+/// True if the byte is printable ASCII (0x20..0x7e).
+constexpr bool is_printable_ascii(std::uint8_t b) { return b >= 0x20 && b <= 0x7e; }
+
+}  // namespace ftc

@@ -1,0 +1,160 @@
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation for workload synthesis.
+///
+/// All randomness in ftclust flows through explicitly seeded ftc::rng
+/// instances — there is no global RNG state — so every trace, test and
+/// benchmark is reproducible bit-for-bit (Core Guidelines I.2).
+///
+/// The engine is xoshiro256** by Blackman & Vigna: tiny state, excellent
+/// statistical quality, and a stable cross-platform output sequence
+/// (std::mt19937 would also be stable, but the distributions in <random>
+/// are not; we implement our own).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ftc {
+
+/// Deterministic random number generator (xoshiro256**).
+class rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seed via splitmix64 expansion so that small consecutive seeds give
+    /// uncorrelated streams.
+    explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+    /// Next raw 64-bit output.
+    result_type operator()() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [lo, hi] (inclusive). Uses Lemire-style rejection
+    /// to avoid modulo bias.
+    std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+        expects(lo <= hi, "rng::uniform: lo must be <= hi");
+        const std::uint64_t range = hi - lo;
+        if (range == std::numeric_limits<std::uint64_t>::max()) {
+            return (*this)();
+        }
+        const std::uint64_t bound = range + 1;
+        // Rejection sampling on the top bits.
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            const std::uint64_t r = (*this)();
+            if (r >= threshold) {
+                return lo + (r % bound);
+            }
+        }
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform01() {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform_real(double lo, double hi) {
+        expects(lo <= hi, "rng::uniform_real: lo must be <= hi");
+        return lo + (hi - lo) * uniform01();
+    }
+
+    /// Bernoulli trial with success probability \p p.
+    bool chance(double p) { return uniform01() < p; }
+
+    /// One random byte.
+    std::uint8_t byte() { return static_cast<std::uint8_t>((*this)() & 0xff); }
+
+    /// \p n random bytes.
+    std::vector<std::uint8_t> bytes(std::size_t n) {
+        std::vector<std::uint8_t> out(n);
+        for (auto& b : out) {
+            b = byte();
+        }
+        return out;
+    }
+
+    /// Pick a uniformly random element of a non-empty span.
+    template <typename T>
+    const T& pick(std::span<const T> values) {
+        expects(!values.empty(), "rng::pick: empty span");
+        return values[static_cast<std::size_t>(uniform(0, values.size() - 1))];
+    }
+
+    /// Pick a uniformly random element of a non-empty vector.
+    template <typename T>
+    const T& pick(const std::vector<T>& values) {
+        return pick(std::span<const T>{values});
+    }
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& values) {
+        if (values.size() < 2) {
+            return;
+        }
+        for (std::size_t i = values.size() - 1; i > 0; --i) {
+            const std::size_t j = static_cast<std::size_t>(uniform(0, i));
+            using std::swap;
+            swap(values[i], values[j]);
+        }
+    }
+
+    /// Geometric-ish small count in [lo, hi]: repeatedly flips a coin with
+    /// continuation probability \p p, handy for "number of options/records".
+    std::size_t small_count(std::size_t lo, std::size_t hi, double p = 0.5) {
+        expects(lo <= hi, "rng::small_count: lo must be <= hi");
+        std::size_t n = lo;
+        while (n < hi && chance(p)) {
+            ++n;
+        }
+        return n;
+    }
+
+    /// Zipf-like index in [0, n): low indices much more likely. Used to give
+    /// synthetic traces the skewed value popularity of real traffic.
+    /// The index is floor(n * u^skew) for uniform u, so with the default
+    /// skew the first quarter of the population receives half the draws.
+    std::size_t zipf_index(std::size_t n, double skew = 2.0) {
+        expects(n > 0, "rng::zipf_index: n must be > 0");
+        const double value = static_cast<double>(n) * std::pow(uniform01(), skew);
+        auto idx = static_cast<std::size_t>(value);
+        return idx < n ? idx : n - 1;
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+};
+
+}  // namespace ftc

@@ -1,0 +1,118 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ftc {
+
+double mean(std::span<const double> values) {
+    if (values.empty()) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (double v : values) {
+        sum += v;
+    }
+    return sum / static_cast<double>(values.size());
+}
+
+double median(std::span<const double> values) {
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t mid = sorted.size() / 2;
+    if (sorted.size() % 2 == 1) {
+        return sorted[mid];
+    }
+    return 0.5 * (sorted[mid - 1] + sorted[mid]);
+}
+
+double stddev(std::span<const double> values) {
+    if (values.size() < 2) {
+        return 0.0;
+    }
+    const double m = mean(values);
+    double sum_sq = 0.0;
+    for (double v : values) {
+        const double d = v - m;
+        sum_sq += d * d;
+    }
+    return std::sqrt(sum_sq / static_cast<double>(values.size()));
+}
+
+double min_value(std::span<const double> values) {
+    expects(!values.empty(), "min_value: empty input");
+    return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+    expects(!values.empty(), "max_value: empty input");
+    return *std::max_element(values.begin(), values.end());
+}
+
+double percent_rank(std::span<const double> values, double score) {
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::size_t below = 0;
+    std::size_t equal = 0;
+    for (double v : values) {
+        if (v < score) {
+            ++below;
+        } else if (v == score) {
+            ++equal;
+        }
+    }
+    const double n = static_cast<double>(values.size());
+    return 100.0 * (static_cast<double>(below) + 0.5 * static_cast<double>(equal)) / n;
+}
+
+double byte_entropy(std::span<const std::uint8_t> data) {
+    if (data.empty()) {
+        return 0.0;
+    }
+    std::array<std::size_t, 256> counts{};
+    for (std::uint8_t b : data) {
+        ++counts[b];
+    }
+    const double n = static_cast<double>(data.size());
+    double h = 0.0;
+    for (std::size_t c : counts) {
+        if (c == 0) {
+            continue;
+        }
+        const double p = static_cast<double>(c) / n;
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+    expects(xs.size() == ys.size(), "pearson: length mismatch");
+    if (xs.size() < 2) {
+        return 0.0;
+    }
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0) {
+        return 0.0;
+    }
+    return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace ftc

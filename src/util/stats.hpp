@@ -1,0 +1,52 @@
+/// \file stats.hpp
+/// Small descriptive-statistics toolkit used by the clustering pipeline:
+/// arithmetic mean, median, standard deviation, Shannon entropy, Pearson
+/// correlation and the percent rank PR used by the cluster-split heuristic
+/// (paper Sec. III-F).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ftc {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(std::span<const double> values);
+
+/// Median (average of the two middle elements for even sizes); 0 for empty.
+/// Input is copied, not modified.
+double median(std::span<const double> values);
+
+/// Population standard deviation; 0 for fewer than two values.
+double stddev(std::span<const double> values);
+
+/// Minimum / maximum; both throw ftc::precondition_error on empty input.
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// Percent rank of a score within a sample, following Roscoe (1975) as used
+/// by the paper: the percentage of values strictly below the score plus half
+/// the percentage of values equal to it, in [0, 100]. Empty input -> 0.
+double percent_rank(std::span<const double> values, double score);
+
+/// Shannon entropy in bits of the byte distribution of \p data (0..8).
+double byte_entropy(std::span<const std::uint8_t> data);
+
+/// Pearson correlation coefficient of two equal-length samples. Returns 0
+/// when either side has zero variance. Throws on length mismatch.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Convenience: convert any numeric container contents to double.
+template <typename T>
+std::vector<double> to_doubles(std::span<const T> values) {
+    std::vector<double> out;
+    out.reserve(values.size());
+    for (const T& v : values) {
+        out.push_back(static_cast<double>(v));
+    }
+    return out;
+}
+
+}  // namespace ftc

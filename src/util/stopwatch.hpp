@@ -1,0 +1,63 @@
+/// \file stopwatch.hpp
+/// Wall-clock measurement and cooperative deadlines.
+///
+/// The paper reports four analysis runs that "fail due to exceeding runtime
+/// or memory constraints" (Table II). ftc::deadline lets long-running
+/// substrates (notably the Netzob-style aligner) reproduce that behaviour by
+/// throwing ftc::budget_exceeded_error when a configured budget elapses.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace ftc {
+
+/// Simple monotonic stopwatch.
+class stopwatch {
+public:
+    stopwatch() : start_(clock::now()) {}
+
+    /// Seconds elapsed since construction or the last reset().
+    double elapsed_seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    void reset() { start_ = clock::now(); }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// Cooperative wall-clock budget. A default-constructed deadline never
+/// expires; a bounded one throws from check() once the budget is exceeded.
+class deadline {
+public:
+    /// Unlimited deadline.
+    deadline() = default;
+
+    /// Deadline expiring \p seconds from now.
+    explicit deadline(double seconds) : budget_seconds_(seconds) {}
+
+    /// True once the budget has elapsed (always false when unlimited).
+    bool expired() const {
+        return budget_seconds_.has_value() && watch_.elapsed_seconds() > *budget_seconds_;
+    }
+
+    /// Throw ftc::budget_exceeded_error if expired. \p what names the
+    /// operation for the error message.
+    void check(std::string_view what) const {
+        if (expired()) {
+            throw budget_exceeded_error(std::string{what} + ": exceeded runtime budget");
+        }
+    }
+
+private:
+    std::optional<double> budget_seconds_;
+    stopwatch watch_;
+};
+
+}  // namespace ftc

@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace ftc {
+
+text_table::text_table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    expects(!headers_.empty(), "text_table: need at least one column");
+    aligns_.assign(headers_.size(), align::right);
+}
+
+void text_table::set_align(std::size_t index, align a) {
+    expects(index < aligns_.size(), "text_table::set_align: column out of range");
+    aligns_[index] = a;
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+    expects(cells.size() == headers_.size(), "text_table::add_row: cell count mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string text_table::render() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto pad = [](const std::string& text, std::size_t width, align a) {
+        std::string out;
+        const std::size_t fill = width - std::min(width, text.size());
+        if (a == align::right) {
+            out.append(fill, ' ');
+            out += text;
+        } else {
+            out += text;
+            out.append(fill, ' ');
+        }
+        return out;
+    };
+
+    std::string out;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        out += pad(headers_[c], widths[c], align::left);
+        out += (c + 1 < headers_.size()) ? "  " : "";
+    }
+    out += '\n';
+    std::size_t rule_width = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        rule_width += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    }
+    out.append(rule_width, '-');
+    out += '\n';
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += pad(row[c], widths[c], aligns_[c]);
+            out += (c + 1 < row.size()) ? "  " : "";
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string format_fixed(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return buf;
+}
+
+std::string format_percent(double fraction) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.0f%%", 100.0 * fraction);
+    return buf;
+}
+
+}  // namespace ftc

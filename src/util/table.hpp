@@ -1,0 +1,45 @@
+/// \file table.hpp
+/// Plain-text table renderer used by the benchmark harnesses to print the
+/// paper's tables (Table I, Table II, coverage comparison) in aligned form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ftc {
+
+/// Column alignment within a rendered table.
+enum class align { left, right };
+
+/// A text table with a header row. Cells are strings; numeric formatting is
+/// the caller's responsibility (see format_fixed / format_percent).
+class text_table {
+public:
+    /// Create a table with the given column headers (left-aligned header,
+    /// per-column body alignment defaults to right).
+    explicit text_table(std::vector<std::string> headers);
+
+    /// Override body alignment of column \p index.
+    void set_align(std::size_t index, align a);
+
+    /// Append one row; must have exactly as many cells as there are headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Render with column separators and a header rule.
+    std::string render() const;
+
+    std::size_t row_count() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<align> aligns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-point formatting, e.g. format_fixed(0.9273, 2) == "0.93".
+std::string format_fixed(double value, int decimals);
+
+/// Percent formatting, e.g. format_percent(0.873) == "87%".
+std::string format_percent(double fraction);
+
+}  // namespace ftc

@@ -1,0 +1,213 @@
+// Unit tests for epsilon auto-configuration / Algorithm 1
+// (cluster/autoconf.hpp).
+#include "cluster/autoconf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::cluster {
+namespace {
+
+/// Matrix of points on a line with |x_i - x_j| distances.
+dissim::dissimilarity_matrix line_matrix(const std::vector<double>& xs) {
+    const std::size_t n = xs.size();
+    std::vector<double> dense(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            dense[i * n + j] = std::min(1.0, std::abs(xs[i] - xs[j]));
+        }
+    }
+    return dissim::dissimilarity_matrix::from_dense(dense, n);
+}
+
+/// Three well-separated tight blobs: intra-blob spacing 0.002, gaps ~0.3.
+std::vector<double> blobs_data(rng& rand, std::size_t per_blob) {
+    std::vector<double> xs;
+    for (double center : {0.1, 0.45, 0.8}) {
+        for (std::size_t i = 0; i < per_blob; ++i) {
+            xs.push_back(center + rand.uniform_real(-0.01, 0.01));
+        }
+    }
+    return xs;
+}
+
+TEST(Autoconf, EpsilonSeparatesWellSeparatedBlobs) {
+    rng rand(1);
+    const std::vector<double> xs = blobs_data(rand, 30);
+    const auto m = line_matrix(xs);
+    const autoconf_result cfg = auto_configure(m);
+    // The knee must land between the intra-blob scale (points are within
+    // 0.02 of their blob center) and the inter-blob gaps (~0.33).
+    EXPECT_GT(cfg.epsilon, 0.0);
+    EXPECT_LT(cfg.epsilon, 0.3);
+    // DBSCAN with the auto parameters must never mix points of different
+    // blobs into one cluster (blobs may fray into sub-clusters and noise,
+    // but cross-blob contamination would mean epsilon overshot the gap).
+    const cluster_labels r = dbscan(m, {cfg.epsilon, cfg.min_samples});
+    EXPECT_GE(r.cluster_count, 3u);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        for (std::size_t j = i + 1; j < xs.size(); ++j) {
+            if (r.labels[i] != kNoise && r.labels[i] == r.labels[j]) {
+                EXPECT_LT(std::abs(xs[i] - xs[j]), 0.1)
+                    << "points from different blobs share a cluster";
+            }
+        }
+    }
+}
+
+TEST(Autoconf, MinSamplesIsLogOfCount) {
+    rng rand(2);
+    const auto m = line_matrix(blobs_data(rand, 30));  // n = 90
+    const autoconf_result cfg = auto_configure(m);
+    EXPECT_EQ(cfg.min_samples,
+              static_cast<std::size_t>(std::lround(std::log(90.0))));  // 4 or 5
+}
+
+TEST(Autoconf, CandidateRangeFollowsLogN) {
+    rng rand(3);
+    const auto m = line_matrix(blobs_data(rand, 40));  // n = 120, ln ~ 4.8
+    const autoconf_result cfg = auto_configure(m);
+    ASSERT_FALSE(cfg.candidates.empty());
+    EXPECT_EQ(cfg.candidates.front().k, 2u);
+    EXPECT_EQ(cfg.candidates.back().k,
+              static_cast<std::size_t>(std::lround(std::log(120.0))));
+    // Selected k is one of the candidates.
+    bool found = false;
+    for (const k_candidate& c : cfg.candidates) {
+        if (c.k == cfg.selected_k) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Autoconf, RejectsTinyMatrices) {
+    const auto m = line_matrix({0.0, 1.0});
+    EXPECT_THROW(auto_configure(m), precondition_error);
+}
+
+TEST(Autoconf, DegenerateEqualDistancesFallsBack) {
+    // All points identical: kNN distances all zero -> no knee.
+    const std::vector<double> xs(10, 0.5);
+    const auto m = line_matrix(xs);
+    const autoconf_result cfg = auto_configure(m);
+    EXPECT_FALSE(cfg.knee_found);
+    EXPECT_DOUBLE_EQ(cfg.epsilon, autoconf_options{}.fallback_epsilon);
+}
+
+TEST(Autoconf, TrimmedSearchReturnsSmallerEpsilon) {
+    rng rand(4);
+    const auto m = line_matrix(blobs_data(rand, 30));
+    const autoconf_result cfg = auto_configure(m);
+    const autoconf_result trimmed = auto_configure_trimmed(m, cfg.epsilon);
+    EXPECT_LT(trimmed.epsilon, cfg.epsilon);
+    EXPECT_GT(trimmed.epsilon, 0.0);
+}
+
+TEST(AutoCluster, SeparatesBlobsWithoutCrossContamination) {
+    rng rand(5);
+    const std::vector<double> xs = blobs_data(rand, 30);
+    const auto m = line_matrix(xs);
+    const auto_cluster_result r = auto_cluster(m);
+    EXPECT_GE(r.labels.cluster_count, 3u);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        for (std::size_t j = i + 1; j < xs.size(); ++j) {
+            if (r.labels.labels[i] != kNoise && r.labels.labels[i] == r.labels.labels[j]) {
+                EXPECT_LT(std::abs(xs[i] - xs[j]), 0.1);
+            }
+        }
+    }
+}
+
+TEST(AutoCluster, OversizeGuardWalksDownToSplitNestedScales) {
+    // Two-scale structure: 5 micro-blobs (spacing 0.001 inside) arranged in
+    // a macro-blob region 0.1..0.22 (micro gaps ~0.03), plus a far blob at
+    // 0.9. A knee at the macro scale would lump >60% into one cluster; the
+    // guard must walk down to the micro scale.
+    rng rand(6);
+    std::vector<double> xs;
+    for (double center : {0.10, 0.13, 0.16, 0.19, 0.22}) {
+        for (int i = 0; i < 12; ++i) {
+            xs.push_back(center + rand.uniform_real(-0.0005, 0.0005));
+        }
+    }
+    for (int i = 0; i < 12; ++i) {
+        xs.push_back(0.9 + rand.uniform_real(-0.0005, 0.0005));
+    }
+    const auto m = line_matrix(xs);
+    const auto_cluster_result r = auto_cluster(m);
+    // Regardless of which knee was found first, the guard must leave no
+    // cluster holding more than 60% of non-noise points.
+    const std::size_t non_noise = m.size() - r.labels.noise_count();
+    std::vector<std::size_t> sizes(r.labels.cluster_count, 0);
+    for (int l : r.labels.labels) {
+        if (l != kNoise) {
+            ++sizes[static_cast<std::size_t>(l)];
+        }
+    }
+    for (std::size_t s : sizes) {
+        EXPECT_LE(static_cast<double>(s), 0.6 * static_cast<double>(non_noise) + 1.0);
+    }
+    EXPECT_GE(r.labels.cluster_count, 2u);
+}
+
+TEST(AutoCluster, ReconfigurationCountBounded) {
+    rng rand(7);
+    std::vector<double> xs;
+    for (int i = 0; i < 60; ++i) {
+        xs.push_back(rand.uniform01());  // uniform: no clean knee anywhere
+    }
+    const auto m = line_matrix(xs);
+    const auto_cluster_result r = auto_cluster(m, {}, 0.6, 4);
+    EXPECT_LE(r.reconfigurations, 4u);
+}
+
+TEST(AutoCluster, UndersizeGuardEscalatesMicroKnee) {
+    // 30 tight pairs (intra-pair distance ~0.0005) scattered 0.03 apart:
+    // the sharpest knee sits at the pair scale, where min_samples (=4) can
+    // never be met — plain DBSCAN returns zero clusters. The undersize
+    // guard must escalate epsilon until clusters form.
+    rng rand(11);
+    std::vector<double> xs;
+    for (int p = 0; p < 30; ++p) {
+        const double center = 0.03 * p + rand.uniform_real(-0.002, 0.002);
+        xs.push_back(center);
+        xs.push_back(center + 0.0005);
+    }
+    const auto m = line_matrix(xs);
+    const auto_cluster_result r = auto_cluster(m);
+    EXPECT_GE(r.labels.cluster_count, 1u);
+    EXPECT_LT(r.labels.noise_count(), xs.size());
+}
+
+TEST(AutoCluster, OversizeWalkNeverAcceptsZeroClusters) {
+    // Whatever the guard does, the result must keep at least one cluster
+    // when the initial configuration produced one.
+    rng rand(12);
+    std::vector<double> xs;
+    for (int i = 0; i < 80; ++i) {
+        xs.push_back(rand.uniform01() * 0.2);  // one diffuse blob
+    }
+    const auto m = line_matrix(xs);
+    const auto_cluster_result r = auto_cluster(m);
+    EXPECT_GE(r.labels.cluster_count, 1u);
+}
+
+TEST(Autoconf, SmoothedCurvesAreMonotone) {
+    rng rand(8);
+    const auto m = line_matrix(blobs_data(rand, 25));
+    const autoconf_result cfg = auto_configure(m);
+    for (const k_candidate& c : cfg.candidates) {
+        for (std::size_t i = 1; i < c.smoothed.size(); ++i) {
+            EXPECT_GE(c.smoothed[i], c.smoothed[i - 1]);
+        }
+        EXPECT_GE(c.sharpness, 0.0);
+    }
+}
+
+}  // namespace
+}  // namespace ftc::cluster

@@ -1,0 +1,182 @@
+// Unit and property tests for DBSCAN (cluster/dbscan.hpp).
+#include "cluster/dbscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::cluster {
+namespace {
+
+/// Matrix from points on a line: d(i,j) = |x_i - x_j| (clamped to [0,1]).
+dissim::dissimilarity_matrix line_matrix(const std::vector<double>& xs) {
+    const std::size_t n = xs.size();
+    std::vector<double> dense(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            dense[i * n + j] = std::min(1.0, std::abs(xs[i] - xs[j]));
+        }
+    }
+    return dissim::dissimilarity_matrix::from_dense(dense, n);
+}
+
+TEST(Dbscan, TwoBlobsAndOutlier) {
+    // Blob A at 0.0..0.03, blob B at 0.5..0.53, outlier at 0.9.
+    const std::vector<double> xs{0.00, 0.01, 0.02, 0.03, 0.50, 0.51, 0.52, 0.53, 0.90};
+    const auto m = line_matrix(xs);
+    const cluster_labels r = dbscan(m, {.epsilon = 0.05, .min_samples = 3});
+    EXPECT_EQ(r.cluster_count, 2u);
+    EXPECT_EQ(r.noise_count(), 1u);
+    EXPECT_EQ(r.labels[8], kNoise);
+    // Blob members share labels.
+    EXPECT_EQ(r.labels[0], r.labels[3]);
+    EXPECT_EQ(r.labels[4], r.labels[7]);
+    EXPECT_NE(r.labels[0], r.labels[4]);
+}
+
+TEST(Dbscan, EverythingOneClusterAtLargeEpsilon) {
+    const std::vector<double> xs{0.0, 0.1, 0.2, 0.3, 0.4};
+    const auto m = line_matrix(xs);
+    const cluster_labels r = dbscan(m, {.epsilon = 0.5, .min_samples = 2});
+    EXPECT_EQ(r.cluster_count, 1u);
+    EXPECT_EQ(r.noise_count(), 0u);
+}
+
+TEST(Dbscan, EverythingNoiseAtTinyEpsilon) {
+    const std::vector<double> xs{0.0, 0.2, 0.4, 0.6, 0.8};
+    const auto m = line_matrix(xs);
+    const cluster_labels r = dbscan(m, {.epsilon = 0.01, .min_samples = 2});
+    EXPECT_EQ(r.cluster_count, 0u);
+    EXPECT_EQ(r.noise_count(), 5u);
+}
+
+TEST(Dbscan, MinSamplesControlsDensityRequirement) {
+    // Chain of 3 points, each 0.05 apart.
+    const std::vector<double> xs{0.0, 0.05, 0.10};
+    const auto m = line_matrix(xs);
+    // min_samples=2: every point has one neighbour within eps -> chain forms.
+    EXPECT_EQ(dbscan(m, {.epsilon = 0.06, .min_samples = 2}).cluster_count, 1u);
+    // min_samples=4 (more than the 3 points): nothing can be a core point.
+    EXPECT_EQ(dbscan(m, {.epsilon = 0.06, .min_samples = 4}).cluster_count, 0u);
+}
+
+TEST(Dbscan, BorderPointJoinsCluster) {
+    // Dense core 0.00..0.02 plus a border point at 0.055 reachable from the
+    // core but itself not core (needs 4 points within 0.04).
+    const std::vector<double> xs{0.00, 0.01, 0.02, 0.055};
+    const auto m = line_matrix(xs);
+    const cluster_labels r = dbscan(m, {.epsilon = 0.04, .min_samples = 4});
+    // Points 0..2 plus border all within one cluster? Core at 0.02 sees
+    // {0.00,0.01,0.02,0.055} -> 4 neighbours -> core; border joins.
+    EXPECT_EQ(r.cluster_count, 1u);
+    EXPECT_EQ(r.labels[3], r.labels[0]);
+}
+
+TEST(Dbscan, ChainingThroughCorePoints) {
+    // Points every 0.03: all mutually reachable through neighbours.
+    std::vector<double> xs;
+    for (int i = 0; i < 10; ++i) {
+        xs.push_back(0.03 * i);
+    }
+    const auto m = line_matrix(xs);
+    const cluster_labels r = dbscan(m, {.epsilon = 0.035, .min_samples = 3});
+    EXPECT_EQ(r.cluster_count, 1u);
+    EXPECT_EQ(r.noise_count(), 0u);
+}
+
+TEST(Dbscan, EmptyMatrix) {
+    const auto m = dissim::dissimilarity_matrix::from_dense({}, 0);
+    const cluster_labels r = dbscan(m, {.epsilon = 0.1, .min_samples = 2});
+    EXPECT_EQ(r.cluster_count, 0u);
+    EXPECT_TRUE(r.labels.empty());
+}
+
+TEST(Dbscan, RejectsInvalidParams) {
+    const auto m = line_matrix({0.0, 0.5});
+    EXPECT_THROW(dbscan(m, {.epsilon = -0.1, .min_samples = 2}), precondition_error);
+    EXPECT_THROW(dbscan(m, {.epsilon = 0.1, .min_samples = 0}), precondition_error);
+}
+
+TEST(Dbscan, MembersPartitionNonNoise) {
+    const std::vector<double> xs{0.0, 0.01, 0.02, 0.5, 0.51, 0.52, 0.95};
+    const auto m = line_matrix(xs);
+    const cluster_labels r = dbscan(m, {.epsilon = 0.05, .min_samples = 2});
+    const auto members = r.members();
+    std::size_t covered = 0;
+    std::set<std::size_t> seen;
+    for (const auto& cluster : members) {
+        for (std::size_t idx : cluster) {
+            EXPECT_TRUE(seen.insert(idx).second) << "index in two clusters";
+            ++covered;
+        }
+    }
+    EXPECT_EQ(covered + r.noise_count(), xs.size());
+}
+
+// Property sweep: structural invariants across random data and parameters.
+class DbscanProps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DbscanProps, LabelsAreWellFormed) {
+    rng rand(GetParam());
+    std::vector<double> xs;
+    const std::size_t n = 5 + rand.uniform(0, 60);
+    for (std::size_t i = 0; i < n; ++i) {
+        xs.push_back(rand.uniform01());
+    }
+    const auto m = line_matrix(xs);
+    const dbscan_params params{rand.uniform_real(0.01, 0.3), 2 + rand.uniform(0, 4)};
+    const cluster_labels r = dbscan(m, params);
+    ASSERT_EQ(r.labels.size(), n);
+    for (int label : r.labels) {
+        EXPECT_TRUE(label == kNoise ||
+                    (label >= 0 && label < static_cast<int>(r.cluster_count)));
+    }
+    // Every cluster id in [0, cluster_count) is actually used.
+    std::vector<bool> used(r.cluster_count, false);
+    for (int label : r.labels) {
+        if (label != kNoise) {
+            used[static_cast<std::size_t>(label)] = true;
+        }
+    }
+    for (bool u : used) {
+        EXPECT_TRUE(u);
+    }
+    // Every cluster contains at least one core point.
+    for (const auto& members : r.members()) {
+        bool has_core = false;
+        for (std::size_t i : members) {
+            std::size_t neighbours = 0;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (m.at(i, j) <= params.epsilon) {
+                    ++neighbours;
+                }
+            }
+            if (neighbours >= params.min_samples) {
+                has_core = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(has_core);
+    }
+    // No noise point is within epsilon of enough points to be core.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (r.labels[i] != kNoise) {
+            continue;
+        }
+        std::size_t neighbours = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (m.at(i, j) <= params.epsilon) {
+                ++neighbours;
+            }
+        }
+        EXPECT_LT(neighbours, params.min_samples);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbscanProps, ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace ftc::cluster

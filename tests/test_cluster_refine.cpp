@@ -1,0 +1,252 @@
+// Unit tests for cluster refinement: merge & split (cluster/refine.hpp).
+#include "cluster/refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::cluster {
+namespace {
+
+dissim::dissimilarity_matrix line_matrix(const std::vector<double>& xs) {
+    const std::size_t n = xs.size();
+    std::vector<double> dense(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            dense[i * n + j] = std::min(1.0, std::abs(xs[i] - xs[j]));
+        }
+    }
+    return dissim::dissimilarity_matrix::from_dense(dense, n);
+}
+
+cluster_labels make_labels(std::vector<int> labels) {
+    cluster_labels out;
+    int max_label = -1;
+    for (int l : labels) {
+        max_label = std::max(max_label, l);
+    }
+    out.labels = std::move(labels);
+    out.cluster_count = static_cast<std::size_t>(max_label + 1);
+    return out;
+}
+
+TEST(Merge, AdjacentEqualDensityClustersMerge) {
+    // Two halves of one uniform blob, split artificially: spacing 0.01
+    // everywhere, including across the split -> link distance equals the
+    // intra-cluster scale, densities identical -> must merge.
+    std::vector<double> xs;
+    std::vector<int> labels;
+    for (int i = 0; i < 10; ++i) {
+        xs.push_back(0.01 * i);
+        labels.push_back(0);
+    }
+    for (int i = 0; i < 10; ++i) {
+        xs.push_back(0.1 + 0.01 * (i + 1));
+        labels.push_back(1);
+    }
+    const auto m = line_matrix(xs);
+    const refine_result r = merge_clusters(m, make_labels(labels));
+    EXPECT_EQ(r.labels.cluster_count, 1u);
+    ASSERT_EQ(r.merges.size(), 1u);
+    EXPECT_GT(r.merges[0].link_dissimilarity, 0.0);
+}
+
+TEST(Merge, DistantClustersStaySeparate) {
+    std::vector<double> xs;
+    std::vector<int> labels;
+    for (int i = 0; i < 10; ++i) {
+        xs.push_back(0.001 * i);
+        labels.push_back(0);
+    }
+    for (int i = 0; i < 10; ++i) {
+        xs.push_back(0.8 + 0.001 * i);
+        labels.push_back(1);
+    }
+    const auto m = line_matrix(xs);
+    const refine_result r = merge_clusters(m, make_labels(labels));
+    EXPECT_EQ(r.labels.cluster_count, 2u);
+    EXPECT_TRUE(r.merges.empty());
+}
+
+TEST(Merge, DissimilarDensityClustersStaySeparate) {
+    // Tight cluster (spacing 0.0005, 12 members) next to a loose one
+    // (spacing 0.04, 8 members). The loose cluster is smaller, so the
+    // epsilon of condition 1 spans both; the local densities around the
+    // link segments then differ by far more than the 0.01 threshold, and
+    // the cluster-wide 1-NN medians differ by more than 0.002 (condition 2)
+    // -> no merge.
+    std::vector<double> xs;
+    std::vector<int> labels;
+    for (int i = 0; i < 12; ++i) {
+        xs.push_back(0.0005 * i);
+        labels.push_back(0);
+    }
+    for (int i = 0; i < 8; ++i) {
+        xs.push_back(0.02 + 0.04 * i);
+        labels.push_back(1);
+    }
+    const auto m = line_matrix(xs);
+    const refine_result r = merge_clusters(m, make_labels(labels));
+    EXPECT_EQ(r.labels.cluster_count, 2u);
+}
+
+TEST(Merge, TransitiveMergingViaUnionFind) {
+    // Three consecutive slices of one uniform blob -> all three collapse.
+    std::vector<double> xs;
+    std::vector<int> labels;
+    for (int c = 0; c < 3; ++c) {
+        for (int i = 0; i < 8; ++i) {
+            xs.push_back(0.01 * (c * 8 + i));
+            labels.push_back(c);
+        }
+    }
+    const auto m = line_matrix(xs);
+    const refine_result r = merge_clusters(m, make_labels(labels));
+    EXPECT_EQ(r.labels.cluster_count, 1u);
+    EXPECT_GE(r.merges.size(), 2u);
+}
+
+TEST(Merge, NoiseLabelsUntouched) {
+    std::vector<double> xs{0.0, 0.01, 0.02, 0.5, 0.51, 0.52, 0.9};
+    std::vector<int> labels{0, 0, 0, 1, 1, 1, kNoise};
+    const auto m = line_matrix(xs);
+    const refine_result r = merge_clusters(m, make_labels(labels));
+    EXPECT_EQ(r.labels.labels[6], kNoise);
+}
+
+TEST(Merge, SingleClusterPassesThrough) {
+    const auto m = line_matrix({0.0, 0.01, 0.02});
+    const refine_result r = merge_clusters(m, make_labels({0, 0, 0}));
+    EXPECT_EQ(r.labels.cluster_count, 1u);
+    EXPECT_TRUE(r.merges.empty());
+}
+
+TEST(Merge, DegenerateSingletonClustersIgnored) {
+    const auto m = line_matrix({0.0, 0.001, 0.002, 0.003});
+    // Cluster 1 is a singleton: no density information -> never merged.
+    const refine_result r = merge_clusters(m, make_labels({0, 0, 0, 1}));
+    EXPECT_EQ(r.labels.cluster_count, 2u);
+}
+
+TEST(Split, PolarizedOccurrencesSplit) {
+    // One cluster of 20 values: 17 appear once, 3 appear 400 times each.
+    // |c| = 17 + 1200 = 1217, F = ln|c| ~ 7.1; PR(F) = 85%? -> need > 95 %:
+    // use 39 rare + 3 frequent -> PR = 39.5/42*100 ~ 94 -> push to 60 rare.
+    std::vector<int> labels(63, 0);
+    std::vector<std::size_t> occurrences(63, 1);
+    occurrences[60] = 400;
+    occurrences[61] = 400;
+    occurrences[62] = 400;
+    const refine_result r = split_clusters(make_labels(labels), occurrences);
+    ASSERT_EQ(r.splits.size(), 1u);
+    EXPECT_EQ(r.labels.cluster_count, 2u);
+    EXPECT_EQ(r.splits[0].high_side, 3u);
+    EXPECT_EQ(r.splits[0].low_side, 60u);
+    // The three frequent values share the new cluster id.
+    EXPECT_EQ(r.labels.labels[60], r.labels.labels[61]);
+    EXPECT_NE(r.labels.labels[60], r.labels.labels[0]);
+}
+
+TEST(Split, UniformOccurrencesDoNotSplit) {
+    std::vector<int> labels(30, 0);
+    std::vector<std::size_t> occurrences(30, 5);
+    const refine_result r = split_clusters(make_labels(labels), occurrences);
+    EXPECT_TRUE(r.splits.empty());
+    EXPECT_EQ(r.labels.cluster_count, 1u);
+}
+
+TEST(Split, SmallClustersSkipped) {
+    std::vector<int> labels{0, 0};
+    std::vector<std::size_t> occurrences{1, 1000};
+    const refine_result r = split_clusters(make_labels(labels), occurrences);
+    EXPECT_TRUE(r.splits.empty());
+}
+
+TEST(Split, RequiresOccurrencePerLabel) {
+    std::vector<int> labels{0, 0, 0};
+    std::vector<std::size_t> occurrences{1, 1};
+    EXPECT_THROW(split_clusters(make_labels(labels), occurrences), precondition_error);
+}
+
+TEST(Refine, MergeThenSplitComposition) {
+    // Uniform blob split in two (will merge back) where a few values are
+    // hugely frequent (will split off).
+    std::vector<double> xs;
+    std::vector<int> labels;
+    std::vector<std::size_t> occurrences;
+    for (int i = 0; i < 60; ++i) {
+        xs.push_back(0.01 * i);
+        labels.push_back(i < 30 ? 0 : 1);
+        occurrences.push_back(1);
+    }
+    occurrences[0] = 500;
+    occurrences[1] = 500;
+    const auto m = line_matrix(xs);
+    const refine_result r = refine(m, make_labels(labels), occurrences);
+    EXPECT_GE(r.merges.size(), 1u);
+    EXPECT_EQ(r.splits.size(), 1u);
+    // Net effect: one merged cluster split into frequent/infrequent halves.
+    EXPECT_EQ(r.labels.cluster_count, 2u);
+}
+
+TEST(Merge, MaxMergedFractionBlocksOversizedMerge) {
+    // Two mergeable halves of a uniform blob; with max_merged_fraction the
+    // merge (which would cover 100% of non-noise points) must be rejected.
+    std::vector<double> xs;
+    std::vector<int> labels;
+    for (int i = 0; i < 20; ++i) {
+        xs.push_back(0.01 * i);
+        labels.push_back(i < 10 ? 0 : 1);
+    }
+    const auto m = line_matrix(xs);
+    refine_options opt;
+    opt.max_merged_fraction = 0.6;
+    const refine_result blocked = merge_clusters(m, make_labels(labels), opt);
+    EXPECT_EQ(blocked.labels.cluster_count, 2u);
+    EXPECT_TRUE(blocked.merges.empty());
+    // Without the cap the same input merges.
+    const refine_result merged = merge_clusters(m, make_labels(labels));
+    EXPECT_EQ(merged.labels.cluster_count, 1u);
+}
+
+TEST(Merge, MaxMergedFractionAllowsSmallMerges) {
+    // Two small adjacent clusters plus one large distant cluster: merging
+    // the small ones stays below the fraction and must still happen.
+    std::vector<double> xs;
+    std::vector<int> labels;
+    for (int i = 0; i < 8; ++i) {
+        xs.push_back(0.01 * i);
+        labels.push_back(0);
+    }
+    for (int i = 0; i < 8; ++i) {
+        xs.push_back(0.08 + 0.01 * (i + 1));
+        labels.push_back(1);
+    }
+    for (int i = 0; i < 40; ++i) {
+        xs.push_back(0.8 + 0.0005 * i);
+        labels.push_back(2);
+    }
+    const auto m = line_matrix(xs);
+    refine_options opt;
+    opt.max_merged_fraction = 0.6;
+    const refine_result r = merge_clusters(m, make_labels(labels), opt);
+    EXPECT_EQ(r.labels.cluster_count, 2u);
+    ASSERT_EQ(r.merges.size(), 1u);
+}
+
+TEST(Refine, NoClustersIsANoop) {
+    const auto m = line_matrix({0.3, 0.6, 0.9});
+    cluster_labels input;
+    input.labels = {kNoise, kNoise, kNoise};
+    input.cluster_count = 0;
+    const refine_result r = refine(m, input, {1, 1, 1});
+    EXPECT_EQ(r.labels.cluster_count, 0u);
+    EXPECT_TRUE(r.merges.empty());
+    EXPECT_TRUE(r.splits.empty());
+}
+
+}  // namespace
+}  // namespace ftc::cluster

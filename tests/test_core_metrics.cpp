@@ -1,0 +1,200 @@
+// Unit tests for the combinatorial clustering metrics (core/metrics.hpp),
+// including the paper's three-term false-negative definition (Sec. IV-A).
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ftc::core {
+namespace {
+
+using protocols::field_type;
+
+/// Build typed_segments with one synthetic occurrence per unique value.
+typed_segments make_typed(const std::vector<field_type>& types,
+                          const std::vector<std::size_t>& occurrence_counts = {},
+                          std::size_t value_length = 4) {
+    typed_segments out;
+    out.types = types;
+    for (std::size_t i = 0; i < types.size(); ++i) {
+        out.unique.values.push_back(byte_vector(value_length, static_cast<std::uint8_t>(i)));
+        std::vector<segmentation::segment> occs;
+        const std::size_t count =
+            occurrence_counts.empty() ? 1 : occurrence_counts[i];
+        for (std::size_t o = 0; o < count; ++o) {
+            occs.push_back(segmentation::segment{o, 0, value_length});
+        }
+        out.unique.occurrences.push_back(std::move(occs));
+    }
+    return out;
+}
+
+cluster::cluster_labels make_labels(std::vector<int> labels) {
+    cluster::cluster_labels out;
+    int max_label = -1;
+    for (int l : labels) {
+        max_label = std::max(max_label, l);
+    }
+    out.labels = std::move(labels);
+    out.cluster_count = static_cast<std::size_t>(max_label + 1);
+    return out;
+}
+
+TEST(FBeta, KnownValues) {
+    // beta = 1 reduces to the harmonic mean.
+    EXPECT_NEAR(f_beta(0.5, 0.5, 1.0), 0.5, 1e-12);
+    // beta = 1/4 weighs precision 4x: with P=1, R=0.5:
+    // (1+1/16)*1*0.5 / (1/16*1 + 0.5) = 0.53125/0.5625 = 0.9444...
+    EXPECT_NEAR(f_beta(1.0, 0.5, 0.25), 0.94444444444, 1e-9);
+    EXPECT_DOUBLE_EQ(f_beta(0.0, 0.0, 0.25), 0.0);
+}
+
+TEST(Metrics, PerfectClusteringScoresOne) {
+    // Two types, each its own cluster.
+    const typed_segments ts = make_typed(
+        {field_type::timestamp, field_type::timestamp, field_type::id, field_type::id});
+    const auto labels = make_labels({0, 0, 1, 1});
+    const clustering_quality q = evaluate_clustering(labels, ts, 100);
+    EXPECT_DOUBLE_EQ(q.precision, 1.0);
+    EXPECT_DOUBLE_EQ(q.recall, 1.0);
+    EXPECT_DOUBLE_EQ(q.f_score, 1.0);
+    EXPECT_EQ(q.true_positives, 2u);
+    EXPECT_EQ(q.false_positives, 0u);
+    EXPECT_EQ(q.false_negatives, 0u);
+}
+
+TEST(Metrics, MixedClusterComputesHandCheckedCounts) {
+    // One cluster with 3 timestamps + 1 id; one cluster with 2 ids.
+    // TP+FP = C(4,2)+C(2,2) = 6+1 = 7.
+    // TP = C(3,2) + C(1,2)=0 + C(2,2)=1 -> 3+0+1 = 4. FP = 3.
+    // FN (cross-cluster, halved): timestamps: (3-3)*3 = 0;
+    //   ids: cluster0: (3-1)*1 = 2; cluster1: (3-2)*2 = 2 -> doubled 4 -> 2.
+    const typed_segments ts =
+        make_typed({field_type::timestamp, field_type::timestamp, field_type::timestamp,
+                    field_type::id, field_type::id, field_type::id});
+    const auto labels = make_labels({0, 0, 0, 0, 1, 1});
+    const clustering_quality q = evaluate_clustering(labels, ts, 100);
+    EXPECT_EQ(q.true_positives, 4u);
+    EXPECT_EQ(q.false_positives, 3u);
+    EXPECT_EQ(q.false_negatives, 2u);
+    EXPECT_NEAR(q.precision, 4.0 / 7.0, 1e-12);
+    EXPECT_NEAR(q.recall, 4.0 / 6.0, 1e-12);
+}
+
+TEST(Metrics, NoiseContributesBothFnTerms) {
+    // 4 timestamps: 2 clustered together, 2 in noise.
+    // TP = 1. FN: noise-internal pairs C(2,2) = 1;
+    // cross (cluster vs noise): cluster term (4-2)*2/2 = 2 doubled form:
+    //   cluster0: (4-2)*2 = 4; noise term: (4-2)*2 = 4 -> (4+4)/2 = 4.
+    // Total FN = 1 + 4 = 5... but the true pair count is C(4,2)=6 = TP+FN.
+    const typed_segments ts =
+        make_typed({field_type::timestamp, field_type::timestamp, field_type::timestamp,
+                    field_type::timestamp});
+    const auto labels = make_labels({0, 0, -1, -1});
+    const clustering_quality q = evaluate_clustering(labels, ts, 100);
+    EXPECT_EQ(q.true_positives, 1u);
+    EXPECT_EQ(q.false_positives, 0u);
+    EXPECT_EQ(q.false_negatives, 5u);
+    EXPECT_EQ(q.noise_count, 2u);
+    EXPECT_NEAR(q.recall, 1.0 / 6.0, 1e-12);
+}
+
+TEST(Metrics, AllNoiseGivesZeroScores) {
+    const typed_segments ts = make_typed({field_type::id, field_type::id});
+    const auto labels = make_labels({-1, -1});
+    const clustering_quality q = evaluate_clustering(labels, ts, 100);
+    EXPECT_DOUBLE_EQ(q.precision, 0.0);
+    EXPECT_DOUBLE_EQ(q.recall, 0.0);
+    EXPECT_DOUBLE_EQ(q.f_score, 0.0);
+    EXPECT_DOUBLE_EQ(q.clustered_coverage, 0.0);
+    EXPECT_GT(q.coverage, 0.0);  // the values were analyzed, just not clustered
+}
+
+TEST(Metrics, TpPlusFnEqualsTruePairsAcrossScenarios) {
+    // Invariant: TP + FN = sum over types of C(|t_l|, 2), independent of
+    // how the clustering scattered the segments.
+    const typed_segments ts =
+        make_typed({field_type::timestamp, field_type::timestamp, field_type::timestamp,
+                    field_type::id, field_type::id, field_type::chars});
+    const std::uint64_t true_pairs = 3 + 1 + 0;  // C(3,2) + C(2,2) + C(1,2)
+    for (const auto& labels :
+         {make_labels({0, 0, 0, 1, 1, 2}), make_labels({0, 1, 2, 0, 1, 2}),
+          make_labels({-1, 0, 0, 0, -1, 0}), make_labels({-1, -1, -1, -1, -1, -1}),
+          make_labels({0, 0, 0, 0, 0, 0})}) {
+        const clustering_quality q = evaluate_clustering(labels, ts, 100);
+        EXPECT_EQ(q.true_positives + q.false_negatives, true_pairs);
+    }
+}
+
+TEST(Metrics, CoverageCountsAnalyzedAndClusteredBytes) {
+    // Value 0: 3 occurrences of 4 bytes (clustered), value 1: 2 occurrences
+    // (noise), value 2: 1 occurrence (clustered). Analyzed = all of them;
+    // clustered excludes the noise value.
+    const typed_segments ts =
+        make_typed({field_type::id, field_type::id, field_type::id}, {3, 2, 1}, 4);
+    const auto labels = make_labels({0, -1, 0});
+    const clustering_quality q = evaluate_clustering(labels, ts, 64);
+    EXPECT_NEAR(q.coverage, (3 * 4 + 2 * 4 + 1 * 4) / 64.0, 1e-12);
+    EXPECT_NEAR(q.clustered_coverage, (3 * 4 + 1 * 4) / 64.0, 1e-12);
+}
+
+TEST(Metrics, RejectsLabelCountMismatch) {
+    const typed_segments ts = make_typed({field_type::id});
+    const auto labels = make_labels({0, 0});
+    EXPECT_THROW(evaluate_clustering(labels, ts, 10), precondition_error);
+}
+
+TEST(AssignTypes, MajorityOverlapWins) {
+    // Message: [0,4) timestamp, [4,8) id. A shifted segment [2,8) overlaps
+    // the id field by 4 bytes and the timestamp by 2 -> id wins.
+    protocols::trace t;
+    t.protocol = "X";
+    protocols::annotated_message m;
+    m.bytes = byte_vector(8, 0xaa);
+    m.fields = {{0, 4, field_type::timestamp, "ts"}, {4, 4, field_type::id, "id"}};
+    t.messages.push_back(m);
+
+    dissim::unique_segments u;
+    u.values.push_back(byte_vector(6, 0xaa));
+    u.occurrences.push_back({segmentation::segment{0, 2, 6}});
+    const typed_segments ts = assign_types(t, std::move(u));
+    ASSERT_EQ(ts.types.size(), 1u);
+    EXPECT_EQ(ts.types[0], field_type::id);
+}
+
+TEST(AssignTypes, VotesAcrossOccurrences) {
+    // The same value occurs twice over timestamp bytes and once over id
+    // bytes -> timestamp wins the vote.
+    protocols::trace t;
+    t.protocol = "X";
+    for (int i = 0; i < 2; ++i) {
+        protocols::annotated_message m;
+        m.bytes = byte_vector(4, 0xbb);
+        m.fields = {{0, 4, field_type::timestamp, "ts"}};
+        t.messages.push_back(m);
+    }
+    protocols::annotated_message m_id;
+    m_id.bytes = byte_vector(4, 0xbb);
+    m_id.fields = {{0, 4, field_type::id, "id"}};
+    t.messages.push_back(m_id);
+
+    dissim::unique_segments u;
+    u.values.push_back(byte_vector(4, 0xbb));
+    u.occurrences.push_back({segmentation::segment{0, 0, 4}, segmentation::segment{1, 0, 4},
+                             segmentation::segment{2, 0, 4}});
+    const typed_segments ts = assign_types(t, std::move(u));
+    EXPECT_EQ(ts.types[0], field_type::timestamp);
+}
+
+TEST(AssignTypes, RejectsOutOfRangeSegments) {
+    protocols::trace t;
+    t.protocol = "X";
+    dissim::unique_segments u;
+    u.values.push_back(byte_vector(2, 0));
+    u.occurrences.push_back({segmentation::segment{5, 0, 2}});
+    EXPECT_THROW(assign_types(t, std::move(u)), precondition_error);
+}
+
+}  // namespace
+}  // namespace ftc::core

@@ -1,0 +1,145 @@
+// Integration-level tests of the full analysis pipeline (core/pipeline.hpp).
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "protocols/registry.hpp"
+#include "segmentation/nemesys.hpp"
+#include "util/check.hpp"
+
+namespace ftc::core {
+namespace {
+
+TEST(Pipeline, GroundTruthNtpClustersWithHighPrecision) {
+    const protocols::trace t = protocols::generate_trace("NTP", 150, 42);
+    const auto messages = segmentation::message_bytes(t);
+    const pipeline_result r =
+        analyze_segments(messages, segmentation::segments_from_annotations(t), {});
+    const typed_segments typed = assign_types(t, r.unique);
+    const clustering_quality q = evaluate_clustering(r.final_labels, typed, t.total_bytes());
+    EXPECT_GE(q.precision, 0.9);
+    EXPECT_GE(q.f_score, 0.85);
+    EXPECT_GE(r.final_labels.cluster_count, 2u);
+}
+
+TEST(Pipeline, GroundTruthDnsClustersWithHighPrecision) {
+    const protocols::trace t = protocols::generate_trace("DNS", 150, 42);
+    const auto messages = segmentation::message_bytes(t);
+    const pipeline_result r =
+        analyze_segments(messages, segmentation::segments_from_annotations(t), {});
+    const typed_segments typed = assign_types(t, r.unique);
+    const clustering_quality q = evaluate_clustering(r.final_labels, typed, t.total_bytes());
+    EXPECT_GE(q.precision, 0.9);
+    EXPECT_GE(q.f_score, 0.85);
+}
+
+TEST(Pipeline, StageOutputsAreConsistent) {
+    const protocols::trace t = protocols::generate_trace("DNS", 60, 7);
+    const auto messages = segmentation::message_bytes(t);
+    const pipeline_result r =
+        analyze_segments(messages, segmentation::segments_from_annotations(t), {});
+    // Labels cover exactly the unique segments.
+    EXPECT_EQ(r.final_labels.labels.size(), r.unique.size());
+    EXPECT_EQ(r.clustering.labels.labels.size(), r.unique.size());
+    // Every occurrence references a valid message/offset.
+    for (const auto& occs : r.unique.occurrences) {
+        EXPECT_FALSE(occs.empty());
+        for (const auto& seg : occs) {
+            ASSERT_LT(seg.message_index, messages.size());
+            EXPECT_LE(seg.offset + seg.length, messages[seg.message_index].size());
+            EXPECT_GE(seg.length, 2u);
+        }
+    }
+    // Unique values are in fact distinct.
+    for (std::size_t i = 0; i < r.unique.size(); ++i) {
+        for (std::size_t j = i + 1; j < r.unique.size(); ++j) {
+            EXPECT_NE(r.unique.values[i], r.unique.values[j]);
+        }
+    }
+    EXPECT_GT(r.elapsed_seconds, 0.0);
+}
+
+TEST(Pipeline, RefinementToggle) {
+    const protocols::trace t = protocols::generate_trace("NTP", 80, 11);
+    const auto messages = segmentation::message_bytes(t);
+    pipeline_options with;
+    with.apply_refinement = true;
+    pipeline_options without;
+    without.apply_refinement = false;
+    const pipeline_result a =
+        analyze_segments(messages, segmentation::segments_from_annotations(t), with);
+    const pipeline_result b =
+        analyze_segments(messages, segmentation::segments_from_annotations(t), without);
+    // Without refinement the final labels are the raw DBSCAN labels.
+    EXPECT_EQ(b.final_labels.labels, b.clustering.labels.labels);
+    EXPECT_TRUE(b.refinement.merges.empty());
+    EXPECT_TRUE(b.refinement.splits.empty());
+    // With refinement, the audit trail matches the label change.
+    if (a.refinement.merges.empty() && a.refinement.splits.empty()) {
+        EXPECT_EQ(a.final_labels.labels, a.clustering.labels.labels);
+    }
+}
+
+TEST(Pipeline, MinSegmentLengthExcludesShortSegments) {
+    const protocols::trace t = protocols::generate_trace("NTP", 60, 13);
+    const auto messages = segmentation::message_bytes(t);
+    pipeline_options opt;
+    opt.min_segment_length = 2;
+    const pipeline_result r =
+        analyze_segments(messages, segmentation::segments_from_annotations(t), opt);
+    // NTP has four 1-byte fields per message: they must all be excluded.
+    EXPECT_GT(r.unique.short_segments, 0u);
+    for (const byte_vector& v : r.unique.values) {
+        EXPECT_GE(v.size(), 2u);
+    }
+}
+
+TEST(Pipeline, RunsWithHeuristicSegmenter) {
+    const protocols::trace t = protocols::generate_trace("DNS", 60, 5);
+    const auto messages = segmentation::message_bytes(t);
+    const segmentation::nemesys_segmenter seg;
+    const pipeline_result r = analyze(messages, seg, {});
+    EXPECT_GT(r.unique.size(), 0u);
+    EXPECT_EQ(r.final_labels.labels.size(), r.unique.size());
+}
+
+TEST(Pipeline, EmptyTraceRejected) {
+    EXPECT_THROW(analyze_segments({}, {}, {}), precondition_error);
+}
+
+TEST(Pipeline, TooUniformTraceRejected) {
+    // All messages identical -> one unique segment -> cannot cluster.
+    const std::vector<byte_vector> messages(5, byte_vector{1, 2, 3, 4});
+    segmentation::message_segments segs;
+    for (std::size_t m = 0; m < messages.size(); ++m) {
+        segs.push_back({segmentation::segment{m, 0, 4}});
+    }
+    EXPECT_THROW(analyze_segments(messages, segs, {}), precondition_error);
+}
+
+TEST(Pipeline, BudgetExceededPropagates) {
+    const protocols::trace t = protocols::generate_trace("SMB", 200, 3);
+    const auto messages = segmentation::message_bytes(t);
+    pipeline_options opt;
+    opt.budget_seconds = 1e-9;
+    EXPECT_THROW(
+        analyze_segments(messages, segmentation::segments_from_annotations(t), opt),
+        budget_exceeded_error);
+}
+
+TEST(Pipeline, OversizeGuardReportsReconfigurations) {
+    // SMB's high-entropy content triggers the walk-down (paper Sec. III-E).
+    const protocols::trace t = protocols::generate_trace("SMB", 150, 42);
+    const auto messages = segmentation::message_bytes(t);
+    const pipeline_result r =
+        analyze_segments(messages, segmentation::segments_from_annotations(t), {});
+    if (r.clustering.reclustered) {
+        EXPECT_GE(r.clustering.reconfigurations, 1u);
+    }
+    EXPECT_GT(r.clustering.config.epsilon, 0.0);
+    EXPECT_LT(r.clustering.config.epsilon, 1.0);
+}
+
+}  // namespace
+}  // namespace ftc::core

@@ -1,0 +1,140 @@
+// Unit tests for analyst-facing cluster reports (core/report.hpp).
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/registry.hpp"
+#include "segmentation/segment.hpp"
+
+namespace ftc::core {
+namespace {
+
+/// Build a pipeline_result with hand-placed clusters of unique values.
+pipeline_result fake_result(const std::vector<byte_vector>& values,
+                            const std::vector<int>& labels,
+                            const std::vector<std::size_t>& occurrence_counts) {
+    pipeline_result r;
+    int max_label = -1;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        r.unique.values.push_back(values[i]);
+        std::vector<segmentation::segment> occs;
+        for (std::size_t o = 0; o < occurrence_counts[i]; ++o) {
+            occs.push_back(segmentation::segment{o, 0, values[i].size()});
+        }
+        r.unique.occurrences.push_back(std::move(occs));
+        max_label = std::max(max_label, labels[i]);
+    }
+    r.final_labels.labels = labels;
+    r.final_labels.cluster_count = static_cast<std::size_t>(max_label + 1);
+    return r;
+}
+
+TEST(Report, CharsClusterDetected) {
+    const pipeline_result r = fake_result(
+        {
+            {'h', 'o', 's', 't', '0', '1'},
+            {'h', 'o', 's', 't', '0', '2'},
+            {'s', 'e', 'r', 'v', 'e', 'r'},
+        },
+        {0, 0, 0}, {2, 1, 1});
+    const auto summaries = summarize_clusters(r);
+    ASSERT_EQ(summaries.size(), 1u);
+    EXPECT_EQ(summaries[0].kind_hint(), "chars");
+    EXPECT_GT(summaries[0].printable_fraction, 0.9);
+    EXPECT_EQ(summaries[0].unique_values, 3u);
+    EXPECT_EQ(summaries[0].occurrences, 4u);
+}
+
+TEST(Report, ConstantClusterDetected) {
+    const pipeline_result r =
+        fake_result({{0x63, 0x82, 0x53, 0x63}}, {0}, {25});
+    const auto summaries = summarize_clusters(r);
+    ASSERT_EQ(summaries.size(), 1u);
+    EXPECT_EQ(summaries[0].kind_hint(), "constant");
+    EXPECT_EQ(summaries[0].occurrences, 25u);
+    EXPECT_EQ(summaries[0].common_prefix, 4u);
+}
+
+TEST(Report, NumericClusterRangeComputed) {
+    const pipeline_result r = fake_result(
+        {
+            {0x00, 0x00, 0x01, 0x00},
+            {0x00, 0x00, 0x02, 0x40},
+            {0x00, 0x00, 0x03, 0x80},
+        },
+        {0, 0, 0}, {1, 1, 1});
+    const auto summaries = summarize_clusters(r);
+    ASSERT_EQ(summaries.size(), 1u);
+    EXPECT_TRUE(summaries[0].numeric_valid);
+    EXPECT_EQ(summaries[0].numeric_min, 0x100u);
+    EXPECT_EQ(summaries[0].numeric_max, 0x380u);
+    EXPECT_EQ(summaries[0].kind_hint(), "numeric32");
+    EXPECT_EQ(summaries[0].common_prefix, 2u);
+}
+
+TEST(Report, HighEntropyClusterDetected) {
+    std::vector<byte_vector> values;
+    // Random-looking 16-byte values with all-distinct bytes.
+    for (int v = 0; v < 3; ++v) {
+        byte_vector val;
+        for (int i = 0; i < 16; ++i) {
+            val.push_back(static_cast<std::uint8_t>(16 * v + i * 13 + 7));
+        }
+        values.push_back(val);
+    }
+    const pipeline_result r = fake_result(values, {0, 0, 0}, {1, 1, 1});
+    const auto summaries = summarize_clusters(r);
+    ASSERT_EQ(summaries.size(), 1u);
+    EXPECT_EQ(summaries[0].mean_entropy, 4.0);  // 16 distinct bytes
+    EXPECT_EQ(summaries[0].kind_hint(), "opaque");
+}
+
+TEST(Report, MixedLengthClusterHasNoNumericRange) {
+    const pipeline_result r =
+        fake_result({{1, 2}, {1, 2, 3}}, {0, 0}, {1, 1});
+    const auto summaries = summarize_clusters(r);
+    ASSERT_EQ(summaries.size(), 1u);
+    EXPECT_FALSE(summaries[0].numeric_valid);
+    EXPECT_EQ(summaries[0].min_length, 2u);
+    EXPECT_EQ(summaries[0].max_length, 3u);
+}
+
+TEST(Report, NoiseExcludedFromSummaries) {
+    const pipeline_result r =
+        fake_result({{1, 2}, {3, 4}, {5, 6}}, {0, 0, -1}, {1, 1, 1});
+    const auto summaries = summarize_clusters(r);
+    ASSERT_EQ(summaries.size(), 1u);
+    EXPECT_EQ(summaries[0].unique_values, 2u);
+}
+
+TEST(Report, RenderedReportContainsClusterRows) {
+    const pipeline_result r = fake_result(
+        {{'a', 'b', 'c'}, {'x', 'y', 'z'}, {0x00, 0x01}}, {0, 0, 1}, {3, 1, 7});
+    const std::string text = render_report(summarize_clusters(r));
+    EXPECT_NE(text.find("cluster"), std::string::npos);
+    EXPECT_NE(text.find("chars"), std::string::npos);
+    EXPECT_NE(text.find("examples:"), std::string::npos);
+    EXPECT_NE(text.find("616263"), std::string::npos);  // hex of "abc"
+}
+
+TEST(Report, EndToEndOnRealTrace) {
+    const protocols::trace t = protocols::generate_trace("DNS", 80, 21);
+    const auto messages = segmentation::message_bytes(t);
+    const pipeline_result r = analyze_segments(
+        messages, segmentation::segments_from_annotations(t), {});
+    const auto summaries = summarize_clusters(r);
+    EXPECT_FALSE(summaries.empty());
+    // DNS must yield at least one chars-like cluster (the encoded names).
+    bool has_chars = false;
+    for (const auto& s : summaries) {
+        if (s.kind_hint() == "chars") {
+            has_chars = true;
+        }
+    }
+    EXPECT_TRUE(has_chars);
+    const std::string text = render_report(summaries);
+    EXPECT_GT(text.size(), 100u);
+}
+
+}  // namespace
+}  // namespace ftc::core

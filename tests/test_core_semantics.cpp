@@ -1,0 +1,205 @@
+// Unit tests for post-clustering semantic deduction (core/semantics.hpp) —
+// the paper's Sec. V future-work extension.
+#include "core/semantics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/registry.hpp"
+#include "segmentation/segment.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::core {
+namespace {
+
+/// Build a pipeline_result whose single cluster contains the given values,
+/// each occurring once per listed message index.
+pipeline_result fake_result(const std::vector<byte_vector>& messages,
+                            const std::vector<byte_vector>& values,
+                            const std::vector<std::vector<std::size_t>>& occurrences_at,
+                            const std::vector<int>& labels) {
+    pipeline_result r;
+    int max_label = -1;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        r.unique.values.push_back(values[i]);
+        std::vector<segmentation::segment> occs;
+        for (const std::size_t msg : occurrences_at[i]) {
+            occs.push_back(segmentation::segment{msg, 0, values[i].size()});
+        }
+        r.unique.occurrences.push_back(std::move(occs));
+        max_label = std::max(max_label, labels[i]);
+    }
+    (void)messages;
+    r.final_labels.labels = labels;
+    r.final_labels.cluster_count = static_cast<std::size_t>(max_label + 1);
+    return r;
+}
+
+TEST(Semantics, DetectsLengthField) {
+    // Messages of growing size; cluster values = message length (2-byte BE).
+    std::vector<byte_vector> messages;
+    std::vector<byte_vector> values;
+    std::vector<std::vector<std::size_t>> occs;
+    std::vector<int> labels;
+    for (std::size_t i = 0; i < 12; ++i) {
+        const std::size_t len = 20 + 7 * i;
+        messages.push_back(byte_vector(len, 0x55));
+        byte_vector v;
+        put_u16_be(v, static_cast<std::uint16_t>(len));
+        values.push_back(v);
+        occs.push_back({i});
+        labels.push_back(0);
+    }
+    const pipeline_result r = fake_result(messages, values, occs, labels);
+    const auto tags = deduce_semantics(messages, r);
+    ASSERT_EQ(tags.size(), 1u);
+    EXPECT_EQ(tags[0].role, semantic_role::length_field);
+    EXPECT_TRUE(tags[0].big_endian);
+    EXPECT_GT(tags[0].confidence, 0.95);
+}
+
+TEST(Semantics, DetectsLittleEndianLengthField) {
+    std::vector<byte_vector> messages;
+    std::vector<byte_vector> values;
+    std::vector<std::vector<std::size_t>> occs;
+    std::vector<int> labels;
+    // Lengths straddle the 256 boundary so that only the little-endian
+    // interpretation correlates (big-endian reads of the LE bytes jump).
+    for (std::size_t i = 0; i < 12; ++i) {
+        const std::size_t len = 200 + 11 * i;
+        messages.push_back(byte_vector(len, 0x55));
+        byte_vector v;
+        put_u16_le(v, static_cast<std::uint16_t>(len));
+        values.push_back(v);
+        occs.push_back({i});
+        labels.push_back(0);
+    }
+    const pipeline_result r = fake_result(messages, values, occs, labels);
+    const auto tags = deduce_semantics(messages, r);
+    ASSERT_EQ(tags.size(), 1u);
+    EXPECT_EQ(tags[0].role, semantic_role::length_field);
+    EXPECT_FALSE(tags[0].big_endian);
+}
+
+TEST(Semantics, DetectsCounterField) {
+    // Equal-length messages carrying an increasing 4-byte counter.
+    std::vector<byte_vector> messages(12, byte_vector(32, 0));
+    std::vector<byte_vector> values;
+    std::vector<std::vector<std::size_t>> occs;
+    std::vector<int> labels;
+    for (std::size_t i = 0; i < 12; ++i) {
+        byte_vector v;
+        put_u32_be(v, static_cast<std::uint32_t>(100 + 13 * i));
+        values.push_back(v);
+        occs.push_back({i});
+        labels.push_back(0);
+    }
+    const pipeline_result r = fake_result(messages, values, occs, labels);
+    const auto tags = deduce_semantics(messages, r);
+    ASSERT_EQ(tags.size(), 1u);
+    EXPECT_EQ(tags[0].role, semantic_role::counter_field);
+    EXPECT_GE(tags[0].confidence, 0.95);
+}
+
+TEST(Semantics, DetectsConstant) {
+    std::vector<byte_vector> messages(10, byte_vector(16, 0));
+    std::vector<std::vector<std::size_t>> occs{{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}};
+    const pipeline_result r = fake_result(
+        messages, {byte_vector{0x63, 0x82, 0x53, 0x63}}, occs, {0});
+    const auto tags = deduce_semantics(messages, r);
+    ASSERT_EQ(tags.size(), 1u);
+    EXPECT_EQ(tags[0].role, semantic_role::constant_field);
+}
+
+TEST(Semantics, DetectsEchoedValues) {
+    // Each value occurs in exactly two adjacent messages (request/response
+    // echo), values themselves random -> neither counter nor length.
+    rng rand(3);
+    std::vector<byte_vector> messages(24, byte_vector(16, 0));
+    std::vector<byte_vector> values;
+    std::vector<std::vector<std::size_t>> occs;
+    std::vector<int> labels;
+    for (std::size_t i = 0; i < 12; ++i) {
+        values.push_back(rand.bytes(4));
+        occs.push_back({2 * i, 2 * i + 1});
+        labels.push_back(0);
+    }
+    const pipeline_result r = fake_result(messages, values, occs, labels);
+    const auto tags = deduce_semantics(messages, r);
+    ASSERT_EQ(tags.size(), 1u);
+    EXPECT_EQ(tags[0].role, semantic_role::echo_field);
+    EXPECT_GT(tags[0].confidence, 0.5);
+}
+
+TEST(Semantics, RandomClusterGetsNoTag) {
+    // Random values, one occurrence each, random message sizes: no rule.
+    rng rand(5);
+    std::vector<byte_vector> messages;
+    std::vector<byte_vector> values;
+    std::vector<std::vector<std::size_t>> occs;
+    std::vector<int> labels;
+    for (std::size_t i = 0; i < 16; ++i) {
+        messages.push_back(byte_vector(16 + rand.uniform(0, 64), 0x11));
+        values.push_back(rand.bytes(4));
+        occs.push_back({i});
+        labels.push_back(0);
+    }
+    const pipeline_result r = fake_result(messages, values, occs, labels);
+    EXPECT_TRUE(deduce_semantics(messages, r).empty());
+}
+
+TEST(Semantics, SmallClustersAreSkipped) {
+    std::vector<byte_vector> messages(4, byte_vector(8, 0));
+    const pipeline_result r = fake_result(
+        messages, {byte_vector{0, 10}, byte_vector{0, 20}}, {{0}, {1}}, {0, 0});
+    EXPECT_TRUE(deduce_semantics(messages, r).empty());
+}
+
+TEST(Semantics, WideValuesSkipNumericRules) {
+    // 16-byte values cannot be interpreted numerically; with one occurrence
+    // each there is no echo either.
+    rng rand(7);
+    std::vector<byte_vector> messages(12, byte_vector(32, 0));
+    std::vector<byte_vector> values;
+    std::vector<std::vector<std::size_t>> occs;
+    std::vector<int> labels;
+    for (std::size_t i = 0; i < 12; ++i) {
+        values.push_back(rand.bytes(16));
+        occs.push_back({i});
+        labels.push_back(0);
+    }
+    const pipeline_result r = fake_result(messages, values, occs, labels);
+    EXPECT_TRUE(deduce_semantics(messages, r).empty());
+}
+
+TEST(Semantics, RoleNamesStable) {
+    EXPECT_STREQ(to_string(semantic_role::length_field), "length field");
+    EXPECT_STREQ(to_string(semantic_role::counter_field), "counter field");
+    EXPECT_STREQ(to_string(semantic_role::constant_field), "constant");
+    EXPECT_STREQ(to_string(semantic_role::echo_field), "echoed value");
+}
+
+TEST(Semantics, RenderProducesOneLinePerTag) {
+    semantic_tag tag;
+    tag.cluster_id = 3;
+    tag.role = semantic_role::length_field;
+    tag.confidence = 0.97;
+    tag.detail = "r=0.97";
+    const std::string text = render_semantics({tag});
+    EXPECT_NE(text.find("cluster 3"), std::string::npos);
+    EXPECT_NE(text.find("length field"), std::string::npos);
+    EXPECT_EQ(render_semantics({}), "no semantic roles deduced\n");
+}
+
+TEST(Semantics, EndToEndFindsDnsEchoOrCounters) {
+    // On a real DNS trace the txid cluster is an echoed value (query &
+    // response share it) — at least one echo/counter/length tag must appear.
+    const protocols::trace t = protocols::generate_trace("DNS", 150, 9);
+    const auto messages = segmentation::message_bytes(t);
+    const pipeline_result r = core::analyze_segments(
+        messages, segmentation::segments_from_annotations(t), {});
+    const auto tags = deduce_semantics(messages, r);
+    EXPECT_FALSE(tags.empty());
+}
+
+}  // namespace
+}  // namespace ftc::core

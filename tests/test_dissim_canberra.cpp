@@ -1,0 +1,119 @@
+// Unit and property tests for the Canberra dissimilarity (dissim/canberra.hpp).
+#include "dissim/canberra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::dissim {
+namespace {
+
+TEST(Canberra, DistanceKnownValues) {
+    // |1-3|/(1+3) + |2-2|/(2+2) = 0.5.
+    const byte_vector x{1, 2};
+    const byte_vector y{3, 2};
+    EXPECT_DOUBLE_EQ(canberra_distance(x, y), 0.5);
+}
+
+TEST(Canberra, ZeroPairsContributeNothing) {
+    const byte_vector x{0, 0, 4};
+    const byte_vector y{0, 0, 4};
+    EXPECT_DOUBLE_EQ(canberra_distance(x, y), 0.0);
+    // 0 vs nonzero contributes a full unit: |0-5|/(0+5) = 1.
+    const byte_vector z{0, 0, 4};
+    const byte_vector w{5, 0, 4};
+    EXPECT_DOUBLE_EQ(canberra_distance(z, w), 1.0);
+}
+
+TEST(Canberra, DistanceRejectsLengthMismatch) {
+    EXPECT_THROW(canberra_distance(byte_vector{1}, byte_vector{1, 2}), precondition_error);
+}
+
+TEST(Canberra, DissimilarityNormalizedByLength) {
+    const byte_vector x{1, 2};
+    const byte_vector y{3, 2};
+    EXPECT_DOUBLE_EQ(canberra_dissimilarity(x, y), 0.25);
+}
+
+TEST(Canberra, DissimilarityRejectsEmpty) {
+    EXPECT_THROW(canberra_dissimilarity(byte_vector{}, byte_vector{}), precondition_error);
+}
+
+TEST(Canberra, IdenticalVectorsHaveZeroDissimilarity) {
+    const byte_vector x{0xd2, 0x3d, 0x19, 0x00};
+    EXPECT_DOUBLE_EQ(canberra_dissimilarity(x, x), 0.0);
+    EXPECT_DOUBLE_EQ(sliding_canberra_dissimilarity(x, x), 0.0);
+}
+
+TEST(Canberra, MaximallyDifferentVectorsReachOne) {
+    const byte_vector x{0, 0, 0};
+    const byte_vector y{255, 255, 255};
+    EXPECT_DOUBLE_EQ(canberra_dissimilarity(x, y), 1.0);
+}
+
+TEST(Sliding, EqualLengthFallsBackToPlainCanberra) {
+    const byte_vector x{1, 2, 3};
+    const byte_vector y{3, 2, 1};
+    EXPECT_DOUBLE_EQ(sliding_canberra_dissimilarity(x, y), canberra_dissimilarity(x, y));
+}
+
+TEST(Sliding, PerfectEmbeddingScoresByLengthRatio) {
+    // s embedded exactly in l: d_min = 0, penalty p = 1 - m/n.
+    const byte_vector s{10, 20};
+    const byte_vector l{99, 10, 20, 99};  // m=2, n=4 -> p = 0.5, d = (0 + 2*0.5)/4 = 0.25
+    EXPECT_DOUBLE_EQ(sliding_canberra_dissimilarity(s, l), 0.25);
+    EXPECT_DOUBLE_EQ(sliding_canberra_dissimilarity(l, s), 0.25);
+}
+
+TEST(Sliding, ChoosesBestWindow) {
+    const byte_vector s{50, 60};
+    const byte_vector l{50, 61, 0, 255};  // best at offset 0
+    const double d = sliding_canberra_dissimilarity(s, l);
+    // d_min = (0 + 1/121)/2 ~ 0.00413; with m=2, n=4.
+    const double d_min = (1.0 / 121.0) / 2.0;
+    const double p = 1.0 - 0.5 * (1.0 - d_min);
+    EXPECT_NEAR(d, (2 * d_min + 2 * p) / 4.0, 1e-12);
+}
+
+TEST(Sliding, CloserLengthsPenalizedLess) {
+    const byte_vector s{1, 2, 3, 4};
+    const byte_vector near{1, 2, 3, 4, 9};
+    const byte_vector far{1, 2, 3, 4, 9, 9, 9, 9, 9, 9};
+    EXPECT_LT(sliding_canberra_dissimilarity(s, near), sliding_canberra_dissimilarity(s, far));
+}
+
+TEST(Sliding, RejectsEmptySegments) {
+    EXPECT_THROW(sliding_canberra_dissimilarity(byte_vector{}, byte_vector{1}),
+                 precondition_error);
+}
+
+// Property sweep: metric axioms over random segments.
+class CanberraProps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CanberraProps, SymmetryRangeAndIdentity) {
+    rng rand(GetParam());
+    for (int trial = 0; trial < 50; ++trial) {
+        const byte_vector a = rand.bytes(1 + rand.uniform(0, 15));
+        const byte_vector b = rand.bytes(1 + rand.uniform(0, 15));
+        const double dab = sliding_canberra_dissimilarity(a, b);
+        const double dba = sliding_canberra_dissimilarity(b, a);
+        EXPECT_DOUBLE_EQ(dab, dba);
+        EXPECT_GE(dab, 0.0);
+        EXPECT_LE(dab, 1.0);
+        EXPECT_DOUBLE_EQ(sliding_canberra_dissimilarity(a, a), 0.0);
+    }
+}
+
+TEST_P(CanberraProps, EqualLengthZeroOnlyForIdentical) {
+    rng rand(GetParam());
+    const byte_vector a = rand.bytes(8);
+    byte_vector b = a;
+    b[3] = static_cast<std::uint8_t>(b[3] ^ 0x01);
+    EXPECT_GT(canberra_dissimilarity(a, b), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanberraProps, ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace ftc::dissim

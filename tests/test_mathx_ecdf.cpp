@@ -1,0 +1,115 @@
+// Unit and property tests for the ECDF (mathx/ecdf.hpp).
+#include "mathx/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::mathx {
+namespace {
+
+TEST(Ecdf, KnownFractions) {
+    const std::vector<double> samples{1.0, 2.0, 2.0, 4.0};
+    const ecdf e(samples);
+    EXPECT_DOUBLE_EQ(e(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(e(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(e(2.0), 0.75);
+    EXPECT_DOUBLE_EQ(e(3.0), 0.75);
+    EXPECT_DOUBLE_EQ(e(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(e(100.0), 1.0);
+}
+
+TEST(Ecdf, RejectsEmptySample) {
+    EXPECT_THROW(ecdf(std::vector<double>{}), precondition_error);
+}
+
+TEST(Ecdf, SortedSamplesAreSorted) {
+    const ecdf e(std::vector<double>{3.0, 1.0, 2.0});
+    EXPECT_EQ(e.sorted_samples(), (std::vector<double>{1.0, 2.0, 3.0}));
+    EXPECT_EQ(e.sample_count(), 3u);
+}
+
+TEST(Ecdf, CurveCollapsesDuplicatesAndEndsAtOne) {
+    const ecdf e(std::vector<double>{1.0, 2.0, 2.0, 4.0});
+    const curve c = e.as_curve();
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.xs, (std::vector<double>{1.0, 2.0, 4.0}));
+    EXPECT_EQ(c.ys, (std::vector<double>{0.25, 0.75, 1.0}));
+}
+
+TEST(Ecdf, TrimmedBelowKeepsStrictSubset) {
+    const ecdf e(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+    const ecdf t = e.trimmed_below(3.0);
+    EXPECT_EQ(t.sorted_samples(), (std::vector<double>{1.0, 2.0}));
+    EXPECT_THROW(e.trimmed_below(0.5), precondition_error);
+}
+
+TEST(Ecdf, ResampleUniformSpansRange) {
+    const ecdf e(std::vector<double>{0.0, 1.0, 2.0, 3.0, 4.0});
+    const curve r = resample_uniform(e.as_curve(), 9);
+    ASSERT_EQ(r.size(), 9u);
+    EXPECT_DOUBLE_EQ(r.xs.front(), 0.0);
+    EXPECT_DOUBLE_EQ(r.xs.back(), 4.0);
+    // Evenly spaced x.
+    for (std::size_t i = 1; i < r.xs.size(); ++i) {
+        EXPECT_NEAR(r.xs[i] - r.xs[i - 1], 0.5, 1e-12);
+    }
+    // y stays within [0, 1] and non-decreasing.
+    for (std::size_t i = 1; i < r.ys.size(); ++i) {
+        EXPECT_GE(r.ys[i] + 1e-12, r.ys[i - 1]);
+    }
+}
+
+TEST(Ecdf, ResampleDegenerateSingleLevel) {
+    curve c;
+    c.xs = {2.0};
+    c.ys = {1.0};
+    const curve r = resample_uniform(c, 4);
+    ASSERT_EQ(r.size(), 4u);
+    for (double x : r.xs) {
+        EXPECT_DOUBLE_EQ(x, 2.0);
+    }
+}
+
+TEST(Ecdf, ResampleValidatesArguments) {
+    EXPECT_THROW(resample_uniform(curve{}, 4), precondition_error);
+    curve c;
+    c.xs = {1.0, 2.0};
+    c.ys = {0.5, 1.0};
+    EXPECT_THROW(resample_uniform(c, 1), precondition_error);
+}
+
+// Property sweep: ECDF invariants over random samples.
+class EcdfProps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EcdfProps, MonotoneWithUnitRangeAndExactAtSamples) {
+    rng rand(GetParam());
+    std::vector<double> samples;
+    const std::size_t n = 2 + rand.uniform(0, 200);
+    for (std::size_t i = 0; i < n; ++i) {
+        samples.push_back(rand.uniform_real(0.0, 5.0));
+    }
+    const ecdf e(samples);
+    // Monotone in the query point.
+    double prev = 0.0;
+    for (double x = -1.0; x <= 6.0; x += 0.25) {
+        const double y = e(x);
+        EXPECT_GE(y, prev);
+        EXPECT_GE(y, 0.0);
+        EXPECT_LE(y, 1.0);
+        prev = y;
+    }
+    // Curve ys strictly increase and end at exactly 1.
+    const curve c = e.as_curve();
+    for (std::size_t i = 1; i < c.size(); ++i) {
+        EXPECT_GT(c.xs[i], c.xs[i - 1]);
+        EXPECT_GT(c.ys[i], c.ys[i - 1]);
+    }
+    EXPECT_DOUBLE_EQ(c.ys.back(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcdfProps, ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace ftc::mathx

@@ -1,0 +1,174 @@
+// Unit tests for Kneedle knee detection (mathx/kneedle.hpp).
+#include "mathx/kneedle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::mathx {
+namespace {
+
+/// Piecewise-linear concave curve with a single sharp knee at x = knee_x:
+/// rises steeply to (knee_x, plateau) then flattens out.
+curve knee_curve(double knee_x, double plateau, std::size_t points) {
+    curve c;
+    for (std::size_t i = 0; i < points; ++i) {
+        const double x = static_cast<double>(i) / static_cast<double>(points - 1);
+        c.xs.push_back(x);
+        c.ys.push_back(x < knee_x ? plateau * (x / knee_x)
+                                  : plateau + (1.0 - plateau) * (x - knee_x) / (1.0 - knee_x));
+    }
+    return c;
+}
+
+TEST(Kneedle, FindsSharpKneeNearTruePosition) {
+    const curve c = knee_curve(0.2, 0.9, 101);
+    const kneedle_result r = kneedle(c);
+    ASSERT_TRUE(r.rightmost().has_value());
+    EXPECT_NEAR(*r.rightmost(), 0.2, 0.05);
+}
+
+TEST(Kneedle, KneePositionTracksParameter) {
+    for (double knee_x : {0.1, 0.3, 0.5, 0.7}) {
+        const curve c = knee_curve(knee_x, 0.9, 201);
+        const kneedle_result r = kneedle(c);
+        ASSERT_TRUE(r.rightmost().has_value()) << "knee_x=" << knee_x;
+        EXPECT_NEAR(*r.rightmost(), knee_x, 0.05) << "knee_x=" << knee_x;
+    }
+}
+
+TEST(Kneedle, StraightLineHasNoKnee) {
+    curve c;
+    for (int i = 0; i <= 50; ++i) {
+        c.xs.push_back(i / 50.0);
+        c.ys.push_back(i / 50.0);
+    }
+    const kneedle_result r = kneedle(c);
+    EXPECT_FALSE(r.rightmost().has_value());
+}
+
+TEST(Kneedle, TooFewPointsYieldNothing) {
+    curve c;
+    c.xs = {0.0, 0.5, 1.0};
+    c.ys = {0.0, 0.9, 1.0};
+    EXPECT_TRUE(kneedle(c).knees.empty());
+}
+
+TEST(Kneedle, RejectsNonIncreasingX) {
+    curve c;
+    c.xs = {0.0, 0.5, 0.5, 0.7, 1.0};
+    c.ys = {0.0, 0.2, 0.4, 0.8, 1.0};
+    EXPECT_THROW(kneedle(c), precondition_error);
+}
+
+TEST(Kneedle, RejectsMismatchedSizes) {
+    curve c;
+    c.xs = {0.0, 0.5, 1.0};
+    c.ys = {0.0, 0.5};
+    EXPECT_THROW(kneedle(c), precondition_error);
+}
+
+TEST(Kneedle, ConcaveSmoothCurveHasKnee) {
+    // y = sqrt(x): concave increasing, curvature maximal near the origin.
+    curve c;
+    for (int i = 0; i <= 100; ++i) {
+        const double x = i / 100.0;
+        c.xs.push_back(x);
+        c.ys.push_back(std::sqrt(x));
+    }
+    const kneedle_result r = kneedle(c);
+    ASSERT_TRUE(r.rightmost().has_value());
+    // Analytic knee of sqrt (max of sqrt(x)-x) is at x = 0.25.
+    EXPECT_NEAR(*r.rightmost(), 0.25, 0.1);
+}
+
+TEST(Kneedle, ConvexIncreasingElbow) {
+    // y = x^2: the Kneedle difference curve of the transformed problem
+    // peaks at x = 0.5 (argmax of |y - x| on the unit square).
+    curve c;
+    for (int i = 0; i <= 100; ++i) {
+        const double x = i / 100.0;
+        c.xs.push_back(x);
+        c.ys.push_back(x * x);
+    }
+    kneedle_options opt;
+    opt.shape = curve_shape::convex_increasing;
+    const kneedle_result r = kneedle(c, opt);
+    ASSERT_TRUE(r.rightmost().has_value());
+    EXPECT_NEAR(*r.rightmost(), 0.5, 0.05);
+}
+
+TEST(Kneedle, ConvexDecreasingElbow) {
+    // y = 1/(1+10x): convex decreasing, elbow at small x.
+    curve c;
+    for (int i = 0; i <= 100; ++i) {
+        const double x = i / 100.0;
+        c.xs.push_back(x);
+        c.ys.push_back(1.0 / (1.0 + 10.0 * x));
+    }
+    kneedle_options opt;
+    opt.shape = curve_shape::convex_decreasing;
+    const kneedle_result r = kneedle(c, opt);
+    ASSERT_TRUE(r.rightmost().has_value());
+    EXPECT_LT(*r.rightmost(), 0.4);
+}
+
+TEST(Kneedle, ConcaveDecreasingKnee) {
+    // y = 1 - x^2: concave decreasing; knee right of center.
+    curve c;
+    for (int i = 0; i <= 100; ++i) {
+        const double x = i / 100.0;
+        c.xs.push_back(x);
+        c.ys.push_back(1.0 - x * x);
+    }
+    kneedle_options opt;
+    opt.shape = curve_shape::concave_decreasing;
+    const kneedle_result r = kneedle(c, opt);
+    ASSERT_TRUE(r.rightmost().has_value());
+    // Difference-curve maximum of the transformed 1 - x^2 lands at 0.5.
+    EXPECT_NEAR(*r.rightmost(), 0.5, 0.05);
+}
+
+TEST(Kneedle, RightmostOfMultipleKnees) {
+    // Two-step staircase: knees near 0.25 and 0.65; rightmost() must pick
+    // the later one.
+    curve c;
+    for (int i = 0; i <= 200; ++i) {
+        const double x = i / 200.0;
+        double y;
+        if (x < 0.25) {
+            y = 0.5 * (x / 0.25);
+        } else if (x < 0.45) {
+            y = 0.5 + 0.02 * (x - 0.25) / 0.2;
+        } else if (x < 0.65) {
+            y = 0.52 + 0.43 * (x - 0.45) / 0.2;
+        } else {
+            y = 0.95 + 0.05 * (x - 0.65) / 0.35;
+        }
+        c.xs.push_back(x);
+        c.ys.push_back(y);
+    }
+    const kneedle_result r = kneedle(c);
+    ASSERT_GE(r.knees.size(), 2u);
+    EXPECT_NEAR(*r.rightmost(), 0.65, 0.06);
+    EXPECT_NEAR(r.knees.front(), 0.25, 0.06);
+}
+
+TEST(Kneedle, HigherSensitivitySuppressesWeakKnees) {
+    // A curve with one strong and one weak knee: large S keeps only strong.
+    rng rand(3);
+    curve c = knee_curve(0.2, 0.85, 301);
+    // Add mild noise to create weak local maxima.
+    for (double& y : c.ys) {
+        y += rand.uniform_real(-0.004, 0.004);
+    }
+    const kneedle_result loose = kneedle(c, {.sensitivity = 0.5});
+    const kneedle_result strict = kneedle(c, {.sensitivity = 15.0});
+    EXPECT_GE(loose.knees.size(), strict.knees.size());
+}
+
+}  // namespace
+}  // namespace ftc::mathx

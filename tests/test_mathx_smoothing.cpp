@@ -1,0 +1,220 @@
+// Unit and property tests for curve smoothing (mathx/smoothing.hpp).
+#include "mathx/smoothing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ftc::mathx {
+namespace {
+
+TEST(Whittaker, LambdaZeroIsIdentity) {
+    const std::vector<double> y{1.0, 3.0, 2.0, 5.0, 4.0};
+    EXPECT_EQ(whittaker_smooth(y, 0.0), y);
+}
+
+TEST(Whittaker, ShortSequencesReturnedUnchanged) {
+    const std::vector<double> one{2.0};
+    const std::vector<double> two{2.0, 3.0};
+    EXPECT_EQ(whittaker_smooth(one, 10.0), one);
+    EXPECT_EQ(whittaker_smooth(two, 10.0), two);
+}
+
+TEST(Whittaker, RejectsNegativeLambda) {
+    EXPECT_THROW(whittaker_smooth(std::vector<double>{1, 2, 3}, -1.0), precondition_error);
+}
+
+TEST(Whittaker, ReproducesLinearTrendExactly) {
+    // The second-difference penalty vanishes on straight lines, so any
+    // lambda must return them unchanged (up to numeric noise).
+    std::vector<double> y;
+    for (int i = 0; i < 50; ++i) {
+        y.push_back(0.3 * i - 2.0);
+    }
+    for (double lambda : {0.1, 10.0, 10000.0}) {
+        const std::vector<double> z = whittaker_smooth(y, lambda);
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            EXPECT_NEAR(z[i], y[i], 1e-8) << "lambda=" << lambda << " i=" << i;
+        }
+    }
+}
+
+TEST(Whittaker, ReducesNoiseVariance) {
+    rng rand(7);
+    std::vector<double> clean;
+    std::vector<double> noisy;
+    for (int i = 0; i < 200; ++i) {
+        const double v = std::sin(i * 0.05);
+        clean.push_back(v);
+        noisy.push_back(v + rand.uniform_real(-0.2, 0.2));
+    }
+    const std::vector<double> smoothed = whittaker_smooth(noisy, 50.0);
+    double err_noisy = 0.0;
+    double err_smooth = 0.0;
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        err_noisy += (noisy[i] - clean[i]) * (noisy[i] - clean[i]);
+        err_smooth += (smoothed[i] - clean[i]) * (smoothed[i] - clean[i]);
+    }
+    EXPECT_LT(err_smooth, 0.5 * err_noisy);
+}
+
+TEST(Whittaker, LargerLambdaSmoothsMore) {
+    rng rand(9);
+    std::vector<double> noisy;
+    for (int i = 0; i < 128; ++i) {
+        noisy.push_back(rand.uniform_real(0.0, 1.0));
+    }
+    auto roughness = [](const std::vector<double>& v) {
+        double r = 0.0;
+        for (std::size_t i = 2; i < v.size(); ++i) {
+            const double d2 = v[i] - 2 * v[i - 1] + v[i - 2];
+            r += d2 * d2;
+        }
+        return r;
+    };
+    const double r1 = roughness(whittaker_smooth(noisy, 1.0));
+    const double r2 = roughness(whittaker_smooth(noisy, 100.0));
+    EXPECT_LT(r2, r1);
+}
+
+TEST(Gaussian, SigmaZeroOrEmptyIsIdentity) {
+    const std::vector<double> y{1.0, 2.0, 3.0};
+    EXPECT_EQ(gaussian_filter1d(y, 0.0), y);
+    EXPECT_EQ(gaussian_filter1d(std::vector<double>{}, 1.0), std::vector<double>{});
+}
+
+TEST(Gaussian, PreservesConstantSequences) {
+    const std::vector<double> y(32, 3.5);
+    const std::vector<double> z = gaussian_filter1d(y, 0.6);
+    for (double v : z) {
+        EXPECT_NEAR(v, 3.5, 1e-12);
+    }
+}
+
+TEST(Gaussian, SmoothsASpike) {
+    std::vector<double> y(21, 0.0);
+    y[10] = 1.0;
+    const std::vector<double> z = gaussian_filter1d(y, 1.0);
+    // Peak is reduced, neighbours raised, symmetric.
+    EXPECT_LT(z[10], 1.0);
+    EXPECT_GT(z[9], 0.0);
+    EXPECT_NEAR(z[9], z[11], 1e-12);
+    EXPECT_GT(z[10], z[9]);
+    // Mass approximately preserved (kernel is normalized).
+    double sum = 0.0;
+    for (double v : z) {
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Gaussian, ReflectBoundaryKeepsEndsReasonable) {
+    // A ramp filtered with reflect boundaries must stay within data range.
+    std::vector<double> y;
+    for (int i = 0; i < 16; ++i) {
+        y.push_back(static_cast<double>(i));
+    }
+    const std::vector<double> z = gaussian_filter1d(y, 1.5);
+    for (double v : z) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 15.0);
+    }
+}
+
+/// Dense reference solve of (I + lambda D2'D2) z = y via Gauss elimination.
+std::vector<double> whittaker_dense_reference(const std::vector<double>& y, double lambda) {
+    const std::size_t n = y.size();
+    // Build A.
+    std::vector<double> a(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i * n + i] = 1.0;
+    }
+    for (std::size_t r = 0; r + 2 < n; ++r) {
+        const double coeff[3] = {1.0, -2.0, 1.0};
+        for (int p = 0; p < 3; ++p) {
+            for (int q = 0; q < 3; ++q) {
+                a[(r + static_cast<std::size_t>(p)) * n + (r + static_cast<std::size_t>(q))] +=
+                    lambda * coeff[p] * coeff[q];
+            }
+        }
+    }
+    // Gaussian elimination with the right-hand side.
+    std::vector<double> rhs = y;
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col])) {
+                pivot = row;
+            }
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+            std::swap(a[col * n + k], a[pivot * n + k]);
+        }
+        std::swap(rhs[col], rhs[pivot]);
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const double f = a[row * n + col] / a[col * n + col];
+            for (std::size_t k = col; k < n; ++k) {
+                a[row * n + k] -= f * a[col * n + k];
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    std::vector<double> z(n);
+    for (std::size_t ri = n; ri > 0; --ri) {
+        const std::size_t i = ri - 1;
+        double v = rhs[i];
+        for (std::size_t k = i + 1; k < n; ++k) {
+            v -= a[i * n + k] * z[k];
+        }
+        z[i] = v / a[i * n + i];
+    }
+    return z;
+}
+
+TEST(Whittaker, BandedSolverMatchesDenseReference) {
+    rng rand(13);
+    for (const std::size_t n : {std::size_t{3}, std::size_t{7}, std::size_t{25}}) {
+        for (const double lambda : {0.5, 10.0, 300.0}) {
+            std::vector<double> y;
+            for (std::size_t i = 0; i < n; ++i) {
+                y.push_back(rand.uniform_real(-2.0, 2.0));
+            }
+            const std::vector<double> banded = whittaker_smooth(y, lambda);
+            const std::vector<double> dense = whittaker_dense_reference(y, lambda);
+            for (std::size_t i = 0; i < n; ++i) {
+                EXPECT_NEAR(banded[i], dense[i], 1e-9)
+                    << "n=" << n << " lambda=" << lambda << " i=" << i;
+            }
+        }
+    }
+}
+
+// Property sweep: smoothing never escapes the input value range by much.
+class SmoothingProps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SmoothingProps, WhittakerStaysNearInputRange) {
+    rng rand(GetParam());
+    std::vector<double> y;
+    const std::size_t n = 10 + rand.uniform(0, 100);
+    for (std::size_t i = 0; i < n; ++i) {
+        y.push_back(rand.uniform_real(-1.0, 1.0));
+    }
+    const std::vector<double> z = whittaker_smooth(y, rand.uniform_real(0.1, 100.0));
+    ASSERT_EQ(z.size(), y.size());
+    const double lo = ftc::min_value(y) - 0.5;
+    const double hi = ftc::max_value(y) + 0.5;
+    for (double v : z) {
+        EXPECT_GE(v, lo);
+        EXPECT_LE(v, hi);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmoothingProps, ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace ftc::mathx

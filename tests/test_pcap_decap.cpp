@@ -1,0 +1,262 @@
+// Unit tests for frame decapsulation and TCP reassembly (pcap/decap.hpp).
+#include "pcap/decap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcap/encap.hpp"
+#include "util/check.hpp"
+
+namespace ftc::pcap {
+namespace {
+
+const mac_address kMacA{0x02, 0, 0, 0, 0, 1};
+const mac_address kMacB{0x02, 0, 0, 0, 0, 2};
+
+flow_key udp_flow() {
+    return {make_ipv4(10, 0, 0, 1), make_ipv4(10, 0, 0, 2), 5000, 53, transport::udp};
+}
+
+flow_key tcp_flow() {
+    return {make_ipv4(10, 0, 0, 1), make_ipv4(10, 0, 0, 2), 5000, 445, transport::tcp};
+}
+
+TEST(Checksum, Rfc1071KnownVector) {
+    // Classic example: checksum of 00 01 f2 03 f4 f5 f6 f7 is 0x220d.
+    const byte_vector data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+    EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+    const byte_vector even{0x12, 0x34, 0x00, 0x00};
+    const byte_vector odd{0x12, 0x34, 0x00};
+    EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(Checksum, ValidHeaderSumsToZero) {
+    const byte_vector frame = build_udp_frame(kMacA, kMacB, udp_flow(), byte_vector{1, 2, 3});
+    const byte_view ip = byte_view{frame}.subspan(ethernet_header::size, 20);
+    EXPECT_EQ(internet_checksum(ip), 0);
+}
+
+TEST(Decap, ParsesEthernetHeader) {
+    const byte_vector frame = build_udp_frame(kMacA, kMacB, udp_flow(), byte_vector{});
+    const ethernet_header eth = parse_ethernet(frame);
+    EXPECT_EQ(eth.src, kMacA);
+    EXPECT_EQ(eth.dst, kMacB);
+    EXPECT_EQ(eth.ethertype, 0x0800);
+    EXPECT_THROW(parse_ethernet(byte_vector{1, 2, 3}), parse_error);
+}
+
+TEST(Decap, ParsesIpv4Header) {
+    const byte_vector frame =
+        build_udp_frame(kMacA, kMacB, udp_flow(), byte_vector{9, 9}, /*ip_id=*/77);
+    const byte_view ip_bytes = byte_view{frame}.subspan(ethernet_header::size);
+    const ipv4_header ip = parse_ipv4(ip_bytes);
+    EXPECT_EQ(ip.header_length, 20);
+    EXPECT_EQ(ip.protocol, 17);
+    EXPECT_EQ(ip.identification, 77);
+    EXPECT_EQ(ip.src.dotted(), "10.0.0.1");
+    EXPECT_EQ(ip.dst.dotted(), "10.0.0.2");
+    EXPECT_EQ(ip.total_length, 20 + 8 + 2);
+}
+
+TEST(Decap, RejectsCorruptIpv4Checksum) {
+    byte_vector frame = build_udp_frame(kMacA, kMacB, udp_flow(), byte_vector{9, 9});
+    frame[ethernet_header::size + 10] ^= 0xff;  // clobber checksum
+    const byte_view ip_bytes = byte_view{frame}.subspan(ethernet_header::size);
+    EXPECT_THROW(parse_ipv4(ip_bytes, /*verify_checksum=*/true), parse_error);
+    EXPECT_NO_THROW(parse_ipv4(ip_bytes, /*verify_checksum=*/false));
+}
+
+TEST(Decap, RejectsNonIpv4AndBadIhl) {
+    byte_vector junk(20, 0);
+    junk[0] = 0x60;  // version 6
+    EXPECT_THROW(parse_ipv4(junk), parse_error);
+    junk[0] = 0x43;  // version 4, IHL 3 (below minimum)
+    EXPECT_THROW(parse_ipv4(junk), parse_error);
+}
+
+TEST(Decap, ParsesUdpHeader) {
+    const byte_vector frame = build_udp_frame(kMacA, kMacB, udp_flow(), byte_vector{1, 2, 3});
+    const byte_view udp_bytes =
+        byte_view{frame}.subspan(ethernet_header::size + 20);
+    const udp_header udp = parse_udp(udp_bytes);
+    EXPECT_EQ(udp.src_port, 5000);
+    EXPECT_EQ(udp.dst_port, 53);
+    EXPECT_EQ(udp.length, 8 + 3);
+    EXPECT_THROW(parse_udp(byte_vector{1, 2}), parse_error);
+}
+
+TEST(Decap, ParsesTcpHeader) {
+    const byte_vector frame =
+        build_tcp_frame(kMacA, kMacB, tcp_flow(), 0x1000, byte_vector{1});
+    const byte_view tcp_bytes =
+        byte_view{frame}.subspan(ethernet_header::size + 20);
+    const tcp_header tcp = parse_tcp(tcp_bytes);
+    EXPECT_EQ(tcp.src_port, 5000);
+    EXPECT_EQ(tcp.dst_port, 445);
+    EXPECT_EQ(tcp.seq, 0x1000u);
+    EXPECT_EQ(tcp.data_offset, 20);
+    EXPECT_EQ(tcp.flags & 0x08, 0x08);  // PSH
+    EXPECT_THROW(parse_tcp(byte_vector(10, 0)), parse_error);
+}
+
+TEST(Framer, NbssFramesByLengthPrefix) {
+    byte_vector msg{0xff, 'S', 'M', 'B', 0x72};
+    const byte_vector framed = wrap_nbss(msg);
+    EXPECT_EQ(framed.size(), msg.size() + 4);
+    const auto len = nbss_framer(framed);
+    ASSERT_TRUE(len.has_value());
+    EXPECT_EQ(*len, framed.size());
+    // Incomplete stream: no frame yet.
+    EXPECT_FALSE(nbss_framer(byte_view{framed}.subspan(0, 3)).has_value());
+    EXPECT_FALSE(nbss_framer(byte_view{framed}.subspan(0, framed.size() - 1)).has_value());
+}
+
+TEST(Reassembly, InOrderSegmentsProduceMessages) {
+    tcp_reassembler r;
+    const flow_key flow = tcp_flow();
+    const byte_vector m1 = wrap_nbss(byte_vector{0x01, 0x02});
+    const byte_vector m2 = wrap_nbss(byte_vector{0x03});
+    // First segment carries m1 + half of m2.
+    byte_vector seg1(m1.begin(), m1.end());
+    seg1.insert(seg1.end(), m2.begin(), m2.begin() + 2);
+    const byte_vector seg2(m2.begin() + 2, m2.end());
+    auto out1 = r.feed(flow, 1000, seg1, nbss_framer);
+    ASSERT_EQ(out1.size(), 1u);
+    EXPECT_EQ(out1[0], m1);
+    auto out2 = r.feed(flow, 1000 + static_cast<std::uint32_t>(seg1.size()), seg2, nbss_framer);
+    ASSERT_EQ(out2.size(), 1u);
+    EXPECT_EQ(out2[0], m2);
+}
+
+TEST(Reassembly, OutOfOrderSegmentsAreBuffered) {
+    tcp_reassembler r;
+    const flow_key flow = tcp_flow();
+    const byte_vector msg = wrap_nbss(byte_vector{1, 2, 3, 4, 5, 6});
+    const std::uint32_t base = 5000;
+    const byte_vector first(msg.begin(), msg.begin() + 4);
+    const byte_vector second(msg.begin() + 4, msg.end());
+    // Deliver the tail first.
+    EXPECT_TRUE(r.feed(flow, base + 4, second, nbss_framer).empty());
+    auto out = r.feed(flow, base, first, nbss_framer);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], msg);
+}
+
+TEST(Reassembly, RetransmissionsAreDropped) {
+    tcp_reassembler r;
+    const flow_key flow = tcp_flow();
+    const byte_vector msg = wrap_nbss(byte_vector{1, 2, 3});
+    auto out = r.feed(flow, 100, msg, nbss_framer);
+    ASSERT_EQ(out.size(), 1u);
+    // Same segment again: already consumed, must not produce a duplicate.
+    EXPECT_TRUE(r.feed(flow, 100, msg, nbss_framer).empty());
+}
+
+TEST(Reassembly, FlowsAreIndependent) {
+    tcp_reassembler r;
+    const flow_key f1 = tcp_flow();
+    flow_key f2 = tcp_flow();
+    f2.src_port = 6000;
+    const byte_vector msg = wrap_nbss(byte_vector{1, 2});
+    const byte_vector half(msg.begin(), msg.begin() + 3);
+    const byte_vector rest(msg.begin() + 3, msg.end());
+    EXPECT_TRUE(r.feed(f1, 10, half, nbss_framer).empty());
+    // A complete message on f2 is unaffected by f1's partial state.
+    EXPECT_EQ(r.feed(f2, 99, msg, nbss_framer).size(), 1u);
+    EXPECT_EQ(r.feed(f1, 10 + 3, rest, nbss_framer).size(), 1u);
+}
+
+TEST(Extract, UdpDatagramsCarryFlowAndPayload) {
+    capture cap;
+    cap.link = linktype::ethernet;
+    packet p;
+    p.data = build_udp_frame(kMacA, kMacB, udp_flow(), byte_vector{0xde, 0xad});
+    cap.packets.push_back(p);
+    const auto datagrams = extract_datagrams(cap);
+    ASSERT_EQ(datagrams.size(), 1u);
+    EXPECT_EQ(datagrams[0].payload, (byte_vector{0xde, 0xad}));
+    EXPECT_EQ(datagrams[0].flow.src_port, 5000);
+    EXPECT_EQ(datagrams[0].flow.proto, transport::udp);
+}
+
+TEST(Extract, CorruptChecksumPacketSkipped) {
+    capture cap;
+    cap.link = linktype::ethernet;
+    packet p;
+    p.data = build_udp_frame(kMacA, kMacB, udp_flow(), byte_vector{0xde, 0xad});
+    p.data[ethernet_header::size + 10] ^= 0x55;
+    cap.packets.push_back(p);
+    EXPECT_TRUE(extract_datagrams(cap).empty());
+    extract_options lenient;
+    lenient.verify_checksums = false;
+    EXPECT_EQ(extract_datagrams(cap, lenient).size(), 1u);
+}
+
+TEST(Extract, NonIpv4EthertypeSkipped) {
+    capture cap;
+    cap.link = linktype::ethernet;
+    packet p;
+    p.data = build_udp_frame(kMacA, kMacB, udp_flow(), byte_vector{1});
+    p.data[12] = 0x86;  // 0x86dd = IPv6
+    p.data[13] = 0xdd;
+    cap.packets.push_back(p);
+    EXPECT_TRUE(extract_datagrams(cap).empty());
+}
+
+TEST(Extract, RawLinktypeTreatsRecordsAsMessages) {
+    capture cap;
+    cap.link = linktype::user0;
+    packet p;
+    p.data = {0xca, 0xfe};
+    cap.packets.push_back(p);
+    const auto datagrams = extract_datagrams(cap);
+    ASSERT_EQ(datagrams.size(), 1u);
+    EXPECT_EQ(datagrams[0].payload, (byte_vector{0xca, 0xfe}));
+}
+
+TEST(Extract, TcpStreamSplitAcrossPackets) {
+    capture cap;
+    cap.link = linktype::ethernet;
+    const byte_vector smb{0xff, 'S', 'M', 'B', 0x72, 0x00};
+    const byte_vector framed = wrap_nbss(smb);
+    const byte_vector part1(framed.begin(), framed.begin() + 5);
+    const byte_vector part2(framed.begin() + 5, framed.end());
+    packet p1;
+    p1.data = build_tcp_frame(kMacA, kMacB, tcp_flow(), 0x1000, part1);
+    packet p2;
+    p2.data = build_tcp_frame(kMacA, kMacB, tcp_flow(),
+                              0x1000 + static_cast<std::uint32_t>(part1.size()), part2);
+    cap.packets = {p1, p2};
+    const auto datagrams = extract_datagrams(cap);
+    ASSERT_EQ(datagrams.size(), 1u);
+    EXPECT_EQ(datagrams[0].payload, framed);
+    EXPECT_EQ(datagrams[0].flow.proto, transport::tcp);
+}
+
+TEST(Extract, RuntFramesSkipped) {
+    capture cap;
+    cap.link = linktype::ethernet;
+    packet p;
+    p.data = {0x01, 0x02};
+    cap.packets.push_back(p);
+    EXPECT_TRUE(extract_datagrams(cap).empty());
+}
+
+TEST(FlowKey, ReversedSwapsEndpoints) {
+    const flow_key f = udp_flow();
+    const flow_key r = f.reversed();
+    EXPECT_EQ(r.src_ip, f.dst_ip);
+    EXPECT_EQ(r.dst_port, f.src_port);
+    EXPECT_EQ(r.reversed(), f);
+}
+
+TEST(Ipv4Address, DottedRendering) {
+    EXPECT_EQ(make_ipv4(192, 168, 1, 17).dotted(), "192.168.1.17");
+    EXPECT_EQ(make_ipv4(0, 0, 0, 0).dotted(), "0.0.0.0");
+    EXPECT_EQ(make_ipv4(255, 255, 255, 255).dotted(), "255.255.255.255");
+}
+
+}  // namespace
+}  // namespace ftc::pcap

@@ -1,0 +1,174 @@
+// Unit and property tests for the CSP segmenter (segmentation/csp.hpp).
+#include "segmentation/csp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "protocols/registry.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::segmentation {
+namespace {
+
+/// Trace whose messages all share the constant 0x63 0x82 0x53 0x63 at a
+/// fixed position, surrounded by random bytes.
+std::vector<byte_vector> trace_with_constant(rng& rand, std::size_t count) {
+    std::vector<byte_vector> out;
+    for (std::size_t i = 0; i < count; ++i) {
+        byte_vector msg = rand.bytes(6);
+        put_u32_be(msg, 0x63825363);
+        put_bytes(msg, rand.bytes(6));
+        out.push_back(std::move(msg));
+    }
+    return out;
+}
+
+TEST(Csp, MinesSharedConstantAsPattern) {
+    rng rand(5);
+    const auto messages = trace_with_constant(rand, 40);
+    const csp_segmenter seg;
+    const std::vector<byte_vector> patterns = seg.mine_patterns(messages, {});
+    const byte_vector cookie{0x63, 0x82, 0x53, 0x63};
+    bool found = false;
+    for (const byte_vector& p : patterns) {
+        if (p == cookie ||
+            std::search(p.begin(), p.end(), cookie.begin(), cookie.end()) != p.end()) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found) << "the magic-cookie constant was not mined";
+}
+
+TEST(Csp, PrefersMaximalPatterns) {
+    rng rand(6);
+    const auto messages = trace_with_constant(rand, 40);
+    csp_options opt;
+    opt.max_pattern_length = 4;
+    const csp_segmenter seg(opt);
+    const std::vector<byte_vector> patterns = seg.mine_patterns(messages, {});
+    // No mined pattern may be a strict substring of another mined pattern.
+    for (const byte_vector& a : patterns) {
+        for (const byte_vector& b : patterns) {
+            if (a.size() < b.size()) {
+                EXPECT_EQ(std::search(b.begin(), b.end(), a.begin(), a.end()), b.end())
+                    << "pattern contained in a longer mined pattern";
+            }
+        }
+    }
+}
+
+TEST(Csp, BoundariesAtPatternEdges) {
+    rng rand(7);
+    const auto messages = trace_with_constant(rand, 40);
+    const csp_segmenter seg;
+    const message_segments out = seg.run(messages, {});
+    // The constant sits at offsets [6, 10): most messages must have
+    // boundaries there (random bytes can coincidentally extend a pattern,
+    // so allow a few exceptions).
+    std::size_t with_edges = 0;
+    for (const auto& per_message : out) {
+        bool start_edge = false;
+        bool end_edge = false;
+        for (const segment& s : per_message) {
+            if (s.offset == 6) {
+                start_edge = true;
+            }
+            if (s.offset + s.length == 10 || s.offset == 10) {
+                end_edge = true;
+            }
+        }
+        if (start_edge && end_edge) {
+            ++with_edges;
+        }
+    }
+    EXPECT_GT(with_edges, messages.size() * 3 / 4);
+}
+
+TEST(Csp, RandomTraceWithoutPatternsDegenerates) {
+    // Pure random messages share no frequent n-grams: every message stays
+    // one segment (the paper's small-trace weakness, in the extreme).
+    rng rand(8);
+    std::vector<byte_vector> messages;
+    for (int i = 0; i < 30; ++i) {
+        messages.push_back(rand.bytes(32));
+    }
+    const csp_segmenter seg;
+    const message_segments out = seg.run(messages, {});
+    std::size_t total = 0;
+    for (const auto& per_message : out) {
+        total += per_message.size();
+    }
+    EXPECT_EQ(total, messages.size());
+}
+
+TEST(Csp, SupportThresholdGovernsMining) {
+    rng rand(9);
+    // Constant present in only 30 % of messages.
+    std::vector<byte_vector> messages;
+    for (int i = 0; i < 40; ++i) {
+        byte_vector msg = rand.bytes(5);
+        if (i % 10 < 3) {
+            put_u32_be(msg, 0xcafebabe);
+        } else {
+            put_bytes(msg, rand.bytes(4));
+        }
+        put_bytes(msg, rand.bytes(5));
+        messages.push_back(std::move(msg));
+    }
+    csp_options strict;
+    strict.min_support = 0.6;
+    csp_options lenient;
+    lenient.min_support = 0.2;
+    const auto strict_patterns = csp_segmenter(strict).mine_patterns(messages, {});
+    const auto lenient_patterns = csp_segmenter(lenient).mine_patterns(messages, {});
+    EXPECT_GE(lenient_patterns.size(), strict_patterns.size());
+}
+
+TEST(Csp, RejectsInvalidOptions) {
+    csp_options bad;
+    bad.min_pattern_length = 1;
+    const csp_segmenter seg(bad);
+    EXPECT_THROW(seg.mine_patterns({{1, 2, 3}}, {}), precondition_error);
+    csp_options inverted;
+    inverted.min_pattern_length = 4;
+    inverted.max_pattern_length = 2;
+    EXPECT_THROW(csp_segmenter(inverted).mine_patterns({{1, 2, 3}}, {}), precondition_error);
+}
+
+TEST(Csp, DeadlineAborts) {
+    rng rand(1);
+    std::vector<byte_vector> messages;
+    for (int i = 0; i < 512; ++i) {
+        messages.push_back(rand.bytes(256));
+    }
+    const csp_segmenter seg;
+    const deadline expired(0.0);
+    EXPECT_THROW(seg.run(messages, expired), budget_exceeded_error);
+}
+
+// Property sweep across protocols: valid segmentation everywhere.
+class CspInvariants
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint64_t>> {};
+
+TEST_P(CspInvariants, SegmentsCoverMessagesExactly) {
+    const auto [proto, seed] = GetParam();
+    const protocols::trace t = protocols::generate_trace(proto, 30, seed);
+    const std::vector<byte_vector> messages = message_bytes(t);
+    const csp_segmenter seg;
+    const message_segments out = seg.run(messages, {});
+    EXPECT_NO_THROW(validate_segmentation(messages, out));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, CspInvariants,
+    ::testing::Combine(::testing::Values("NTP", "DNS", "NBNS", "DHCP", "SMB", "AWDL", "AU"),
+                       ::testing::Values(3ull, 77ull)),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, std::uint64_t>>& info) {
+        return std::string(std::get<0>(info.param)) + "_seed" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace ftc::segmentation

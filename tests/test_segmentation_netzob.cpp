@@ -1,0 +1,153 @@
+// Unit and property tests for the Netzob-style alignment segmenter
+// (segmentation/netzob.hpp).
+#include "segmentation/netzob.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/registry.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ftc::segmentation {
+namespace {
+
+TEST(Netzob, PairwiseScoreIdenticalStrings) {
+    const netzob_segmenter seg;
+    const byte_vector a{1, 2, 3, 4};
+    EXPECT_EQ(seg.pairwise_score(a, a), 4 * 2);  // 4 matches * match_score
+}
+
+TEST(Netzob, PairwiseScoreAllDifferent) {
+    const netzob_segmenter seg;
+    const byte_vector a{1, 2, 3};
+    const byte_vector b{10, 20, 30};
+    EXPECT_EQ(seg.pairwise_score(a, b), -3);  // 3 mismatches beat gap pairs
+}
+
+TEST(Netzob, PairwiseScorePrefersAlignmentOverGaps) {
+    const netzob_segmenter seg;
+    // b = a with one inserted byte: best alignment = 4 matches + 1 gap.
+    const byte_vector a{1, 2, 3, 4};
+    const byte_vector b{1, 2, 99, 3, 4};
+    EXPECT_EQ(seg.pairwise_score(a, b), 4 * 2 - 2);
+}
+
+TEST(Netzob, PairwiseScoreEmptyString) {
+    const netzob_segmenter seg;
+    const byte_vector a{1, 2, 3};
+    EXPECT_EQ(seg.pairwise_score(a, byte_vector{}), -6);  // 3 gaps
+}
+
+TEST(Netzob, StaticDynamicAlternationRecovered) {
+    // Messages: constant 4-byte magic, 4 random bytes, constant 2-byte
+    // suffix. Column classification must place boundaries at offsets 4 & 8.
+    rng rand(3);
+    std::vector<byte_vector> messages;
+    for (int i = 0; i < 24; ++i) {
+        byte_vector msg;
+        put_u32_be(msg, 0x11223344);
+        put_bytes(msg, rand.bytes(4));
+        put_u16_be(msg, 0xaabb);
+        messages.push_back(std::move(msg));
+    }
+    const netzob_segmenter seg;
+    const message_segments out = seg.run(messages, {});
+    validate_segmentation(messages, out);
+    std::size_t with_both = 0;
+    for (const auto& per_message : out) {
+        bool at4 = false;
+        bool at8 = false;
+        for (const segment& s : per_message) {
+            if (s.offset == 4) {
+                at4 = true;
+            }
+            if (s.offset == 8) {
+                at8 = true;
+            }
+        }
+        if (at4 && at8) {
+            ++with_both;
+        }
+    }
+    EXPECT_GT(with_both, messages.size() * 3 / 4);
+}
+
+TEST(Netzob, IdenticalMessagesStayWhole) {
+    const std::vector<byte_vector> messages(10, byte_vector{1, 2, 3, 4, 5});
+    const netzob_segmenter seg;
+    const message_segments out = seg.run(messages, {});
+    for (const auto& per_message : out) {
+        EXPECT_EQ(per_message.size(), 1u);  // all columns static -> one field
+    }
+}
+
+TEST(Netzob, SingleMessageIsOneSegment) {
+    const std::vector<byte_vector> messages{{1, 2, 3}};
+    const netzob_segmenter seg;
+    const message_segments out = seg.run(messages, {});
+    ASSERT_EQ(out.size(), 1u);
+    ASSERT_EQ(out[0].size(), 1u);
+    EXPECT_EQ(out[0][0].length, 3u);
+}
+
+TEST(Netzob, VariableLengthMessagesAlign) {
+    // A fixed prefix with an optional extension: alignment handles the
+    // length difference via gaps and output must still cover each message.
+    rng rand(4);
+    std::vector<byte_vector> messages;
+    for (int i = 0; i < 20; ++i) {
+        byte_vector msg;
+        put_u32_be(msg, 0xfeedf00d);
+        put_bytes(msg, rand.bytes(2));
+        if (i % 2 == 0) {
+            put_u32_be(msg, 0xcafe0000 + static_cast<std::uint32_t>(i));
+        }
+        messages.push_back(std::move(msg));
+    }
+    const netzob_segmenter seg;
+    const message_segments out = seg.run(messages, {});
+    EXPECT_NO_THROW(validate_segmentation(messages, out));
+}
+
+TEST(Netzob, RejectsEmptyTrace) {
+    const netzob_segmenter seg;
+    EXPECT_THROW(seg.run({}, {}), precondition_error);
+}
+
+TEST(Netzob, DeadlineReproducesPaperFails) {
+    // Large trace of long messages: the quadratic pairwise stage must hit
+    // the budget and raise — the paper's "fails" entries for DHCP/SMB@1000.
+    rng rand(1);
+    std::vector<byte_vector> messages;
+    for (int i = 0; i < 400; ++i) {
+        messages.push_back(rand.bytes(300));
+    }
+    const netzob_segmenter seg;
+    const deadline tight(0.05);
+    EXPECT_THROW(seg.run(messages, tight), budget_exceeded_error);
+}
+
+// Property sweep on small traces (alignment is expensive).
+class NetzobInvariants
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint64_t>> {};
+
+TEST_P(NetzobInvariants, SegmentsCoverMessagesExactly) {
+    const auto [proto, seed] = GetParam();
+    const protocols::trace t = protocols::generate_trace(proto, 16, seed);
+    const std::vector<byte_vector> messages = message_bytes(t);
+    const netzob_segmenter seg;
+    const message_segments out = seg.run(messages, deadline(30.0));
+    EXPECT_NO_THROW(validate_segmentation(messages, out));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, NetzobInvariants,
+    ::testing::Combine(::testing::Values("NTP", "DNS", "NBNS", "AWDL", "AU"),
+                       ::testing::Values(3ull)),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, std::uint64_t>>& info) {
+        return std::string(std::get<0>(info.param)) + "_seed" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace ftc::segmentation

@@ -1,0 +1,112 @@
+// Unit tests for endian-explicit serialization (util/byteio.hpp).
+#include "util/byteio.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftc {
+namespace {
+
+TEST(ByteIo, PutU8AppendsSingleByte) {
+    byte_vector out;
+    put_u8(out, 0xab);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0xab);
+}
+
+TEST(ByteIo, PutU16BigEndianOrdersHighByteFirst) {
+    byte_vector out;
+    put_u16_be(out, 0x1234);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 0x12);
+    EXPECT_EQ(out[1], 0x34);
+}
+
+TEST(ByteIo, PutU16LittleEndianOrdersLowByteFirst) {
+    byte_vector out;
+    put_u16_le(out, 0x1234);
+    EXPECT_EQ(out[0], 0x34);
+    EXPECT_EQ(out[1], 0x12);
+}
+
+TEST(ByteIo, PutU32BothEndiannesses) {
+    byte_vector be;
+    byte_vector le;
+    put_u32_be(be, 0x01020304);
+    put_u32_le(le, 0x01020304);
+    EXPECT_EQ(be, (byte_vector{0x01, 0x02, 0x03, 0x04}));
+    EXPECT_EQ(le, (byte_vector{0x04, 0x03, 0x02, 0x01}));
+}
+
+TEST(ByteIo, PutU64BothEndiannesses) {
+    byte_vector be;
+    byte_vector le;
+    put_u64_be(be, 0x0102030405060708ULL);
+    put_u64_le(le, 0x0102030405060708ULL);
+    EXPECT_EQ(be, (byte_vector{1, 2, 3, 4, 5, 6, 7, 8}));
+    EXPECT_EQ(le, (byte_vector{8, 7, 6, 5, 4, 3, 2, 1}));
+}
+
+TEST(ByteIo, RoundTripAllWidthsBigEndian) {
+    byte_vector out;
+    put_u8(out, 0x7f);
+    put_u16_be(out, 0xbeef);
+    put_u32_be(out, 0xdeadbeef);
+    put_u64_be(out, 0x0123456789abcdefULL);
+    EXPECT_EQ(get_u8(out, 0), 0x7f);
+    EXPECT_EQ(get_u16_be(out, 1), 0xbeef);
+    EXPECT_EQ(get_u32_be(out, 3), 0xdeadbeef);
+    EXPECT_EQ(get_u64_be(out, 7), 0x0123456789abcdefULL);
+}
+
+TEST(ByteIo, RoundTripAllWidthsLittleEndian) {
+    byte_vector out;
+    put_u16_le(out, 0xbeef);
+    put_u32_le(out, 0xdeadbeef);
+    put_u64_le(out, 0x0123456789abcdefULL);
+    EXPECT_EQ(get_u16_le(out, 0), 0xbeef);
+    EXPECT_EQ(get_u32_le(out, 2), 0xdeadbeef);
+    EXPECT_EQ(get_u64_le(out, 6), 0x0123456789abcdefULL);
+}
+
+TEST(ByteIo, PutBytesAndChars) {
+    byte_vector out;
+    const byte_vector data{0x01, 0x02};
+    put_bytes(out, data);
+    put_chars(out, "AB");
+    EXPECT_EQ(out, (byte_vector{0x01, 0x02, 'A', 'B'}));
+}
+
+TEST(ByteIo, PutFillRepeatsValue) {
+    byte_vector out;
+    put_fill(out, 3, 0xcc);
+    EXPECT_EQ(out, (byte_vector{0xcc, 0xcc, 0xcc}));
+}
+
+TEST(ByteIo, ReadersThrowOnOverrun) {
+    const byte_vector data{0x01, 0x02, 0x03};
+    EXPECT_THROW(get_u8(data, 3), parse_error);
+    EXPECT_THROW(get_u16_be(data, 2), parse_error);
+    EXPECT_THROW(get_u16_le(data, 2), parse_error);
+    EXPECT_THROW(get_u32_be(data, 0), parse_error);
+    EXPECT_THROW(get_u32_le(data, 0), parse_error);
+    EXPECT_THROW(get_u64_be(data, 0), parse_error);
+}
+
+TEST(ByteIo, GetSliceValidatesBounds) {
+    const byte_vector data{1, 2, 3, 4};
+    const byte_view slice = get_slice(data, 1, 2);
+    ASSERT_EQ(slice.size(), 2u);
+    EXPECT_EQ(slice[0], 2);
+    EXPECT_EQ(slice[1], 3);
+    EXPECT_THROW(get_slice(data, 3, 2), parse_error);
+    EXPECT_THROW(get_slice(data, 5, 0), parse_error);
+}
+
+TEST(ByteIo, GetSliceOfFullRangeAndEmpty) {
+    const byte_vector data{1, 2};
+    EXPECT_EQ(get_slice(data, 0, 2).size(), 2u);
+    EXPECT_EQ(get_slice(data, 2, 0).size(), 0u);
+}
+
+}  // namespace
+}  // namespace ftc

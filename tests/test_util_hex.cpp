@@ -1,0 +1,75 @@
+// Unit tests for hex rendering/parsing (util/hex.hpp).
+#include "util/hex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ftc {
+namespace {
+
+TEST(Hex, EncodeKnownBytes) {
+    EXPECT_EQ(to_hex(byte_vector{0xd2, 0x3d, 0x19}), "d23d19");
+    EXPECT_EQ(to_hex(byte_vector{}), "");
+    EXPECT_EQ(to_hex(byte_vector{0x00, 0xff}), "00ff");
+}
+
+TEST(Hex, DecodeKnownStrings) {
+    EXPECT_EQ(from_hex("d23d19"), (byte_vector{0xd2, 0x3d, 0x19}));
+    EXPECT_EQ(from_hex("D23D19"), (byte_vector{0xd2, 0x3d, 0x19}));
+    EXPECT_EQ(from_hex(""), byte_vector{});
+}
+
+TEST(Hex, DecodeRejectsOddLength) {
+    EXPECT_THROW(from_hex("abc"), parse_error);
+}
+
+TEST(Hex, DecodeRejectsNonHexDigits) {
+    EXPECT_THROW(from_hex("zz"), parse_error);
+    EXPECT_THROW(from_hex("0g"), parse_error);
+}
+
+TEST(Hex, PrintableAsciiPredicate) {
+    EXPECT_TRUE(is_printable_ascii(' '));
+    EXPECT_TRUE(is_printable_ascii('A'));
+    EXPECT_TRUE(is_printable_ascii('~'));
+    EXPECT_FALSE(is_printable_ascii(0x1f));
+    EXPECT_FALSE(is_printable_ascii(0x7f));
+    EXPECT_FALSE(is_printable_ascii(0x00));
+}
+
+TEST(Hex, HexdumpShowsOffsetsHexAndGutter) {
+    byte_vector data;
+    for (int i = 0; i < 20; ++i) {
+        data.push_back(static_cast<std::uint8_t>('A' + i));
+    }
+    const std::string dump = hexdump(data);
+    EXPECT_NE(dump.find("00000000"), std::string::npos);
+    EXPECT_NE(dump.find("00000010"), std::string::npos);
+    EXPECT_NE(dump.find("41 "), std::string::npos);
+    EXPECT_NE(dump.find("|ABCDEFGHIJKLMNOP|"), std::string::npos);
+}
+
+TEST(Hex, HexdumpMasksUnprintableBytes) {
+    const std::string dump = hexdump(byte_vector{0x00, 'A', 0xff});
+    EXPECT_NE(dump.find("|.A.|"), std::string::npos);
+}
+
+TEST(Hex, HexdumpEmptyInputYieldsEmptyString) {
+    EXPECT_EQ(hexdump(byte_vector{}), "");
+}
+
+// Property sweep: decode(encode(x)) == x for random byte strings.
+class HexRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HexRoundTrip, EncodeDecodeIsIdentity) {
+    rng rand(GetParam());
+    const std::size_t len = rand.uniform(0, 64);
+    const byte_vector data = rand.bytes(len);
+    EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HexRoundTrip, ::testing::Range<std::uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace ftc

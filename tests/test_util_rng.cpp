@@ -1,0 +1,160 @@
+// Unit and property tests for the deterministic RNG (util/rng.hpp).
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ftc {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+    rng a(7);
+    rng b(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    rng a(1);
+    rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformRespectsInclusiveBounds) {
+    rng rand(3);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rand.uniform(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, UniformSingletonRange) {
+    rng rand(3);
+    EXPECT_EQ(rand.uniform(42, 42), 42u);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+    rng rand(3);
+    EXPECT_THROW(rand.uniform(9, 5), precondition_error);
+}
+
+TEST(Rng, UniformCoversWholeRange) {
+    rng rand(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        seen.insert(rand.uniform(0, 7));
+    }
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+    rng rand(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rand.uniform01();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformRealRespectsBounds) {
+    rng rand(5);
+    for (int i = 0; i < 200; ++i) {
+        const double v = rand.uniform_real(-2.5, 3.5);
+        EXPECT_GE(v, -2.5);
+        EXPECT_LT(v, 3.5);
+    }
+}
+
+TEST(Rng, ChanceExtremes) {
+    rng rand(9);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rand.chance(0.0));
+        EXPECT_TRUE(rand.chance(1.0));
+    }
+}
+
+TEST(Rng, BytesHaveRequestedLength) {
+    rng rand(1);
+    EXPECT_EQ(rand.bytes(0).size(), 0u);
+    EXPECT_EQ(rand.bytes(17).size(), 17u);
+}
+
+TEST(Rng, PickRejectsEmptyAndReturnsMember) {
+    rng rand(1);
+    const std::vector<int> values{10, 20, 30};
+    for (int i = 0; i < 50; ++i) {
+        const int v = rand.pick(values);
+        EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+    }
+    const std::vector<int> empty;
+    EXPECT_THROW(rand.pick(empty), precondition_error);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+    rng rand(2);
+    std::vector<int> values{1, 2, 2, 3, 4, 5, 5, 5};
+    std::vector<int> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    rand.shuffle(values);
+    std::sort(values.begin(), values.end());
+    EXPECT_EQ(values, sorted);
+}
+
+TEST(Rng, SmallCountWithinBounds) {
+    rng rand(4);
+    for (int i = 0; i < 200; ++i) {
+        const std::size_t v = rand.small_count(2, 6);
+        EXPECT_GE(v, 2u);
+        EXPECT_LE(v, 6u);
+    }
+}
+
+TEST(Rng, ZipfIndexInRangeAndSkewed) {
+    rng rand(6);
+    std::size_t low = 0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i) {
+        const std::size_t v = rand.zipf_index(20);
+        EXPECT_LT(v, 20u);
+        if (v < 5) {
+            ++low;
+        }
+    }
+    // The first quarter of the population should receive well over its
+    // uniform share (25 %) of draws.
+    EXPECT_GT(low, static_cast<std::size_t>(0.4 * trials));
+}
+
+TEST(Rng, ZipfIndexSingleton) {
+    rng rand(6);
+    EXPECT_EQ(rand.zipf_index(1), 0u);
+    EXPECT_THROW(rand.zipf_index(0), precondition_error);
+}
+
+// Property sweep across seeds: mean of uniform01 stays near 0.5.
+class RngMoments : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngMoments, Uniform01MeanNearHalf) {
+    rng rand(GetParam());
+    double sum = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        sum += rand.uniform01();
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngMoments, ::testing::Values(1, 2, 3, 42, 1337, 9999));
+
+}  // namespace
+}  // namespace ftc

@@ -1,0 +1,113 @@
+// Unit tests for descriptive statistics (util/stats.hpp).
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ftc {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+    const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{}), 0.0);
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{7.0}), 7.0);
+}
+
+TEST(Stats, MedianDoesNotMutateInput) {
+    const std::vector<double> v{3.0, 1.0, 2.0};
+    (void)median(v);
+    EXPECT_EQ(v, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(Stats, StddevPopulationFormula) {
+    // Population sigma of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
+    const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+    EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Stats, MinMaxThrowOnEmpty) {
+    const std::vector<double> v{3.0, -1.0, 2.0};
+    EXPECT_DOUBLE_EQ(min_value(v), -1.0);
+    EXPECT_DOUBLE_EQ(max_value(v), 3.0);
+    EXPECT_THROW(min_value(std::vector<double>{}), precondition_error);
+    EXPECT_THROW(max_value(std::vector<double>{}), precondition_error);
+}
+
+TEST(Stats, PercentRankKnownValues) {
+    const std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    // 5 values below 5.5, none equal.
+    EXPECT_DOUBLE_EQ(percent_rank(v, 5.5), 50.0);
+    // Everything below 100.
+    EXPECT_DOUBLE_EQ(percent_rank(v, 100.0), 100.0);
+    // Nothing below 0.
+    EXPECT_DOUBLE_EQ(percent_rank(v, 0.0), 0.0);
+    // Ties get half weight: value 5 has 4 below + 1 equal -> 45 %.
+    EXPECT_DOUBLE_EQ(percent_rank(v, 5.0), 45.0);
+}
+
+TEST(Stats, PercentRankEmptyIsZero) {
+    EXPECT_DOUBLE_EQ(percent_rank(std::vector<double>{}, 1.0), 0.0);
+}
+
+TEST(Stats, ByteEntropyExtremes) {
+    const std::vector<std::uint8_t> constant(64, 0x41);
+    EXPECT_DOUBLE_EQ(byte_entropy(constant), 0.0);
+    // Two equally frequent symbols -> exactly 1 bit.
+    std::vector<std::uint8_t> two;
+    for (int i = 0; i < 32; ++i) {
+        two.push_back(0x00);
+        two.push_back(0xff);
+    }
+    EXPECT_DOUBLE_EQ(byte_entropy(two), 1.0);
+    // All 256 values once -> 8 bits.
+    std::vector<std::uint8_t> all;
+    for (int i = 0; i < 256; ++i) {
+        all.push_back(static_cast<std::uint8_t>(i));
+    }
+    EXPECT_DOUBLE_EQ(byte_entropy(all), 8.0);
+    EXPECT_DOUBLE_EQ(byte_entropy(std::vector<std::uint8_t>{}), 0.0);
+}
+
+TEST(Stats, PearsonPerfectAndInverse) {
+    const std::vector<double> x{1, 2, 3, 4, 5};
+    const std::vector<double> y{2, 4, 6, 8, 10};
+    const std::vector<double> z{10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonZeroVarianceIsZero) {
+    const std::vector<double> x{1, 2, 3};
+    const std::vector<double> c{5, 5, 5};
+    EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);
+    EXPECT_DOUBLE_EQ(pearson(c, x), 0.0);
+}
+
+TEST(Stats, PearsonRejectsLengthMismatch) {
+    const std::vector<double> x{1, 2, 3};
+    const std::vector<double> y{1, 2};
+    EXPECT_THROW(pearson(x, y), precondition_error);
+}
+
+TEST(Stats, ToDoublesConverts) {
+    const std::vector<std::uint8_t> v{1, 2, 255};
+    const std::vector<double> d = to_doubles(std::span<const std::uint8_t>{v});
+    EXPECT_EQ(d, (std::vector<double>{1.0, 2.0, 255.0}));
+}
+
+}  // namespace
+}  // namespace ftc

@@ -1,0 +1,60 @@
+// Unit tests for stopwatch and cooperative deadlines (util/stopwatch.hpp).
+#include "util/stopwatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ftc {
+namespace {
+
+TEST(Stopwatch, ElapsedGrowsMonotonically) {
+    stopwatch w;
+    const double t1 = w.elapsed_seconds();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const double t2 = w.elapsed_seconds();
+    EXPECT_GE(t1, 0.0);
+    EXPECT_GT(t2, t1);
+}
+
+TEST(Stopwatch, ResetRestartsClock) {
+    stopwatch w;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    w.reset();
+    EXPECT_LT(w.elapsed_seconds(), 0.01);
+}
+
+TEST(Deadline, UnlimitedNeverExpires) {
+    const deadline dl;
+    EXPECT_FALSE(dl.expired());
+    EXPECT_NO_THROW(dl.check("noop"));
+}
+
+TEST(Deadline, BoundedExpiresAfterBudget) {
+    const deadline dl(0.02);
+    EXPECT_FALSE(dl.expired());
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    EXPECT_TRUE(dl.expired());
+    EXPECT_THROW(dl.check("test operation"), budget_exceeded_error);
+}
+
+TEST(Deadline, CheckMessageNamesOperation) {
+    const deadline dl(0.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    try {
+        dl.check("Netzob pairwise alignment");
+        FAIL() << "expected budget_exceeded_error";
+    } catch (const budget_exceeded_error& e) {
+        EXPECT_NE(std::string(e.what()).find("Netzob pairwise alignment"), std::string::npos);
+    }
+}
+
+TEST(Deadline, BudgetExceededIsAnFtcError) {
+    // Callers catching ftc::error must see budget exhaustion too.
+    const deadline dl(0.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_THROW(dl.check("x"), error);
+}
+
+}  // namespace
+}  // namespace ftc

@@ -1,0 +1,67 @@
+// Unit tests for the text table renderer (util/table.hpp).
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ftc {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+    text_table t({"proto", "P", "R"});
+    t.add_row({"NTP", "1.00", "0.96"});
+    t.add_row({"DNS", "0.99", "0.95"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("proto"), std::string::npos);
+    EXPECT_NE(out.find("NTP"), std::string::npos);
+    EXPECT_NE(out.find("0.95"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+    text_table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), precondition_error);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+    EXPECT_THROW(text_table({}), precondition_error);
+}
+
+TEST(Table, AlignmentPadsCorrectly) {
+    text_table t({"name", "value"});
+    t.set_align(0, align::left);
+    t.add_row({"x", "123456"});
+    const std::string out = t.render();
+    // Left-aligned "x" appears at line start followed by padding.
+    EXPECT_NE(out.find("\nx    "), std::string::npos);
+}
+
+TEST(Table, SetAlignRejectsOutOfRange) {
+    text_table t({"a"});
+    EXPECT_THROW(t.set_align(1, align::left), precondition_error);
+}
+
+TEST(Table, ColumnsWidenToFitCells) {
+    text_table t({"h"});
+    t.add_row({"a-very-long-cell"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("a-very-long-cell"), std::string::npos);
+}
+
+TEST(Table, FormatFixedRounds) {
+    EXPECT_EQ(format_fixed(0.9273, 2), "0.93");
+    EXPECT_EQ(format_fixed(1.0, 2), "1.00");
+    EXPECT_EQ(format_fixed(0.1234, 3), "0.123");
+}
+
+TEST(Table, FormatPercentRounds) {
+    EXPECT_EQ(format_percent(0.873), "87%");
+    EXPECT_EQ(format_percent(1.0), "100%");
+    EXPECT_EQ(format_percent(0.006), "1%");
+    EXPECT_EQ(format_percent(0.0), "0%");
+}
+
+}  // namespace
+}  // namespace ftc
