@@ -16,6 +16,10 @@
 #include "segmentation/nemesys.hpp"
 #include "segmentation/netzob.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+#include <set>
 
 namespace {
 
@@ -28,6 +32,23 @@ std::vector<byte_vector> random_values(std::size_t count, std::size_t min_len,
     out.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
         out.push_back(rand.bytes(min_len + rand.uniform(0, max_len - min_len)));
+    }
+    return out;
+}
+
+/// Distinct random segment values — the matrix benchmarks model a trace of
+/// `count` *unique* segments, matching what condense() feeds the pipeline.
+std::vector<byte_vector> unique_random_values(std::size_t count, std::size_t min_len,
+                                              std::size_t max_len, std::uint64_t seed) {
+    rng rand(seed);
+    std::set<byte_vector> seen;
+    std::vector<byte_vector> out;
+    out.reserve(count);
+    while (out.size() < count) {
+        byte_vector value = rand.bytes(min_len + rand.uniform(0, max_len - min_len));
+        if (seen.insert(value).second) {
+            out.push_back(std::move(value));
+        }
     }
     return out;
 }
@@ -62,6 +83,53 @@ void BM_DissimilarityMatrix(benchmark::State& state) {
     state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_DissimilarityMatrix)->Arg(128)->Arg(512)->Arg(1024)->Complexity();
+
+/// Serial-vs-parallel matrix construction on a 1000-unique-segment trace.
+/// The arg is the thread count; the `speedup` counter (serial time divided
+/// by this configuration's mean time) lands in the google-benchmark JSON,
+/// so CI can track parallel scaling alongside the raw timings. The
+/// determinism suite proves the outputs are bitwise identical.
+void BM_DissimilarityMatrixParallel(benchmark::State& state) {
+    static const std::vector<byte_vector> values = unique_random_values(1000, 2, 16, 12);
+    static const double serial_seconds = [] {
+        const stopwatch watch;
+        const dissim::dissimilarity_matrix m(values, {}, 1);
+        benchmark::DoNotOptimize(m.size());
+        return watch.elapsed_seconds();
+    }();
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    double seconds = 0.0;
+    std::size_t iterations = 0;
+    for (auto _ : state) {
+        const stopwatch watch;
+        const dissim::dissimilarity_matrix m(values, {}, threads);
+        benchmark::DoNotOptimize(m.size());
+        seconds += watch.elapsed_seconds();
+        ++iterations;
+    }
+    state.counters["worker_threads"] = static_cast<double>(threads);
+    state.counters["serial_ms"] = serial_seconds * 1e3;
+    state.counters["speedup"] =
+        iterations == 0 ? 0.0 : serial_seconds / (seconds / static_cast<double>(iterations));
+}
+BENCHMARK(BM_DissimilarityMatrixParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KthNearestNeighbourParallel(benchmark::State& state) {
+    static const std::vector<byte_vector> values = unique_random_values(1000, 2, 16, 13);
+    static const dissim::dissimilarity_matrix m(values, {}, 0);
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.kth_nn(4, threads));
+    }
+    state.counters["worker_threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_KthNearestNeighbourParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_KthNearestNeighbour(benchmark::State& state) {
     const auto values =

@@ -7,6 +7,7 @@
 #include "mathx/kneedle.hpp"
 #include "mathx/smoothing.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ftc::cluster {
 
@@ -37,9 +38,12 @@ double max_step(const std::vector<double>& values) {
     return best;
 }
 
-autoconf_result configure_from_knn(
-    const std::function<std::vector<double>(std::size_t)>& knn_of_k, std::size_t n,
-    const autoconf_options& options) {
+/// Per-k k-NN extraction: the sweep hands every candidate the lane budget
+/// it may use internally.
+using knn_fn = std::function<std::vector<double>(std::size_t k, std::size_t threads)>;
+
+autoconf_result configure_from_knn(const knn_fn& knn_of_k, std::size_t n,
+                                   const autoconf_options& options) {
     autoconf_result result;
     result.min_samples =
         std::max<std::size_t>(2, static_cast<std::size_t>(std::lround(std::log(
@@ -51,23 +55,34 @@ autoconf_result configure_from_knn(
     // Evaluate every candidate k and keep the sharpest-knee curve. The
     // smoothing strength scales with the sample count so that small traces
     // are not over-smoothed (the Whittaker penalty acts per point).
-    for (std::size_t k = 2; k <= k_max; ++k) {
-        k_candidate cand;
-        cand.k = k;
-        cand.knn_sorted = knn_of_k(k);
-        std::sort(cand.knn_sorted.begin(), cand.knn_sorted.end());
-        const double lambda =
-            options.smoothing_lambda *
-            std::max(0.04, static_cast<double>(cand.knn_sorted.size()) / 1000.0);
-        cand.smoothed = mathx::whittaker_smooth(cand.knn_sorted, lambda);
-        // Smoothing of a monotone sequence can introduce tiny decreases at
-        // the ends; restore monotonicity for a well-formed ECDF.
-        for (std::size_t i = 1; i < cand.smoothed.size(); ++i) {
-            cand.smoothed[i] = std::max(cand.smoothed[i], cand.smoothed[i - 1]);
+    //
+    // Candidates are independent of each other, so the sweep fans out over
+    // k; each candidate writes only its own pre-allocated slot and the
+    // selection below is a serial reduction over the finished vector, so
+    // the chosen epsilon does not depend on the thread count. Lanes left
+    // over after one per candidate go to the k-NN extraction inside.
+    const std::size_t sweep_threads = util::resolve_threads(options.threads);
+    const std::size_t sweep_lanes = std::min(sweep_threads, k_max - 1);
+    const std::size_t inner_lanes = std::max<std::size_t>(1, sweep_threads / sweep_lanes);
+    result.candidates.resize(k_max - 1);
+    util::parallel_for(k_max - 1, 1, sweep_lanes, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t idx = begin; idx < end; ++idx) {
+            k_candidate& cand = result.candidates[idx];
+            cand.k = idx + 2;
+            cand.knn_sorted = knn_of_k(cand.k, inner_lanes);
+            std::sort(cand.knn_sorted.begin(), cand.knn_sorted.end());
+            const double lambda =
+                options.smoothing_lambda *
+                std::max(0.04, static_cast<double>(cand.knn_sorted.size()) / 1000.0);
+            cand.smoothed = mathx::whittaker_smooth(cand.knn_sorted, lambda);
+            // Smoothing of a monotone sequence can introduce tiny decreases
+            // at the ends; restore monotonicity for a well-formed ECDF.
+            for (std::size_t i = 1; i < cand.smoothed.size(); ++i) {
+                cand.smoothed[i] = std::max(cand.smoothed[i], cand.smoothed[i - 1]);
+            }
+            cand.sharpness = max_step(cand.smoothed);
         }
-        cand.sharpness = max_step(cand.smoothed);
-        result.candidates.push_back(std::move(cand));
-    }
+    });
 
     std::size_t best_idx = 0;
     for (std::size_t i = 1; i < result.candidates.size(); ++i) {
@@ -98,15 +113,16 @@ autoconf_result configure_from_knn(
 autoconf_result auto_configure(const dissim::dissimilarity_matrix& matrix,
                                const autoconf_options& options) {
     expects(matrix.size() >= 3, "auto_configure: need at least 3 unique segments");
-    return configure_from_knn([&](std::size_t k) { return matrix.kth_nn(k); }, matrix.size(),
-                              options);
+    return configure_from_knn(
+        [&](std::size_t k, std::size_t threads) { return matrix.kth_nn(k, threads); },
+        matrix.size(), options);
 }
 
 autoconf_result auto_configure_trimmed(const dissim::dissimilarity_matrix& matrix,
                                        double limit, const autoconf_options& options) {
     expects(matrix.size() >= 3, "auto_configure_trimmed: need at least 3 unique segments");
-    auto trimmed_knn = [&](std::size_t k) {
-        std::vector<double> knn = matrix.kth_nn(k);
+    auto trimmed_knn = [&](std::size_t k, std::size_t threads) {
+        std::vector<double> knn = matrix.kth_nn(k, threads);
         std::vector<double> kept;
         for (double d : knn) {
             if (d < limit) {
@@ -163,7 +179,7 @@ auto_cluster_result auto_cluster(const dissim::dissimilarity_matrix& matrix,
         std::vector<double> escalation = out.config.knees;
         // Median min_samples-NN distance: at that epsilon half the points
         // reach min_samples neighbours, so density cores must exist.
-        std::vector<double> knnm = matrix.kth_nn(out.config.min_samples);
+        std::vector<double> knnm = matrix.kth_nn(out.config.min_samples, options.threads);
         std::sort(knnm.begin(), knnm.end());
         escalation.push_back(knnm[knnm.size() / 2]);
         std::sort(escalation.begin(), escalation.end());

@@ -26,6 +26,11 @@ struct autoconf_options {
     double smoothing_lambda = 25.0;
     /// Fallback epsilon when no knee can be detected (degenerate inputs).
     double fallback_epsilon = 0.1;
+    /// Worker threads for the k-candidate sweep and k-NN extraction
+    /// (0 = hardware concurrency, 1 = serial). Every candidate is evaluated
+    /// independently, so the selected epsilon is identical at any setting.
+    /// core::analyze overrides this with pipeline_options::threads.
+    std::size_t threads = 1;
 };
 
 /// Diagnostics of one k candidate (exposed for tests and the Fig. 2 bench).

@@ -2,6 +2,7 @@
 
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ftc::core {
 
@@ -20,11 +21,16 @@ pipeline_result analyze_segments(const std::vector<byte_vector>& messages,
     result.unique = dissim::condense(messages, result.segments, options.min_segment_length);
     expects(result.unique.size() >= 3,
             "analyze: fewer than 3 unique segments; trace too uniform to cluster");
-    const dissim::dissimilarity_matrix matrix(result.unique.values, dl);
+    const std::size_t threads = util::resolve_threads(options.threads);
+    const dissim::dissimilarity_matrix matrix(result.unique.values, dl, threads);
 
     // Auto-configuration + DBSCAN with the oversized-cluster guard.
+    // pipeline_options::threads governs the whole run, including the
+    // epsilon sweep inside auto-configuration.
+    cluster::autoconf_options autoconf = options.autoconf;
+    autoconf.threads = threads;
     result.clustering =
-        cluster::auto_cluster(matrix, options.autoconf, options.oversize_fraction);
+        cluster::auto_cluster(matrix, autoconf, options.oversize_fraction);
 
     // Refinement. After the oversized-cluster guard walked the epsilon
     // down, merging must not re-create an oversized cluster.

@@ -40,6 +40,12 @@ struct pipeline_options {
     /// Wall-clock budget in seconds; 0 = unlimited. Exceeding it raises
     /// ftc::budget_exceeded_error (the paper's "fails").
     double budget_seconds = 0.0;
+    /// Worker threads for the dissimilarity-matrix, k-NN and epsilon-sweep
+    /// hot paths: 0 = one lane per hardware thread, 1 = the exact legacy
+    /// serial path. The parallel stages are pure fan-outs over independent
+    /// work items, so clustering output is bitwise identical at any
+    /// setting (see tests/test_dissim_parallel_determinism.cpp).
+    std::size_t threads = 0;
 };
 
 /// Everything the pipeline produced, stage by stage.

@@ -5,6 +5,7 @@
 
 #include "dissim/canberra.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ftc::dissim {
 
@@ -33,20 +34,29 @@ unique_segments condense(const std::vector<byte_vector>& messages,
 }
 
 dissimilarity_matrix::dissimilarity_matrix(std::span<const byte_vector> values,
-                                           const deadline& dl)
+                                           const deadline& dl, std::size_t threads)
     : n_(values.size()), data_(values.size() * values.size(), 0.0f) {
-    for (std::size_t i = 0; i < n_; ++i) {
-        if (i % 32 == 0) {
-            dl.check("dissimilarity matrix");
+    // Row-blocked upper-triangle fan-out. Each (i, j) pair with i < j is
+    // computed by exactly one block and written to the two mirrored cells
+    // that no other block touches, so the matrix is bitwise identical at
+    // any thread count. Blocks are handed out dynamically because row i
+    // carries n-1-i pairs — late rows are much cheaper than early ones.
+    const std::size_t lanes = util::resolve_threads(threads);
+    const std::size_t grain = std::max<std::size_t>(1, n_ / (8 * lanes));
+    util::parallel_for(n_, grain, lanes, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            if ((i - begin) % 32 == 0) {
+                dl.check("dissimilarity matrix");
+            }
+            const byte_view a{values[i]};
+            for (std::size_t j = i + 1; j < n_; ++j) {
+                const auto d =
+                    static_cast<float>(sliding_canberra_dissimilarity(a, byte_view{values[j]}));
+                data_[i * n_ + j] = d;
+                data_[j * n_ + i] = d;
+            }
         }
-        const byte_view a{values[i]};
-        for (std::size_t j = i + 1; j < n_; ++j) {
-            const auto d =
-                static_cast<float>(sliding_canberra_dissimilarity(a, byte_view{values[j]}));
-            data_[i * n_ + j] = d;
-            data_[j * n_ + i] = d;
-        }
-    }
+    });
 }
 
 dissimilarity_matrix dissimilarity_matrix::from_dense(std::span<const double> dense,
@@ -65,25 +75,28 @@ dissimilarity_matrix dissimilarity_matrix::from_dense(std::span<const double> de
     return m;
 }
 
-std::vector<double> dissimilarity_matrix::kth_nn(std::size_t k) const {
+std::vector<double> dissimilarity_matrix::kth_nn(std::size_t k, std::size_t threads) const {
     expects(k >= 1, "kth_nn: k must be at least 1");
-    std::vector<double> out;
     if (n_ < 2) {
-        return out;
+        return {};
     }
     const std::size_t kk = std::min(k, n_ - 1);
-    out.reserve(n_);
-    std::vector<float> row(n_ - 1);
-    for (std::size_t i = 0; i < n_; ++i) {
-        std::size_t w = 0;
-        for (std::size_t j = 0; j < n_; ++j) {
-            if (j != i) {
-                row[w++] = data_[i * n_ + j];
+    // Each row selects its k-th neighbour independently into out[i]; the
+    // per-lane scratch row keeps nth_element off shared state.
+    std::vector<double> out(n_, 0.0);
+    util::parallel_for(n_, 64, threads, [&](std::size_t begin, std::size_t end) {
+        std::vector<float> row(n_ - 1);
+        for (std::size_t i = begin; i < end; ++i) {
+            std::size_t w = 0;
+            for (std::size_t j = 0; j < n_; ++j) {
+                if (j != i) {
+                    row[w++] = data_[i * n_ + j];
+                }
             }
+            std::nth_element(row.begin(), row.begin() + static_cast<long>(kk - 1), row.end());
+            out[i] = static_cast<double>(row[kk - 1]);
         }
-        std::nth_element(row.begin(), row.begin() + static_cast<long>(kk - 1), row.end());
-        out.push_back(static_cast<double>(row[kk - 1]));
-    }
+    });
     return out;
 }
 

@@ -38,11 +38,19 @@ unique_segments condense(const std::vector<byte_vector>& messages,
                          std::size_t min_length = 2);
 
 /// Dense symmetric matrix of pairwise sliding-Canberra dissimilarities.
+///
+/// Construction and k-NN extraction accept a worker-thread count
+/// (0 = hardware concurrency, 1 = the legacy serial path). Both are pure
+/// fan-outs over independent entries — every (i, j) pair is computed by
+/// exactly one lane and written to locations no other lane touches — so
+/// the result is bitwise identical at any thread count.
 class dissimilarity_matrix {
 public:
-    /// Compute all pairwise dissimilarities. Polls \p dl periodically.
+    /// Compute all pairwise dissimilarities on \p threads lanes
+    /// (row-blocked upper-triangle fan-out). Polls \p dl cooperatively
+    /// from every lane.
     explicit dissimilarity_matrix(std::span<const byte_vector> values,
-                                  const deadline& dl = {});
+                                  const deadline& dl = {}, std::size_t threads = 1);
 
     /// Build from a precomputed dense row-major n*n matrix — for callers
     /// with their own dissimilarity measure (and for tests). Throws unless
@@ -57,11 +65,16 @@ public:
     }
 
     /// For every element, the dissimilarity to its k-th nearest neighbour
-    /// (k >= 1; k is clamped to n-1). Result has size() entries.
-    std::vector<double> kth_nn(std::size_t k) const;
+    /// (k >= 1; k is clamped to n-1). Result has size() entries. Rows are
+    /// independent, so \p threads lanes may extract them concurrently.
+    std::vector<double> kth_nn(std::size_t k, std::size_t threads = 1) const;
 
     /// All pairwise dissimilarities (i < j), unsorted.
     std::vector<double> upper_triangle() const;
+
+    /// Raw row-major storage (n*n floats) — lets tests assert bitwise
+    /// equality of matrices built at different thread counts.
+    std::span<const float> data() const { return data_; }
 
 private:
     dissimilarity_matrix() = default;

@@ -1,0 +1,137 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace ftc::util {
+
+std::size_t hardware_threads() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t max_threads() {
+    return std::max<std::size_t>(64, 8 * hardware_threads());
+}
+
+std::size_t resolve_threads(std::size_t threads) {
+    return threads == 0 ? hardware_threads() : std::min(threads, max_threads());
+}
+
+thread_pool::thread_pool(std::size_t threads) {
+    const std::size_t lanes = resolve_threads(threads);
+    workers_.reserve(lanes - 1);
+    for (std::size_t i = 0; i + 1 < lanes; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+thread_pool::~thread_pool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) {
+        worker.join();
+    }
+}
+
+void thread_pool::run_blocks(job& j) {
+    for (;;) {
+        if (j.failed.load(std::memory_order_relaxed)) {
+            return;
+        }
+        const std::size_t block = j.next_block.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t begin = block * j.grain;
+        if (begin >= j.count) {
+            return;
+        }
+        const std::size_t end = std::min(begin + j.grain, j.count);
+        try {
+            (*j.body)(begin, end);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(j.error_mutex);
+            if (!j.error) {
+                j.error = std::current_exception();
+            }
+            j.failed.store(true, std::memory_order_relaxed);
+        }
+    }
+}
+
+void thread_pool::worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) {
+            return;
+        }
+        seen = generation_;
+        --pending_;
+        ++busy_;
+        job* current = job_;
+        lock.unlock();
+        run_blocks(*current);
+        lock.lock();
+        --busy_;
+        if (pending_ == 0 && busy_ == 0) {
+            done_.notify_all();
+        }
+    }
+}
+
+void thread_pool::parallel_for(std::size_t count, std::size_t grain,
+                               const std::function<void(std::size_t, std::size_t)>& body) {
+    if (count == 0) {
+        return;
+    }
+    job j;
+    j.count = count;
+    j.grain = std::max<std::size_t>(grain, 1);
+    j.body = &body;
+
+    // A single block (or no workers) needs no fan-out: run on the calling
+    // thread — this is the exact legacy serial path.
+    if (workers_.empty() || j.grain >= count) {
+        run_blocks(j);
+    } else {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            job_ = &j;
+            ++generation_;
+            pending_ = workers_.size();
+        }
+        wake_.notify_all();
+        run_blocks(j);
+        // Wait until every worker has both joined and finished this job; a
+        // worker that never got a block still syncs here, so `j` cannot
+        // dangle once we return.
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return pending_ == 0 && busy_ == 0; });
+        job_ = nullptr;
+    }
+    if (j.error) {
+        std::rethrow_exception(j.error);
+    }
+}
+
+void parallel_for(std::size_t count, std::size_t grain, std::size_t threads,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+    const std::size_t lanes = resolve_threads(threads);
+    grain = std::max<std::size_t>(grain, 1);
+    if (lanes <= 1 || grain >= count) {
+        // Serial path without any pool machinery: blocks in order on the
+        // calling thread, exceptions propagate naturally.
+        for (std::size_t begin = 0; begin < count; begin += grain) {
+            body(begin, std::min(begin + grain, count));
+        }
+        return;
+    }
+    // No point spawning more lanes than there are blocks to hand out.
+    const std::size_t blocks = (count + grain - 1) / grain;
+    thread_pool pool(std::min(lanes, blocks));
+    pool.parallel_for(count, grain, body);
+}
+
+}  // namespace ftc::util

@@ -62,6 +62,45 @@ TEST(Condense, MinLengthConfigurable) {
     EXPECT_EQ(u.short_segments, 0u);
 }
 
+TEST(Condense, AllShortSegmentsYieldEmptyResult) {
+    const std::vector<byte_vector> messages{{0x01, 0x02, 0x03}};
+    const segmentation::message_segments segs{
+        {{0, 0, 1}, {0, 1, 1}, {0, 2, 1}},
+    };
+    const unique_segments u = condense(messages, segs, 2);
+    EXPECT_EQ(u.size(), 0u);
+    EXPECT_TRUE(u.values.empty());
+    EXPECT_TRUE(u.occurrences.empty());
+    EXPECT_EQ(u.short_segments, 3u);
+}
+
+TEST(Condense, DuplicateOnlyTraceCondensesToOneValue) {
+    // Every message carries the same two-byte value: one unique segment,
+    // with one occurrence per concrete appearance.
+    const std::vector<byte_vector> messages{
+        {0xca, 0xfe, 0xca, 0xfe},
+        {0xca, 0xfe},
+        {0xca, 0xfe},
+    };
+    const segmentation::message_segments segs{
+        {{0, 0, 2}, {0, 2, 2}},
+        {{1, 0, 2}},
+        {{2, 0, 2}},
+    };
+    const unique_segments u = condense(messages, segs);
+    ASSERT_EQ(u.size(), 1u);
+    EXPECT_EQ(u.values[0], (byte_vector{0xca, 0xfe}));
+    EXPECT_EQ(u.occurrences[0].size(), 4u);
+    EXPECT_EQ(u.short_segments, 0u);
+}
+
+TEST(Condense, EmptySegmentationYieldsEmptyResult) {
+    const std::vector<byte_vector> messages{{0x01, 0x02}};
+    const unique_segments u = condense(messages, segmentation::message_segments{});
+    EXPECT_EQ(u.size(), 0u);
+    EXPECT_EQ(u.short_segments, 0u);
+}
+
 TEST(Matrix, SymmetricWithZeroDiagonal) {
     const std::vector<byte_vector> values{{1, 2}, {3, 4}, {1, 2, 3}};
     const dissimilarity_matrix m(values);
@@ -127,6 +166,48 @@ TEST(Matrix, KthNnOnTinyMatrixIsEmpty) {
     const std::vector<byte_vector> one{{1, 2}};
     const dissimilarity_matrix m(one);
     EXPECT_TRUE(m.kth_nn(1).empty());
+}
+
+TEST(Matrix, EmptyInputGivesEmptyMatrix) {
+    const std::vector<byte_vector> none;
+    const dissimilarity_matrix m(none);
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_TRUE(m.data().empty());
+    EXPECT_TRUE(m.kth_nn(1).empty());
+    EXPECT_TRUE(m.kth_nn(5).empty());
+    EXPECT_TRUE(m.upper_triangle().empty());
+}
+
+TEST(Matrix, KthNnOnSingleElementIsEmptyForAnyK) {
+    const std::vector<byte_vector> one{{1, 2}};
+    const dissimilarity_matrix m(one);
+    EXPECT_TRUE(m.kth_nn(1).empty());
+    EXPECT_TRUE(m.kth_nn(2).empty());  // k == n
+    EXPECT_TRUE(m.kth_nn(10).empty());
+}
+
+TEST(Matrix, KthNnOnTwoElements) {
+    // With n = 2 the only neighbour is the other element; every k >= n-1
+    // clamps to it.
+    const std::vector<byte_vector> values{{1, 2}, {9, 9}};
+    const dissimilarity_matrix m(values);
+    const double expected = m.at(0, 1);
+    ASSERT_GT(expected, 0.0);
+    for (std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+        const std::vector<double> knn = m.kth_nn(k);
+        ASSERT_EQ(knn.size(), 2u) << "k=" << k;
+        EXPECT_DOUBLE_EQ(knn[0], expected);
+        EXPECT_DOUBLE_EQ(knn[1], expected);
+    }
+}
+
+TEST(Matrix, KthNnKEqualToNClampsToFurthestNeighbour) {
+    const std::vector<byte_vector> values{{1, 2}, {3, 4}, {200, 200}};
+    const dissimilarity_matrix m(values);
+    const std::vector<double> clamped = m.kth_nn(values.size());  // k = n -> n-1
+    const std::vector<double> furthest = m.kth_nn(values.size() - 1);
+    ASSERT_EQ(clamped.size(), values.size());
+    EXPECT_EQ(clamped, furthest);
 }
 
 TEST(Matrix, UpperTriangleHasExpectedSize) {

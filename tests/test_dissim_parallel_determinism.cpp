@@ -1,0 +1,126 @@
+// Determinism proof for the parallel dissimilarity engine: at any thread
+// count the matrix is bitwise identical to the serial path, k-NN curves and
+// the auto-configured epsilon match exactly, and the full analyze()
+// pipeline emits identical cluster labels — across thread counts and
+// across repeated runs. Exercised on traces of three different protocol
+// generators so the guarantee does not hinge on one value distribution.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cluster/autoconf.hpp"
+#include "core/pipeline.hpp"
+#include "dissim/matrix.hpp"
+#include "protocols/registry.hpp"
+#include "segmentation/nemesys.hpp"
+#include "segmentation/segment.hpp"
+
+namespace ftc {
+namespace {
+
+constexpr std::uint64_t kSeed = 20220627;
+const std::vector<std::string> kProtocols{"DNS", "NTP", "NBNS"};
+const std::vector<std::size_t> kThreadCounts{2, 4, 8};
+
+/// Unique >= 2-byte segment values of a ground-truth-segmented trace.
+std::vector<byte_vector> unique_values(const std::string& protocol, std::size_t messages) {
+    const protocols::trace trace = protocols::generate_trace(protocol, messages, kSeed);
+    const auto bytes = segmentation::message_bytes(trace);
+    return dissim::condense(bytes, segmentation::segments_from_annotations(trace)).values;
+}
+
+TEST(ParallelDeterminism, MatrixBitwiseIdenticalAcrossThreadCounts) {
+    for (const std::string& protocol : kProtocols) {
+        const std::vector<byte_vector> values = unique_values(protocol, 90);
+        ASSERT_GE(values.size(), 10u) << protocol;
+        const dissim::dissimilarity_matrix serial(values, {}, 1);
+        for (std::size_t threads : kThreadCounts) {
+            const dissim::dissimilarity_matrix parallel(values, {}, threads);
+            ASSERT_EQ(parallel.size(), serial.size());
+            const auto a = serial.data();
+            const auto b = parallel.data();
+            ASSERT_EQ(a.size(), b.size());
+            EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size_bytes()), 0)
+                << protocol << " matrix differs at " << threads << " threads";
+        }
+    }
+}
+
+TEST(ParallelDeterminism, KthNnBitwiseIdenticalAcrossThreadCounts) {
+    const std::vector<byte_vector> values = unique_values("DNS", 90);
+    const dissim::dissimilarity_matrix matrix(values, {}, 1);
+    for (std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+        const std::vector<double> serial = matrix.kth_nn(k, 1);
+        for (std::size_t threads : kThreadCounts) {
+            const std::vector<double> parallel = matrix.kth_nn(k, threads);
+            ASSERT_EQ(parallel.size(), serial.size());
+            EXPECT_EQ(std::memcmp(parallel.data(), serial.data(),
+                                  serial.size() * sizeof(double)),
+                      0)
+                << "k=" << k << " threads=" << threads;
+        }
+    }
+}
+
+TEST(ParallelDeterminism, AutoConfigurationSelectsSameEpsilon) {
+    for (const std::string& protocol : kProtocols) {
+        const std::vector<byte_vector> values = unique_values(protocol, 90);
+        cluster::autoconf_options options;
+        options.threads = 1;
+        const cluster::autoconf_result serial =
+            cluster::auto_configure(dissim::dissimilarity_matrix(values, {}, 1), options);
+        for (std::size_t threads : kThreadCounts) {
+            options.threads = threads;
+            const cluster::autoconf_result parallel = cluster::auto_configure(
+                dissim::dissimilarity_matrix(values, {}, threads), options);
+            EXPECT_EQ(parallel.epsilon, serial.epsilon) << protocol << "@" << threads;
+            EXPECT_EQ(parallel.selected_k, serial.selected_k) << protocol << "@" << threads;
+            EXPECT_EQ(parallel.min_samples, serial.min_samples) << protocol << "@" << threads;
+            EXPECT_EQ(parallel.knees, serial.knees) << protocol << "@" << threads;
+        }
+    }
+}
+
+TEST(ParallelDeterminism, FullPipelineLabelsIdenticalAcrossThreadCounts) {
+    const segmentation::nemesys_segmenter segmenter;
+    for (const std::string& protocol : kProtocols) {
+        const protocols::trace trace = protocols::generate_trace(protocol, 60, kSeed);
+        const auto messages = segmentation::message_bytes(trace);
+
+        core::pipeline_options options;
+        options.threads = 1;
+        const core::pipeline_result serial = core::analyze(messages, segmenter, options);
+
+        for (std::size_t threads : kThreadCounts) {
+            options.threads = threads;
+            const core::pipeline_result parallel =
+                core::analyze(messages, segmenter, options);
+            EXPECT_EQ(parallel.final_labels.labels, serial.final_labels.labels)
+                << protocol << ": cluster labels differ at " << threads << " threads";
+            EXPECT_EQ(parallel.final_labels.cluster_count, serial.final_labels.cluster_count)
+                << protocol << "@" << threads;
+            EXPECT_EQ(parallel.clustering.config.epsilon, serial.clustering.config.epsilon)
+                << protocol << "@" << threads;
+        }
+    }
+}
+
+TEST(ParallelDeterminism, RepeatedParallelRunsAreReproducible) {
+    const segmentation::nemesys_segmenter segmenter;
+    const protocols::trace trace = protocols::generate_trace("DNS", 60, kSeed);
+    const auto messages = segmentation::message_bytes(trace);
+    core::pipeline_options options;
+    options.threads = 8;
+    const core::pipeline_result first = core::analyze(messages, segmenter, options);
+    for (int run = 0; run < 3; ++run) {
+        const core::pipeline_result again = core::analyze(messages, segmenter, options);
+        EXPECT_EQ(again.final_labels.labels, first.final_labels.labels) << "run " << run;
+        EXPECT_EQ(again.clustering.config.epsilon, first.clustering.config.epsilon)
+            << "run " << run;
+    }
+}
+
+}  // namespace
+}  // namespace ftc

@@ -1,0 +1,218 @@
+// Unit tests for the parallel-execution subsystem (util/thread_pool.hpp):
+// pool lifecycle, block coverage, exception propagation, range/grain edge
+// cases, and cooperative deadline aborts mid-fan-out.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ftc::util {
+namespace {
+
+TEST(ThreadPool, StartupAndShutdown) {
+    // Construction spawns workers, destruction joins them; repeated
+    // create/destroy cycles must not leak or deadlock.
+    for (int round = 0; round < 3; ++round) {
+        thread_pool pool(4);
+        EXPECT_EQ(pool.thread_count(), 4u);
+    }
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency) {
+    EXPECT_GE(hardware_threads(), 1u);
+    EXPECT_EQ(resolve_threads(0), hardware_threads());
+    EXPECT_EQ(resolve_threads(1), 1u);
+    EXPECT_EQ(resolve_threads(7), 7u);
+    thread_pool pool;  // 0 = hardware
+    EXPECT_EQ(pool.thread_count(), hardware_threads());
+}
+
+TEST(ThreadPool, AbsurdThreadCountsAreClamped) {
+    // A negative CLI value wrapped through size_t must not take the
+    // process down trying to spawn SIZE_MAX workers.
+    EXPECT_EQ(resolve_threads(static_cast<std::size_t>(-1)), max_threads());
+    EXPECT_GE(max_threads(), 64u);
+    std::atomic<std::size_t> covered{0};
+    parallel_for(100, 10, static_cast<std::size_t>(-1),
+                 [&](std::size_t begin, std::size_t end) {
+                     covered.fetch_add(end - begin, std::memory_order_relaxed);
+                 });
+    EXPECT_EQ(covered.load(), 100u);
+}
+
+TEST(ThreadPool, SingleLanePoolHasNoWorkers) {
+    thread_pool pool(1);
+    EXPECT_EQ(pool.thread_count(), 1u);
+    std::vector<std::size_t> order;
+    pool.parallel_for(10, 3, [&](std::size_t begin, std::size_t end) {
+        order.push_back(begin);
+        order.push_back(end);
+    });
+    // Serial path: blocks in order on the calling thread.
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 3, 3, 6, 6, 9, 9, 10}));
+}
+
+TEST(ThreadPool, EveryIndexProcessedExactlyOnce) {
+    constexpr std::size_t n = 10'000;
+    thread_pool pool(8);
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, 64, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossCalls) {
+    thread_pool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallel_for(100, 7, [&](std::size_t begin, std::size_t end) {
+            std::size_t local = 0;
+            for (std::size_t i = begin; i < end; ++i) {
+                local += i;
+            }
+            sum.fetch_add(local, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(sum.load(), 100u * 99u / 2u);
+    }
+}
+
+TEST(ThreadPool, EmptyRangeNeverInvokesBody) {
+    thread_pool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallel_for(0, 16, [&](std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+    parallel_for(0, 16, 4, [&](std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeIsOneBlock) {
+    thread_pool pool(4);
+    std::atomic<int> calls{0};
+    std::size_t seen_begin = 99, seen_end = 99;
+    pool.parallel_for(5, 1000, [&](std::size_t begin, std::size_t end) {
+        ++calls;
+        seen_begin = begin;
+        seen_end = end;
+    });
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(seen_begin, 0u);
+    EXPECT_EQ(seen_end, 5u);
+}
+
+TEST(ThreadPool, GrainZeroTreatedAsOne) {
+    thread_pool pool(2);
+    std::atomic<std::size_t> calls{0};
+    pool.parallel_for(9, 0, [&](std::size_t begin, std::size_t end) {
+        EXPECT_EQ(end, begin + 1);
+        ++calls;
+    });
+    EXPECT_EQ(calls.load(), 9u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+    thread_pool pool(4);
+    EXPECT_THROW(pool.parallel_for(100, 1,
+                                   [&](std::size_t begin, std::size_t) {
+                                       if (begin == 42) {
+                                           throw std::runtime_error("lane failure");
+                                       }
+                                   }),
+                 std::runtime_error);
+    // The pool survives a failed fan-out and keeps working.
+    std::atomic<std::size_t> done{0};
+    pool.parallel_for(50, 5, [&](std::size_t begin, std::size_t end) {
+        done.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(done.load(), 50u);
+}
+
+TEST(ThreadPool, ExceptionStopsRemainingBlocks) {
+    // After one block throws, other lanes stop taking new blocks: with 256
+    // pending blocks and an immediate failure, only a small prefix of the
+    // fan-out (bounded by lanes in flight) can still run.
+    thread_pool pool(4);
+    std::atomic<std::size_t> executed{0};
+    try {
+        pool.parallel_for(256, 1, [&](std::size_t begin, std::size_t) {
+            if (begin == 0) {
+                throw std::runtime_error("abort fan-out");
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            executed.fetch_add(1, std::memory_order_relaxed);
+        });
+        FAIL() << "expected the fan-out to rethrow";
+    } catch (const std::runtime_error&) {
+    }
+    EXPECT_LT(executed.load(), 256u);
+}
+
+TEST(ThreadPool, DeadlineAbortsMidFanout) {
+    // Cooperative deadline checks inside the body abort the whole
+    // parallel_for with the library's budget_exceeded_error.
+    thread_pool pool(4);
+    const deadline expired(0.0);
+    std::atomic<std::size_t> blocks{0};
+    EXPECT_THROW(pool.parallel_for(128, 1,
+                                   [&](std::size_t, std::size_t) {
+                                       blocks.fetch_add(1, std::memory_order_relaxed);
+                                       expired.check("parallel stage");
+                                   }),
+                 budget_exceeded_error);
+    EXPECT_LT(blocks.load(), 128u);
+}
+
+TEST(ThreadPool, FreeFunctionMatchesSerialResult) {
+    // parallel_for writes f(i) into disjoint slots; any thread count must
+    // produce the identical vector.
+    constexpr std::size_t n = 4096;
+    std::vector<std::uint64_t> serial(n), parallel(n);
+    const auto f = [](std::size_t i) { return i * 2654435761u + 17u; };
+    parallel_for(n, 64, 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            serial[i] = f(i);
+        }
+    });
+    for (std::size_t threads : {2u, 4u, 8u}) {
+        parallel.assign(n, 0);
+        parallel_for(n, 64, threads, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                parallel[i] = f(i);
+            }
+        });
+        EXPECT_EQ(parallel, serial) << "threads=" << threads;
+    }
+}
+
+TEST(ThreadPool, FreeFunctionPropagatesExceptions) {
+    EXPECT_THROW(parallel_for(10, 2, 4,
+                              [](std::size_t begin, std::size_t) {
+                                  if (begin >= 4) {
+                                      throw std::runtime_error("boom");
+                                  }
+                              }),
+                 std::runtime_error);
+    EXPECT_THROW(parallel_for(10, 2, 1,
+                              [](std::size_t begin, std::size_t) {
+                                  if (begin >= 4) {
+                                      throw std::runtime_error("boom");
+                                  }
+                              }),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ftc::util

@@ -5,10 +5,12 @@
 ///
 /// Subcommands:
 ///   ftclust analyze  <capture.pcap> [--segmenter NEMESYS|CSP|Netzob]
-///                    [--budget SECONDS] [--semantics]
+///                    [--budget SECONDS] [--threads N] [--semantics]
 ///       Cluster the capture's messages into pseudo data types and print
 ///       the analyst report. Works on UDP/TCP payloads (Ethernet/IPv4) and
-///       raw/user0 captures.
+///       raw/user0 captures. --threads bounds the worker count of the
+///       dissimilarity/auto-configuration stages (0 = all hardware
+///       threads, 1 = serial); the result is identical either way.
 ///
 ///   ftclust generate <protocol> <messages> <out.pcap> [--seed N]
 ///       Synthesize a deduplicated trace of one of the built-in protocols
@@ -39,9 +41,10 @@ int usage() {
     std::fputs(
         "usage:\n"
         "  ftclust analyze  <capture.pcap> [--segmenter NEMESYS|CSP|Netzob]\n"
-        "                   [--budget SECONDS] [--semantics]\n"
+        "                   [--budget SECONDS] [--threads N] [--semantics]\n"
         "  ftclust generate <protocol> <messages> <out.pcap> [--seed N]\n"
         "  ftclust evaluate <protocol> <messages> [--segmenter NAME|true] [--seed N]\n"
+        "                   [--threads N]\n"
         "protocols: NTP DNS NBNS DHCP SMB AWDL AU\n",
         stderr);
     return 2;
@@ -89,6 +92,8 @@ int cmd_analyze(int argc, char** argv) {
     const auto segmenter = segmentation::make_segmenter(segmenter_name);
     core::pipeline_options opt;
     opt.budget_seconds = budget;
+    opt.threads =
+        static_cast<std::size_t>(std::atoll(flag_value(argc, argv, "--threads", "0")));
     const core::pipeline_result result = core::analyze(messages, *segmenter, opt);
     std::printf("%s segmentation -> %zu unique segments -> %zu pseudo data types "
                 "(eps %.3f, min_samples %zu, %.1fs)\n\n",
@@ -136,6 +141,8 @@ int cmd_evaluate(int argc, char** argv) {
 
     core::pipeline_options opt;
     opt.budget_seconds = 120;
+    opt.threads =
+        static_cast<std::size_t>(std::atoll(flag_value(argc, argv, "--threads", "0")));
     core::pipeline_result result = [&] {
         if (segmenter_name == "true") {
             return core::analyze_segments(messages,
