@@ -1,67 +1,126 @@
 #include "core/pipeline.hpp"
 
+#include "util/budget.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ftc::core {
 
-pipeline_result analyze_segments(const std::vector<byte_vector>& messages,
-                                 segmentation::message_segments segments,
-                                 const pipeline_options& options) {
+namespace {
+
+resource_budget make_budget(const pipeline_options& options) {
+    resource_limits limits;
+    limits.deadline_seconds = options.budget_seconds;
+    limits.max_segments = options.max_segments;
+    limits.max_bytes = options.max_bytes;
+    return resource_budget(limits);
+}
+
+/// Rethrow \p e with a partial-progress report naming the pipeline stage
+/// that was running and how much work had been done by then.
+[[noreturn]] void rethrow_with_progress(const budget_exceeded_error& e, const char* stage,
+                                        const resource_budget& budget,
+                                        std::size_t unique_segments) {
+    std::string partial = e.partial_report();
+    if (partial.empty()) {
+        partial = budget.progress();
+    }
+    partial += message("; reached stage ", stage);
+    if (unique_segments > 0) {
+        partial += message(" with ", unique_segments, " unique segments");
+    }
+    throw budget_exceeded_error(e.what(), std::move(partial));
+}
+
+pipeline_result analyze_segments_budgeted(const std::vector<byte_vector>& messages,
+                                          segmentation::message_segments segments,
+                                          const pipeline_options& options,
+                                          resource_budget& budget) {
     expects(!messages.empty(), "analyze: empty trace");
     const stopwatch watch;
-    const deadline dl = options.budget_seconds > 0.0 ? deadline(options.budget_seconds)
-                                                     : deadline();
+    const deadline& dl = budget.wall_clock();
 
     pipeline_result result;
     result.segments = std::move(segments);
 
-    // Dissimilarity stage: unique >=2-byte segments, pairwise matrix.
-    result.unique = dissim::condense(messages, result.segments, options.min_segment_length);
-    expects(result.unique.size() >= 3,
-            "analyze: fewer than 3 unique segments; trace too uniform to cluster");
-    const std::size_t threads = util::resolve_threads(options.threads);
-    const dissim::dissimilarity_matrix matrix(result.unique.values, dl, threads);
-
-    // Auto-configuration + DBSCAN with the oversized-cluster guard.
-    // pipeline_options::threads governs the whole run, including the
-    // epsilon sweep inside auto-configuration.
-    cluster::autoconf_options autoconf = options.autoconf;
-    autoconf.threads = threads;
-    result.clustering =
-        cluster::auto_cluster(matrix, autoconf, options.oversize_fraction);
-
-    // Refinement. After the oversized-cluster guard walked the epsilon
-    // down, merging must not re-create an oversized cluster.
-    if (options.apply_refinement) {
-        std::vector<std::size_t> occurrence_counts;
-        occurrence_counts.reserve(result.unique.size());
-        for (const auto& occs : result.unique.occurrences) {
-            occurrence_counts.push_back(occs.size());
+    const char* stage = "dissimilarity";
+    try {
+        std::size_t total_bytes = 0;
+        std::size_t total_segments = 0;
+        for (const byte_vector& m : messages) {
+            total_bytes += m.size();
         }
-        cluster::refine_options refine_opts = options.refine;
-        if (result.clustering.reclustered && refine_opts.max_merged_fraction <= 0.0) {
-            refine_opts.max_merged_fraction = options.oversize_fraction;
+        for (const auto& segs : result.segments) {
+            total_segments += segs.size();
         }
-        result.refinement = cluster::refine(matrix, result.clustering.labels,
-                                            occurrence_counts, refine_opts);
-        result.final_labels = result.refinement.labels;
-    } else {
-        result.final_labels = result.clustering.labels;
+        budget.charge_bytes(total_bytes, "pipeline");
+        budget.charge_segments(total_segments, "pipeline");
+
+        // Dissimilarity stage: unique >=2-byte segments, pairwise matrix.
+        result.unique = dissim::condense(messages, result.segments, options.min_segment_length);
+        expects(result.unique.size() >= 3,
+                "analyze: fewer than 3 unique segments; trace too uniform to cluster");
+        const std::size_t threads = util::resolve_threads(options.threads);
+        const dissim::dissimilarity_matrix matrix(result.unique.values, dl, threads);
+
+        // Auto-configuration + DBSCAN with the oversized-cluster guard.
+        // pipeline_options::threads governs the whole run, including the
+        // epsilon sweep inside auto-configuration.
+        stage = "clustering";
+        cluster::autoconf_options autoconf = options.autoconf;
+        autoconf.threads = threads;
+        result.clustering =
+            cluster::auto_cluster(matrix, autoconf, options.oversize_fraction);
+
+        // Refinement. After the oversized-cluster guard walked the epsilon
+        // down, merging must not re-create an oversized cluster.
+        stage = "refinement";
+        budget.check("pipeline refinement");
+        if (options.apply_refinement) {
+            std::vector<std::size_t> occurrence_counts;
+            occurrence_counts.reserve(result.unique.size());
+            for (const auto& occs : result.unique.occurrences) {
+                occurrence_counts.push_back(occs.size());
+            }
+            cluster::refine_options refine_opts = options.refine;
+            if (result.clustering.reclustered && refine_opts.max_merged_fraction <= 0.0) {
+                refine_opts.max_merged_fraction = options.oversize_fraction;
+            }
+            result.refinement = cluster::refine(matrix, result.clustering.labels,
+                                                occurrence_counts, refine_opts);
+            result.final_labels = result.refinement.labels;
+        } else {
+            result.final_labels = result.clustering.labels;
+        }
+    } catch (const budget_exceeded_error& e) {
+        rethrow_with_progress(e, stage, budget, result.unique.size());
     }
 
     result.elapsed_seconds = watch.elapsed_seconds();
     return result;
 }
 
+}  // namespace
+
+pipeline_result analyze_segments(const std::vector<byte_vector>& messages,
+                                 segmentation::message_segments segments,
+                                 const pipeline_options& options) {
+    resource_budget budget = make_budget(options);
+    return analyze_segments_budgeted(messages, std::move(segments), options, budget);
+}
+
 pipeline_result analyze(const std::vector<byte_vector>& messages,
                         const segmentation::segmenter& segmenter,
                         const pipeline_options& options) {
-    const deadline dl = options.budget_seconds > 0.0 ? deadline(options.budget_seconds)
-                                                     : deadline();
-    segmentation::message_segments segments = segmenter.run(messages, dl);
-    return analyze_segments(messages, std::move(segments), options);
+    resource_budget budget = make_budget(options);
+    segmentation::message_segments segments;
+    try {
+        segments = segmenter.run(messages, budget.wall_clock());
+    } catch (const budget_exceeded_error& e) {
+        rethrow_with_progress(e, "segmentation", budget, 0);
+    }
+    return analyze_segments_budgeted(messages, std::move(segments), options, budget);
 }
 
 }  // namespace ftc::core

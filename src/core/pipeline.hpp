@@ -38,8 +38,15 @@ struct pipeline_options {
     /// Oversized-cluster guard threshold (paper: 0.6).
     double oversize_fraction = 0.6;
     /// Wall-clock budget in seconds; 0 = unlimited. Exceeding it raises
-    /// ftc::budget_exceeded_error (the paper's "fails").
+    /// ftc::budget_exceeded_error (the paper's "fails") whose
+    /// partial_report() names the stage reached and the volume processed.
     double budget_seconds = 0.0;
+    /// Cap on the total number of segments entering the dissimilarity
+    /// stage; 0 = unlimited. Crossing it raises ftc::budget_exceeded_error
+    /// before the quadratic stages can blow up memory.
+    std::size_t max_segments = 0;
+    /// Cap on total message payload bytes; 0 = unlimited.
+    std::size_t max_bytes = 0;
     /// Worker threads for the dissimilarity-matrix, k-NN and epsilon-sweep
     /// hot paths: 0 = one lane per hardware thread, 1 = the exact legacy
     /// serial path. The parallel stages are pure fan-outs over independent

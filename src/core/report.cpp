@@ -101,6 +101,31 @@ std::vector<cluster_summary> summarize_clusters(const pipeline_result& result) {
     return out;
 }
 
+std::string render_quarantine(const diag::error_sink& sink, std::size_t max_entries) {
+    if (sink.empty()) {
+        return {};
+    }
+    std::string out = "ingestion: " + sink.summary() + "\n";
+    text_table table({"category", "severity", "record", "offset", "detail"});
+    table.set_align(0, align::left);
+    table.set_align(1, align::left);
+    table.set_align(4, align::left);
+    const auto& entries = sink.diagnostics();
+    const std::size_t shown = std::min(max_entries, entries.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+        const diag::diagnostic& d = entries[i];
+        table.add_row({std::string{diag::category_name(d.cat)},
+                       std::string{diag::severity_name(d.sev)},
+                       std::to_string(d.record_index), std::to_string(d.byte_offset),
+                       d.detail});
+    }
+    out += table.render();
+    if (shown < entries.size()) {
+        out += "  ... " + std::to_string(entries.size() - shown) + " more\n";
+    }
+    return out;
+}
+
 std::string render_report(const std::vector<cluster_summary>& summaries) {
     text_table table({"cluster", "kind", "uniq", "occur", "len", "printable", "entropy",
                       "prefix"});

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "util/diag.hpp"
 
 namespace ftc::core {
 
@@ -45,5 +46,12 @@ std::vector<cluster_summary> summarize_clusters(const pipeline_result& result);
 /// Render summaries as an aligned text table (one row per cluster) followed
 /// by example values.
 std::string render_report(const std::vector<cluster_summary>& summaries);
+
+/// Render ingestion diagnostics as a quarantine report: the sink's one-line
+/// rollup, then a table of the first \p max_entries diagnostics (category,
+/// severity, record index, byte offset, detail). Returns the empty string
+/// when the sink holds no diagnostics, so callers can append it
+/// unconditionally.
+std::string render_quarantine(const diag::error_sink& sink, std::size_t max_entries = 12);
 
 }  // namespace ftc::core

@@ -178,11 +178,19 @@ std::vector<byte_vector> tcp_reassembler::feed(const flow_key& flow, std::uint32
     return completed;
 }
 
-std::vector<datagram> extract_datagrams(const capture& cap, const extract_options& options) {
+std::vector<datagram> extract_datagrams(const capture& cap, const extract_options& options,
+                                        diag::error_sink& sink) {
     std::vector<datagram> out;
     tcp_reassembler reassembler;
 
-    for (const packet& p : cap.packets) {
+    // Record a quarantined frame (historically a silent skip).
+    auto quarantine = [&sink](std::size_t index, std::string detail) {
+        sink.report({diag::category::decap, diag::severity::error, index, 0,
+                     std::move(detail)});
+    };
+
+    for (std::size_t index = 0; index < cap.packets.size(); ++index) {
+        const packet& p = cap.packets[index];
         const byte_view frame{p.data};
         if (cap.link == linktype::user0 || cap.link == linktype::ieee802_11) {
             // Non-IP capture: the whole record is one application message.
@@ -199,11 +207,15 @@ std::vector<datagram> extract_datagrams(const capture& cap, const extract_option
             ethernet_header eth;
             try {
                 eth = parse_ethernet(frame);
-            } catch (const parse_error&) {
-                continue;  // runt frame
+            } catch (const parse_error& e) {
+                quarantine(index, e.what());  // runt frame
+                continue;
             }
             if (eth.ethertype != 0x0800) {
-                continue;  // not IPv4
+                sink.report({diag::category::decap, diag::severity::note, index, 0,
+                             message("skipped non-IPv4 ethertype 0x", std::hex,
+                                     eth.ethertype)});
+                continue;
             }
             ip_bytes = frame.subspan(ethernet_header::size);
         } else {
@@ -213,8 +225,9 @@ std::vector<datagram> extract_datagrams(const capture& cap, const extract_option
         ipv4_header ip;
         try {
             ip = parse_ipv4(ip_bytes, options.verify_checksums);
-        } catch (const parse_error&) {
-            continue;  // malformed or failed checksum
+        } catch (const parse_error& e) {
+            quarantine(index, e.what());  // malformed or failed checksum
+            continue;
         }
         const byte_view ip_payload =
             ip_bytes.subspan(ip.header_length, ip.total_length - ip.header_length);
@@ -223,7 +236,8 @@ std::vector<datagram> extract_datagrams(const capture& cap, const extract_option
             udp_header udp;
             try {
                 udp = parse_udp(ip_payload);
-            } catch (const parse_error&) {
+            } catch (const parse_error& e) {
+                quarantine(index, e.what());
                 continue;
             }
             datagram d;
@@ -237,7 +251,8 @@ std::vector<datagram> extract_datagrams(const capture& cap, const extract_option
             tcp_header tcp;
             try {
                 tcp = parse_tcp(ip_payload);
-            } catch (const parse_error&) {
+            } catch (const parse_error& e) {
+                quarantine(index, e.what());
                 continue;
             }
             const byte_view body = ip_payload.subspan(tcp.data_offset);
@@ -253,9 +268,18 @@ std::vector<datagram> extract_datagrams(const capture& cap, const extract_option
                 d.payload = std::move(msg);
                 out.push_back(std::move(d));
             }
+        } else {
+            sink.report({diag::category::decap, diag::severity::note, index, 0,
+                         message("skipped unsupported IP protocol ",
+                                 static_cast<int>(ip.protocol))});
         }
     }
     return out;
+}
+
+std::vector<datagram> extract_datagrams(const capture& cap, const extract_options& options) {
+    diag::error_sink discard;
+    return extract_datagrams(cap, options, discard);
 }
 
 }  // namespace ftc::pcap

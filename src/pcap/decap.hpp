@@ -161,4 +161,13 @@ struct extract_options {
 /// unsupported IP protocols are skipped.
 std::vector<datagram> extract_datagrams(const capture& cap, const extract_options& options = {});
 
+/// Like the overload above, but malformed frames are reported into \p sink
+/// as quarantine diagnostics (category decap, record_index = packet index)
+/// and benign skips (non-IPv4 ethertype, unsupported IP protocol) as notes.
+/// Decapsulation has always skipped bad frames rather than thrown, so the
+/// sink's strict/lenient policy does not change which packets survive —
+/// it only makes the drops observable.
+std::vector<datagram> extract_datagrams(const capture& cap, const extract_options& options,
+                                        diag::error_sink& sink);
+
 }  // namespace ftc::pcap

@@ -6,8 +6,17 @@
 /// exercising the same ingestion path an analyst would use with recorded
 /// traffic. Both file byte orders (magic 0xa1b2c3d4 / 0xd4c3b2a1) and
 /// microsecond as well as nanosecond (0xa1b23c4d) timestamp variants are
-/// supported for reading; writing always uses native big-endian microsecond
-/// format for determinism.
+/// supported for reading — nanosecond timestamps are downscaled to
+/// microseconds so packet::ts_usec always carries microseconds. Writing
+/// always uses native big-endian microsecond format for determinism.
+///
+/// Malformed-input handling follows the sink's policy (util/diag.hpp):
+/// with a strict sink (and in the legacy overloads) the first bad record
+/// throws ftc::parse_error; with a lenient sink bad records are
+/// quarantined — counted, reported, and skipped with a resynchronization
+/// scan for the next plausible record header. Global-header errors (bad
+/// magic, unsupported version, short file) always throw: a file that is
+/// not a pcap at all must not silently parse as an empty capture.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +24,7 @@
 #include <vector>
 
 #include "util/byteio.hpp"
+#include "util/diag.hpp"
 
 namespace ftc::pcap {
 
@@ -29,7 +39,7 @@ enum class linktype : std::uint32_t {
 /// One captured packet.
 struct packet {
     std::uint32_t ts_sec = 0;   ///< seconds since epoch
-    std::uint32_t ts_usec = 0;  ///< microseconds (or ns for ns-format files)
+    std::uint32_t ts_usec = 0;  ///< microseconds (ns files are downscaled)
     byte_vector data;           ///< captured bytes (we never truncate)
 };
 
@@ -47,10 +57,18 @@ byte_vector to_pcap_bytes(const capture& cap);
 /// (bad magic, truncated header or record).
 capture from_pcap_bytes(byte_view bytes);
 
+/// Parse pcap file bytes under \p sink's policy: strict throws like the
+/// overload above, lenient quarantines malformed records into \p sink and
+/// returns the surviving packets.
+capture from_pcap_bytes(byte_view bytes, diag::error_sink& sink);
+
 /// Write a capture to disk. Throws ftc::error on I/O failure.
 void write_file(const std::filesystem::path& path, const capture& cap);
 
 /// Read a capture from disk. Throws ftc::error / ftc::parse_error.
 capture read_file(const std::filesystem::path& path);
+
+/// Read a capture from disk under \p sink's policy (see from_pcap_bytes).
+capture read_file(const std::filesystem::path& path, diag::error_sink& sink);
 
 }  // namespace ftc::pcap

@@ -56,6 +56,61 @@ std::vector<byte_vector> message_bytes(const protocols::trace& input) {
     return out;
 }
 
+lenient_segmentation segment_lenient(const segmenter& seg,
+                                     const std::vector<byte_vector>& messages,
+                                     const deadline& dl, diag::error_sink& sink) {
+    lenient_segmentation out;
+    out.messages.reserve(messages.size());
+    out.surviving.reserve(messages.size());
+    for (std::size_t m = 0; m < messages.size(); ++m) {
+        // Empty payloads carry nothing to segment; quarantining them is a
+        // lenient-mode nicety — strict mode passes them through untouched
+        // to keep the legacy behavior byte-identical.
+        if (sink.lenient() && messages[m].empty()) {
+            sink.report({diag::category::segmentation, diag::severity::error, m, 0,
+                         message("message ", m, ": empty payload")});
+            continue;
+        }
+        out.messages.push_back(messages[m]);
+        out.surviving.push_back(m);
+    }
+
+    try {
+        out.segments = seg.run(out.messages, dl);
+        return out;
+    } catch (const budget_exceeded_error&) {
+        throw;
+    } catch (const parse_error& e) {
+        if (!sink.lenient()) {
+            throw;
+        }
+        sink.report({diag::category::segmentation, diag::severity::warning, 0, 0,
+                     message("batch segmentation failed (", e.what(),
+                             "); retrying per message")});
+    }
+
+    // Per-message fallback: quarantine the individual offenders.
+    lenient_segmentation retried;
+    for (std::size_t i = 0; i < out.messages.size(); ++i) {
+        const std::vector<byte_vector> single{out.messages[i]};
+        try {
+            message_segments segs = seg.run(single, dl);
+            for (segment& s : segs.front()) {
+                s.message_index = retried.messages.size();
+            }
+            retried.segments.push_back(std::move(segs.front()));
+            retried.messages.push_back(std::move(out.messages[i]));
+            retried.surviving.push_back(out.surviving[i]);
+        } catch (const budget_exceeded_error&) {
+            throw;
+        } catch (const parse_error& e) {
+            sink.report({diag::category::segmentation, diag::severity::error,
+                         out.surviving[i], 0, e.what()});
+        }
+    }
+    return retried;
+}
+
 std::unique_ptr<segmenter> make_segmenter(std::string_view name) {
     if (name == "NEMESYS") {
         return std::make_unique<nemesys_segmenter>();

@@ -13,6 +13,7 @@
 
 #include "protocols/field.hpp"
 #include "util/byteio.hpp"
+#include "util/diag.hpp"
 #include "util/stopwatch.hpp"
 
 namespace ftc::segmentation {
@@ -62,5 +63,26 @@ std::vector<byte_vector> message_bytes(const protocols::trace& input);
 
 /// Factory: "NEMESYS", "CSP" or "Netzob". Throws on unknown names.
 std::unique_ptr<segmenter> make_segmenter(std::string_view name);
+
+/// Result of segment_lenient: segmentation of the surviving messages plus
+/// the mapping back to the caller's message indices.
+struct lenient_segmentation {
+    std::vector<byte_vector> messages;   ///< surviving messages, in order
+    message_segments segments;           ///< segmentation of `messages`
+    std::vector<std::size_t> surviving;  ///< original index of messages[i]
+};
+
+/// Segment \p messages with per-message quarantine under \p sink's policy.
+///
+/// Empty payloads are quarantined up front (category segmentation). The
+/// segmenter then runs on the surviving batch; if it throws ftc::parse_error
+/// under a lenient sink, it is re-run message by message and the individual
+/// offenders are quarantined instead of aborting the batch. Under a strict
+/// sink any segmenter parse_error propagates unchanged, matching the legacy
+/// all-or-nothing behavior. ftc::budget_exceeded_error always propagates:
+/// running out of budget is not a property of one malformed message.
+lenient_segmentation segment_lenient(const segmenter& seg,
+                                     const std::vector<byte_vector>& messages,
+                                     const deadline& dl, diag::error_sink& sink);
 
 }  // namespace ftc::segmentation

@@ -1,0 +1,76 @@
+/// \file corrupter.hpp
+/// Deterministic fault injection for pcap capture files.
+///
+/// Drives the resilience tests: takes a well-formed pcap byte stream and
+/// damages a chosen fraction of its records in ways real captures get
+/// damaged — bit flips, truncated record bodies, corrupted length fields.
+/// Every fault kind is *detectable* by the ingestion stack by design:
+///
+///  - bit_flip targets the checksum-protected IPv4 header, so the damaged
+///    frame fails checksum verification during decapsulation;
+///  - snap cuts the record body short (rewriting incl_len consistently but
+///    leaving orig_len), so decapsulation sees an inconsistent IP/UDP
+///    length and drops the frame;
+///  - length_garbage overwrites incl_len with an implausible value, so the
+///    pcap record reader quarantines the record and resynchronizes.
+///
+/// That guarantee is what lets the golden tests assert that a lenient run
+/// over a corrupted trace clusters exactly like the clean subset: no fault
+/// can silently alter a surviving message. All randomness flows through an
+/// explicitly seeded ftc::rng, so a (bytes, options) pair always yields
+/// the same corrupted file.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "util/byteio.hpp"
+
+namespace ftc::testing {
+
+/// The ways one record can be damaged.
+enum class fault_kind {
+    bit_flip,        ///< flip one bit inside the IPv4 header
+    snap,            ///< truncate the record body (consistent incl_len)
+    length_garbage,  ///< overwrite incl_len with an implausible value
+};
+
+/// One injected fault.
+struct fault {
+    fault_kind kind = fault_kind::bit_flip;
+    std::size_t record_index = 0;
+};
+
+/// Audit trail of a corruption run.
+struct corruption_log {
+    std::vector<fault> faults;  ///< in record order
+
+    std::size_t count(fault_kind kind) const;
+
+    /// True if \p record_index received a fault.
+    bool faulted(std::size_t record_index) const;
+};
+
+/// Knobs of corrupt_pcap_bytes.
+struct corruption_options {
+    double fault_fraction = 0.1;  ///< share of records to damage
+    std::uint64_t seed = 1;       ///< rng seed; same seed -> same output
+    bool flip_bits = true;        ///< enable fault_kind::bit_flip
+    bool truncate_records = true; ///< enable fault_kind::snap
+    bool corrupt_lengths = true;  ///< enable fault_kind::length_garbage
+};
+
+/// Return a damaged copy of the pcap byte stream \p pcap_bytes. Throws
+/// ftc::parse_error if the input is not a well-formed pcap file (the
+/// corrupter needs clean framing to aim its faults). Records the injected
+/// faults into \p log when non-null.
+byte_vector corrupt_pcap_bytes(byte_view pcap_bytes, const corruption_options& options,
+                               corruption_log* log = nullptr);
+
+/// File-to-file convenience wrapper around corrupt_pcap_bytes.
+void corrupt_pcap_file(const std::filesystem::path& in_path,
+                       const std::filesystem::path& out_path,
+                       const corruption_options& options, corruption_log* log = nullptr);
+
+}  // namespace ftc::testing

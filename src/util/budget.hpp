@@ -1,0 +1,107 @@
+/// \file budget.hpp
+/// Cooperative resource budgeting for unattended analysis runs.
+///
+/// A trace of unknown provenance can be arbitrarily large; the clustering
+/// stages are quadratic in the number of unique segments. ftc::resource_budget
+/// bounds a run along three axes — wall-clock deadline, total segments,
+/// total message bytes — so an oversized input ends in a typed
+/// ftc::budget_exceeded_error carrying a partial-progress report rather
+/// than an OOM kill or a hang. The wall-clock axis reuses ftc::deadline,
+/// whose cooperative check() hooks already abort the thread-pool fan-outs
+/// (dissimilarity matrix, k-NN, epsilon sweep) mid-flight.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/stopwatch.hpp"
+
+namespace ftc {
+
+/// Limits of a resource_budget; 0 on any axis means unlimited.
+struct resource_limits {
+    double deadline_seconds = 0.0;  ///< wall-clock budget
+    std::size_t max_segments = 0;   ///< cap on segments produced
+    std::size_t max_bytes = 0;      ///< cap on message payload bytes
+};
+
+/// Tracks consumption against resource_limits. Checks are cooperative:
+/// stages charge what they are about to materialize and the budget throws
+/// budget_exceeded_error — with a progress report — once a limit is hit.
+class resource_budget {
+public:
+    /// Unlimited budget; every check is a no-op.
+    resource_budget() = default;
+
+    explicit resource_budget(const resource_limits& limits)
+        : limits_(limits),
+          wall_clock_(limits.deadline_seconds > 0.0 ? deadline(limits.deadline_seconds)
+                                                    : deadline()) {}
+
+    const resource_limits& limits() const { return limits_; }
+
+    /// The wall-clock deadline, for handing down to stages that poll a
+    /// ftc::deadline directly (segmenters, the parallel matrix fan-outs).
+    const deadline& wall_clock() const { return wall_clock_; }
+
+    std::size_t segments_used() const { return segments_; }
+    std::size_t bytes_used() const { return bytes_; }
+
+    /// Record \p n more segments; throws budget_exceeded_error naming
+    /// \p what once the segment cap is crossed.
+    void charge_segments(std::size_t n, std::string_view what) {
+        segments_ += n;
+        if (limits_.max_segments > 0 && segments_ > limits_.max_segments) {
+            throw_exceeded(what, "segment cap (" + std::to_string(limits_.max_segments) +
+                                     ") exceeded");
+        }
+    }
+
+    /// Record \p n more payload bytes; throws once the byte cap is crossed.
+    void charge_bytes(std::size_t n, std::string_view what) {
+        bytes_ += n;
+        if (limits_.max_bytes > 0 && bytes_ > limits_.max_bytes) {
+            throw_exceeded(what, "byte cap (" + std::to_string(limits_.max_bytes) +
+                                     ") exceeded");
+        }
+    }
+
+    /// Cooperative deadline poll; throws with a progress report when the
+    /// wall-clock budget has elapsed.
+    void check(std::string_view what) const {
+        if (wall_clock_.expired()) {
+            throw_exceeded(what, "wall-clock deadline (" +
+                                     format_seconds(limits_.deadline_seconds) + "s) exceeded");
+        }
+    }
+
+    /// "segments N, bytes M, elapsed T" — the partial_report() payload.
+    std::string progress() const {
+        return "segments " + std::to_string(segments_) + ", bytes " + std::to_string(bytes_) +
+               ", elapsed " + format_seconds(watch_.elapsed_seconds()) + "s";
+    }
+
+private:
+    [[noreturn]] void throw_exceeded(std::string_view what, const std::string& why) const {
+        throw budget_exceeded_error(std::string{what} + ": " + why, progress());
+    }
+
+    static std::string format_seconds(double s) {
+        std::string text = std::to_string(s);
+        // Trim to millisecond precision for readable messages.
+        const std::size_t dot = text.find('.');
+        if (dot != std::string::npos && text.size() > dot + 4) {
+            text.resize(dot + 4);
+        }
+        return text;
+    }
+
+    resource_limits limits_;
+    deadline wall_clock_;
+    stopwatch watch_;
+    std::size_t segments_ = 0;
+    std::size_t bytes_ = 0;
+};
+
+}  // namespace ftc

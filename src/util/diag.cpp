@@ -1,0 +1,126 @@
+#include "util/diag.hpp"
+
+#include "util/check.hpp"
+
+namespace ftc::diag {
+
+std::string_view category_name(category cat) {
+    switch (cat) {
+        case category::file_header:
+            return "file-header";
+        case category::record:
+            return "record";
+        case category::decap:
+            return "decap";
+        case category::segmentation:
+            return "segmentation";
+        case category::resource:
+            return "resource";
+    }
+    return "unknown";
+}
+
+std::string_view severity_name(severity sev) {
+    switch (sev) {
+        case severity::note:
+            return "note";
+        case severity::warning:
+            return "warning";
+        case severity::error:
+            return "error";
+    }
+    return "unknown";
+}
+
+void error_sink::fail(diagnostic d) {
+    if (policy_ == policy::strict) {
+        throw parse_error(d.detail);
+    }
+    d.sev = severity::error;
+    entries_.push_back(std::move(d));
+}
+
+void error_sink::report(diagnostic d) {
+    entries_.push_back(std::move(d));
+}
+
+std::size_t error_sink::count(category cat) const {
+    std::size_t n = 0;
+    for (const diagnostic& d : entries_) {
+        if (d.cat == cat) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::size_t error_sink::quarantined() const {
+    std::size_t n = 0;
+    for (const diagnostic& d : entries_) {
+        if (d.sev == severity::error) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+void error_sink::merge(const error_sink& other) {
+    entries_.insert(entries_.end(), other.entries_.begin(), other.entries_.end());
+}
+
+std::string error_sink::summary() const {
+    if (entries_.empty()) {
+        return {};
+    }
+    std::size_t warnings = 0;
+    std::size_t notes = 0;
+    // Quarantine counts per category, in enum order for stable output.
+    constexpr category kCats[] = {category::file_header, category::record, category::decap,
+                                  category::segmentation, category::resource};
+    std::size_t dropped[std::size(kCats)] = {};
+    for (const diagnostic& d : entries_) {
+        if (d.sev == severity::warning) {
+            ++warnings;
+        } else if (d.sev == severity::note) {
+            ++notes;
+        } else {
+            for (std::size_t c = 0; c < std::size(kCats); ++c) {
+                if (d.cat == kCats[c]) {
+                    ++dropped[c];
+                }
+            }
+        }
+    }
+    std::string out;
+    const std::size_t total = quarantined();
+    if (total > 0) {
+        out += "quarantined " + std::to_string(total) +
+               (total == 1 ? " record (" : " records (");
+        bool first = true;
+        for (std::size_t c = 0; c < std::size(kCats); ++c) {
+            if (dropped[c] == 0) {
+                continue;
+            }
+            if (!first) {
+                out += ", ";
+            }
+            first = false;
+            out += std::to_string(dropped[c]) + " " + std::string{category_name(kCats[c])};
+        }
+        out += ")";
+    }
+    auto append_count = [&out](std::size_t n, const char* label) {
+        if (n == 0) {
+            return;
+        }
+        if (!out.empty()) {
+            out += ", ";
+        }
+        out += std::to_string(n) + " " + label + (n == 1 ? "" : "s");
+    };
+    append_count(warnings, "warning");
+    append_count(notes, "note");
+    return out;
+}
+
+}  // namespace ftc::diag

@@ -1,0 +1,111 @@
+/// \file diag.hpp
+/// Structured ingestion diagnostics and the strict/lenient error sink.
+///
+/// Real-world captures (the paper evaluates on SMIA-2011 and iCTF-2010
+/// traffic) are full of truncated frames, checksum damage and off-spec
+/// encapsulation. ftc::diag::error_sink lets the ingestion path (pcap
+/// reader, decapsulation, segmentation) degrade gracefully: in *lenient*
+/// mode malformed records are quarantined — skipped, counted and reported
+/// as structured diagnostics — while in *strict* mode (the default) the
+/// first malformed record throws ftc::parse_error exactly as before.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ftc::diag {
+
+/// Ingestion failure policy.
+enum class policy {
+    strict,   ///< first malformed record throws ftc::parse_error (legacy)
+    lenient,  ///< malformed records are quarantined and counted
+};
+
+/// Where in the ingestion stack a diagnostic originated.
+enum class category {
+    file_header,   ///< pcap global header (magic, version, snaplen)
+    record,        ///< pcap record header / body framing
+    decap,         ///< Ethernet/IPv4/UDP/TCP decapsulation
+    segmentation,  ///< per-message segmentation failure
+    resource,      ///< resource-budget events (partial progress)
+};
+
+/// How bad a diagnostic is.
+enum class severity {
+    note,     ///< informational (e.g. snapped record, timestamp downscale)
+    warning,  ///< suspicious but the record was kept
+    error,    ///< the record was quarantined (dropped from the analysis)
+};
+
+/// Stable display name of a category ("record", "decap", ...).
+std::string_view category_name(category cat);
+
+/// Stable display name of a severity ("note", "warning", "error").
+std::string_view severity_name(severity sev);
+
+/// One structured ingestion diagnostic.
+struct diagnostic {
+    category cat = category::record;
+    severity sev = severity::error;
+    std::size_t record_index = 0;  ///< pcap record (or message) index
+    std::size_t byte_offset = 0;   ///< byte offset into the input file
+    std::string detail;            ///< human-readable description
+};
+
+/// Collector for ingestion diagnostics with a strict/lenient policy.
+///
+/// Two reporting entry points encode the legacy behavior contract:
+///  - fail():   call sites that historically threw ftc::parse_error
+///              (the pcap record reader). Strict mode rethrows; lenient
+///              mode records the diagnostic and returns so the caller can
+///              quarantine the record and continue.
+///  - report(): call sites that historically skipped silently (the decap
+///              loop). Always records, never throws — strict mode simply
+///              gains visibility it never had.
+///
+/// Not thread-safe: ingestion is single-threaded by design; hand each
+/// ingestion thread its own sink and merge afterwards if that changes.
+class error_sink {
+public:
+    explicit error_sink(policy mode = policy::strict) : policy_(mode) {}
+
+    policy mode() const { return policy_; }
+    bool lenient() const { return policy_ == policy::lenient; }
+
+    /// Report a malformed record at a historically-throwing call site.
+    /// Strict: throws ftc::parse_error(d.detail). Lenient: records.
+    void fail(diagnostic d);
+
+    /// Record a diagnostic without ever throwing (historically-skipping
+    /// call sites and informational notes).
+    void report(diagnostic d);
+
+    /// All diagnostics in encounter order.
+    const std::vector<diagnostic>& diagnostics() const { return entries_; }
+
+    /// Number of diagnostics of the given category.
+    std::size_t count(category cat) const;
+
+    /// Number of quarantined records (severity::error diagnostics).
+    std::size_t quarantined() const;
+
+    bool empty() const { return entries_.empty(); }
+
+    /// Merge another sink's diagnostics into this one (encounter order of
+    /// \p other preserved after the existing entries).
+    void merge(const error_sink& other);
+
+    /// One-line rollup, e.g. "quarantined 3 records (2 record, 1 decap),
+    /// 1 warning" — empty string when there is nothing to say.
+    std::string summary() const;
+
+private:
+    policy policy_;
+    std::vector<diagnostic> entries_;
+};
+
+}  // namespace ftc::diag

@@ -3,6 +3,14 @@
 ///
 /// All library errors derive from ftc::error (itself a std::runtime_error),
 /// so callers can catch either the precise category or the whole family.
+///
+/// The resilience layer builds on this hierarchy:
+///  - ftc::diag::error_sink (util/diag.hpp) collects structured ingestion
+///    diagnostics; its strict policy throws parse_error exactly like the
+///    legacy code, its lenient policy quarantines malformed records.
+///  - ftc::resource_budget (util/budget.hpp) bounds wall-clock time and
+///    segment/byte volume; exceeding a bound throws budget_exceeded_error
+///    carrying a partial-progress report instead of hanging or OOMing.
 #pragma once
 
 #include <stdexcept>
@@ -29,10 +37,25 @@ public:
 };
 
 /// An analysis could not complete within its configured resource budget.
-/// Used to reproduce the paper's "fails" entries (runtime/memory blowup).
+/// Used to reproduce the paper's "fails" entries (runtime/memory blowup)
+/// and by ftc::resource_budget (util/budget.hpp) for deadline / volume
+/// bounded runs. The optional partial-progress report describes how far
+/// the run got (stage reached, counters, elapsed time) so a caller can
+/// still show partial diagnostics instead of a bare timeout.
 class budget_exceeded_error : public error {
 public:
     explicit budget_exceeded_error(const std::string& what_arg) : error(what_arg) {}
+
+    /// Construct with a partial-progress report (see partial_report()).
+    budget_exceeded_error(const std::string& what_arg, std::string partial)
+        : error(what_arg), partial_report_(std::move(partial)) {}
+
+    /// Human-readable progress made before the budget ran out; empty when
+    /// the throw site had nothing to report.
+    const std::string& partial_report() const { return partial_report_; }
+
+private:
+    std::string partial_report_;
 };
 
 }  // namespace ftc

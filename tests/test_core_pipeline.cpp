@@ -128,6 +128,60 @@ TEST(Pipeline, BudgetExceededPropagates) {
         budget_exceeded_error);
 }
 
+TEST(Pipeline, BudgetExceededCarriesPartialProgress) {
+    const protocols::trace t = protocols::generate_trace("SMB", 200, 3);
+    const auto messages = segmentation::message_bytes(t);
+    pipeline_options opt;
+    opt.budget_seconds = 1e-9;
+    try {
+        analyze_segments(messages, segmentation::segments_from_annotations(t), opt);
+        FAIL() << "expected budget_exceeded_error";
+    } catch (const budget_exceeded_error& e) {
+        EXPECT_NE(e.partial_report().find("reached stage"), std::string::npos)
+            << e.partial_report();
+        EXPECT_NE(e.partial_report().find("segments "), std::string::npos);
+    }
+}
+
+TEST(Pipeline, SegmentCapRaisesTypedError) {
+    const protocols::trace t = protocols::generate_trace("DNS", 50, 3);
+    const auto messages = segmentation::message_bytes(t);
+    pipeline_options opt;
+    opt.max_segments = 10;  // far below what 50 DNS messages produce
+    try {
+        analyze_segments(messages, segmentation::segments_from_annotations(t), opt);
+        FAIL() << "expected budget_exceeded_error";
+    } catch (const budget_exceeded_error& e) {
+        EXPECT_NE(std::string{e.what()}.find("segment cap"), std::string::npos);
+        EXPECT_FALSE(e.partial_report().empty());
+    }
+}
+
+TEST(Pipeline, ByteCapRaisesTypedError) {
+    const protocols::trace t = protocols::generate_trace("DNS", 50, 3);
+    const auto messages = segmentation::message_bytes(t);
+    pipeline_options opt;
+    opt.max_bytes = 64;
+    EXPECT_THROW(
+        analyze_segments(messages, segmentation::segments_from_annotations(t), opt),
+        budget_exceeded_error);
+}
+
+TEST(Pipeline, GenerousCapsDoNotChangeResults) {
+    const protocols::trace t = protocols::generate_trace("DNS", 60, 3);
+    const auto messages = segmentation::message_bytes(t);
+    pipeline_options plain;
+    pipeline_options capped;
+    capped.max_segments = 1u << 20;
+    capped.max_bytes = 1u << 30;
+    capped.budget_seconds = 120;
+    const pipeline_result a =
+        analyze_segments(messages, segmentation::segments_from_annotations(t), plain);
+    const pipeline_result b =
+        analyze_segments(messages, segmentation::segments_from_annotations(t), capped);
+    EXPECT_EQ(a.final_labels.labels, b.final_labels.labels);
+}
+
 TEST(Pipeline, OversizeGuardReportsReconfigurations) {
     // SMB's high-entropy content triggers the walk-down (paper Sec. III-E).
     const protocols::trace t = protocols::generate_trace("SMB", 150, 42);

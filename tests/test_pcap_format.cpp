@@ -84,6 +84,83 @@ TEST(PcapFormat, ReadsNanosecondMagic) {
     EXPECT_TRUE(parsed.packets.empty());
 }
 
+TEST(PcapFormat, NanosecondTimestampsAreDownscaled) {
+    byte_vector bytes;
+    put_u32_be(bytes, 0xa1b23c4d);  // nanosecond magic
+    put_u16_be(bytes, 2);
+    put_u16_be(bytes, 4);
+    put_u32_be(bytes, 0);
+    put_u32_be(bytes, 0);
+    put_u32_be(bytes, 65535);
+    put_u32_be(bytes, 147);        // user0
+    put_u32_be(bytes, 42);         // ts_sec
+    put_u32_be(bytes, 123456789);  // 123456789 ns = 123456 us
+    put_u32_be(bytes, 1);          // incl_len
+    put_u32_be(bytes, 1);          // orig_len
+    bytes.push_back(0xcc);
+    const capture parsed = from_pcap_bytes(bytes);
+    ASSERT_EQ(parsed.packets.size(), 1u);
+    EXPECT_EQ(parsed.packets[0].ts_sec, 42u);
+    EXPECT_EQ(parsed.packets[0].ts_usec, 123456u);
+}
+
+TEST(PcapFormat, NanosecondSwappedMagicAlsoDownscales) {
+    byte_vector bytes;
+    put_u32_le(bytes, 0xa1b23c4d);  // ns magic in little-endian producer order
+    put_u16_le(bytes, 2);
+    put_u16_le(bytes, 4);
+    put_u32_le(bytes, 0);
+    put_u32_le(bytes, 0);
+    put_u32_le(bytes, 65535);
+    put_u32_le(bytes, 147);
+    put_u32_le(bytes, 7);
+    put_u32_le(bytes, 999999999);  // just under a second
+    put_u32_le(bytes, 1);
+    put_u32_le(bytes, 1);
+    bytes.push_back(0xdd);
+    const capture parsed = from_pcap_bytes(bytes);
+    ASSERT_EQ(parsed.packets.size(), 1u);
+    EXPECT_EQ(parsed.packets[0].ts_usec, 999999u);
+}
+
+TEST(PcapFormat, ImplausibleRecordLengthRejectedBeforeAllocation) {
+    // A corrupt incl_len of ~3.2 GB must throw a parse error without ever
+    // attempting the allocation.
+    byte_vector bytes;
+    put_u32_be(bytes, 0xa1b2c3d4);
+    put_u16_be(bytes, 2);
+    put_u16_be(bytes, 4);
+    put_u32_be(bytes, 0);
+    put_u32_be(bytes, 0);
+    put_u32_be(bytes, 65535);
+    put_u32_be(bytes, 147);
+    put_u32_be(bytes, 1);           // ts_sec
+    put_u32_be(bytes, 2);           // ts_usec
+    put_u32_be(bytes, 0xc0000000);  // absurd incl_len
+    put_u32_be(bytes, 0xc0000000);  // orig_len
+    put_fill(bytes, 32, 0xee);
+    EXPECT_THROW(from_pcap_bytes(bytes), parse_error);
+}
+
+TEST(PcapFormat, RecordLengthBoundFollowsSnaplen) {
+    // A record larger than the 256 KiB floor parses when the global header
+    // announces a matching snaplen...
+    capture cap;
+    cap.link = linktype::user0;
+    cap.snaplen = 2u * 1024 * 1024;
+    packet p;
+    p.data.assign(300u * 1024, 0x5a);
+    cap.packets.push_back(std::move(p));
+    const capture parsed = from_pcap_bytes(to_pcap_bytes(cap));
+    ASSERT_EQ(parsed.packets.size(), 1u);
+    EXPECT_EQ(parsed.packets[0].data.size(), 300u * 1024);
+
+    // ...but is rejected when the stated snaplen is small.
+    capture lying = parsed;
+    lying.snaplen = 65535;
+    EXPECT_THROW(from_pcap_bytes(to_pcap_bytes(lying)), parse_error);
+}
+
 TEST(PcapFormat, RejectsBadMagic) {
     byte_vector bytes(24, 0x00);
     EXPECT_THROW(from_pcap_bytes(bytes), parse_error);

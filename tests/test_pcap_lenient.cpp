@@ -1,0 +1,196 @@
+// Golden corrupt-trace tests for the lenient ingestion path: fault-injected
+// captures must complete with quarantined-record counts, cluster exactly
+// like the clean subset of messages, and still fail fast in strict mode.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pipeline.hpp"
+#include "pcap/decap.hpp"
+#include "pcap/pcap.hpp"
+#include "protocols/registry.hpp"
+#include "segmentation/nemesys.hpp"
+#include "segmentation/segment.hpp"
+#include "testing/corrupter.hpp"
+
+namespace ftc {
+namespace {
+
+struct golden_trace {
+    byte_vector clean_bytes;
+    byte_vector corrupt_bytes;
+    testing::corruption_log log;
+};
+
+golden_trace make_golden(const char* protocol, std::size_t messages, std::uint64_t seed) {
+    golden_trace g;
+    g.clean_bytes = pcap::to_pcap_bytes(
+        protocols::trace_to_capture(protocols::generate_trace(protocol, messages, seed)));
+    testing::corruption_options opt;
+    opt.fault_fraction = 0.1;  // the acceptance scenario: 10% of records
+    opt.seed = seed;
+    g.corrupt_bytes = testing::corrupt_pcap_bytes(g.clean_bytes, opt, &g.log);
+    return g;
+}
+
+std::vector<byte_vector> payloads_of(const pcap::capture& cap, diag::error_sink& sink) {
+    std::vector<byte_vector> out;
+    for (pcap::datagram& d : pcap::extract_datagrams(cap, {}, sink)) {
+        out.push_back(std::move(d.payload));
+    }
+    return out;
+}
+
+/// The messages of the clean capture minus the fault-injected records.
+std::vector<byte_vector> clean_subset(const golden_trace& g) {
+    diag::error_sink sink(diag::policy::lenient);
+    const pcap::capture cap = pcap::from_pcap_bytes(g.clean_bytes, sink);
+    std::vector<byte_vector> out;
+    for (std::size_t i = 0; i < cap.packets.size(); ++i) {
+        if (g.log.faulted(i)) {
+            continue;
+        }
+        diag::error_sink one(diag::policy::lenient);
+        pcap::capture single;
+        single.link = cap.link;
+        single.packets.push_back(cap.packets[i]);
+        for (pcap::datagram& d : pcap::extract_datagrams(single, {}, one)) {
+            out.push_back(std::move(d.payload));
+        }
+    }
+    return out;
+}
+
+class PcapLenientGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PcapLenientGolden, QuarantinesFaultsAndKeepsSurvivors) {
+    const golden_trace g = make_golden(GetParam(), 60, 5);
+    ASSERT_GT(g.log.faults.size(), 0u);
+
+    diag::error_sink sink(diag::policy::lenient);
+    const pcap::capture cap = pcap::from_pcap_bytes(g.corrupt_bytes, sink);
+    const std::vector<byte_vector> survivors = payloads_of(cap, sink);
+
+    // Every fault produced exactly one quarantined record, and the
+    // surviving messages are exactly the clean subset, in order.
+    EXPECT_EQ(sink.quarantined(), g.log.faults.size());
+    EXPECT_EQ(survivors, clean_subset(g));
+
+    // The quarantine summary names the counts.
+    const std::string summary = sink.summary();
+    EXPECT_NE(summary.find("quarantined"), std::string::npos) << summary;
+}
+
+TEST_P(PcapLenientGolden, StrictModeThrowsAtFirstBadRecord) {
+    const golden_trace g = make_golden(GetParam(), 60, 5);
+    ASSERT_GT(g.log.faults.size(), 0u);
+    EXPECT_THROW(pcap::from_pcap_bytes(g.corrupt_bytes), parse_error);
+
+    diag::error_sink strict(diag::policy::strict);
+    EXPECT_THROW(pcap::from_pcap_bytes(g.corrupt_bytes, strict), parse_error);
+    // Strict mode records nothing: it failed fast like the legacy reader.
+    EXPECT_EQ(strict.quarantined(), 0u);
+}
+
+TEST_P(PcapLenientGolden, StrictModeIsByteIdenticalOnCleanInput) {
+    const golden_trace g = make_golden(GetParam(), 60, 5);
+    const pcap::capture legacy = pcap::from_pcap_bytes(g.clean_bytes);
+    diag::error_sink strict(diag::policy::strict);
+    const pcap::capture sinked = pcap::from_pcap_bytes(g.clean_bytes, strict);
+    ASSERT_EQ(sinked.packets.size(), legacy.packets.size());
+    for (std::size_t i = 0; i < legacy.packets.size(); ++i) {
+        EXPECT_EQ(sinked.packets[i].data, legacy.packets[i].data);
+        EXPECT_EQ(sinked.packets[i].ts_sec, legacy.packets[i].ts_sec);
+        EXPECT_EQ(sinked.packets[i].ts_usec, legacy.packets[i].ts_usec);
+    }
+}
+
+TEST_P(PcapLenientGolden, CorruptTraceClustersLikeCleanSubset) {
+    const golden_trace g = make_golden(GetParam(), 60, 5);
+    ASSERT_GT(g.log.faults.size(), 0u);
+
+    diag::error_sink sink(diag::policy::lenient);
+    const std::vector<byte_vector> survivors =
+        payloads_of(pcap::from_pcap_bytes(g.corrupt_bytes, sink), sink);
+    const std::vector<byte_vector> subset = clean_subset(g);
+    ASSERT_EQ(survivors, subset);
+
+    const segmentation::nemesys_segmenter segmenter;
+    const core::pipeline_result corrupt_run = core::analyze(survivors, segmenter, {});
+    const core::pipeline_result clean_run = core::analyze(subset, segmenter, {});
+    EXPECT_EQ(corrupt_run.final_labels.labels, clean_run.final_labels.labels);
+    EXPECT_EQ(corrupt_run.final_labels.cluster_count, clean_run.final_labels.cluster_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, PcapLenientGolden, ::testing::Values("DNS", "DHCP"));
+
+TEST(PcapLenient, ResynchronizesAfterCorruptLengthField) {
+    // Corrupt only length fields: the reader must quarantine each faulted
+    // record and resynchronize on the next plausible header.
+    const byte_vector clean = pcap::to_pcap_bytes(
+        protocols::trace_to_capture(protocols::generate_trace("DNS", 40, 8)));
+    testing::corruption_options opt;
+    opt.fault_fraction = 0.15;
+    opt.seed = 21;
+    opt.flip_bits = false;
+    opt.truncate_records = false;
+    testing::corruption_log log;
+    const byte_vector corrupt = testing::corrupt_pcap_bytes(clean, opt, &log);
+    ASSERT_GT(log.faults.size(), 0u);
+
+    diag::error_sink sink(diag::policy::lenient);
+    const pcap::capture cap = pcap::from_pcap_bytes(corrupt, sink);
+    const std::size_t total = pcap::from_pcap_bytes(clean).packets.size();
+    EXPECT_EQ(cap.packets.size(), total - log.faults.size());
+    EXPECT_EQ(sink.count(diag::category::record), sink.diagnostics().size());
+    EXPECT_EQ(sink.quarantined(), log.faults.size());
+}
+
+TEST(PcapLenient, TruncatedTailIsQuarantinedNotFatal) {
+    const byte_vector clean = pcap::to_pcap_bytes(
+        protocols::trace_to_capture(protocols::generate_trace("DNS", 10, 8)));
+    byte_vector truncated = clean;
+    truncated.resize(truncated.size() - 5);  // cut into the last record
+
+    EXPECT_THROW(pcap::from_pcap_bytes(truncated), parse_error);
+
+    diag::error_sink sink(diag::policy::lenient);
+    const pcap::capture cap = pcap::from_pcap_bytes(truncated, sink);
+    EXPECT_EQ(cap.packets.size(), 9u);
+    EXPECT_EQ(sink.quarantined(), 1u);
+}
+
+TEST(PcapLenient, GlobalHeaderErrorsStayFatal) {
+    diag::error_sink sink(diag::policy::lenient);
+    const byte_vector junk(64, 0x00);
+    EXPECT_THROW(pcap::from_pcap_bytes(junk, sink), parse_error);
+    const byte_vector tiny(8, 0x00);
+    EXPECT_THROW(pcap::from_pcap_bytes(tiny, sink), parse_error);
+}
+
+TEST(PcapLenient, SegmentLenientQuarantinesEmptyMessages) {
+    const std::vector<byte_vector> messages = {
+        byte_vector{1, 2, 3, 4, 5, 6},
+        byte_vector{},  // unsegmentable
+        byte_vector{9, 8, 7, 6, 5, 4},
+    };
+    const segmentation::nemesys_segmenter segmenter;
+    diag::error_sink sink(diag::policy::lenient);
+    const segmentation::lenient_segmentation out =
+        segmentation::segment_lenient(segmenter, messages, deadline(), sink);
+    ASSERT_EQ(out.messages.size(), 2u);
+    EXPECT_EQ(out.surviving, (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(out.segments.size(), 2u);
+    EXPECT_EQ(sink.count(diag::category::segmentation), 1u);
+    EXPECT_EQ(sink.quarantined(), 1u);
+
+    // Strict mode passes empties through untouched (legacy behavior).
+    diag::error_sink strict(diag::policy::strict);
+    const segmentation::lenient_segmentation all =
+        segmentation::segment_lenient(segmenter, messages, deadline(), strict);
+    EXPECT_EQ(all.messages.size(), 3u);
+    EXPECT_TRUE(strict.empty());
+}
+
+}  // namespace
+}  // namespace ftc

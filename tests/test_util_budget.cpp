@@ -1,0 +1,90 @@
+// Unit tests for cooperative resource budgeting (util/budget.hpp).
+#include "util/budget.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftc {
+namespace {
+
+TEST(Budget, UnlimitedByDefault) {
+    resource_budget budget;
+    EXPECT_NO_THROW(budget.check("op"));
+    EXPECT_NO_THROW(budget.charge_segments(1'000'000, "op"));
+    EXPECT_NO_THROW(budget.charge_bytes(1'000'000'000, "op"));
+    EXPECT_EQ(budget.segments_used(), 1'000'000u);
+    EXPECT_EQ(budget.bytes_used(), 1'000'000'000u);
+}
+
+TEST(Budget, SegmentCapThrowsWithProgress) {
+    resource_limits limits;
+    limits.max_segments = 10;
+    resource_budget budget(limits);
+    EXPECT_NO_THROW(budget.charge_segments(10, "stage"));
+    try {
+        budget.charge_segments(1, "stage");
+        FAIL() << "expected budget_exceeded_error";
+    } catch (const budget_exceeded_error& e) {
+        EXPECT_NE(std::string{e.what()}.find("segment cap (10)"), std::string::npos);
+        EXPECT_NE(e.partial_report().find("segments 11"), std::string::npos)
+            << e.partial_report();
+    }
+}
+
+TEST(Budget, ByteCapThrowsWithProgress) {
+    resource_limits limits;
+    limits.max_bytes = 100;
+    resource_budget budget(limits);
+    EXPECT_NO_THROW(budget.charge_bytes(60, "ingest"));
+    try {
+        budget.charge_bytes(60, "ingest");
+        FAIL() << "expected budget_exceeded_error";
+    } catch (const budget_exceeded_error& e) {
+        EXPECT_NE(std::string{e.what()}.find("byte cap (100)"), std::string::npos);
+        EXPECT_NE(e.partial_report().find("bytes 120"), std::string::npos);
+    }
+}
+
+TEST(Budget, ExpiredDeadlineThrowsFromCheck) {
+    resource_limits limits;
+    limits.deadline_seconds = 1e-9;
+    resource_budget budget(limits);
+    // The nano-deadline has certainly elapsed by now.
+    try {
+        budget.check("pipeline");
+        FAIL() << "expected budget_exceeded_error";
+    } catch (const budget_exceeded_error& e) {
+        EXPECT_NE(std::string{e.what()}.find("wall-clock deadline"), std::string::npos);
+        EXPECT_FALSE(e.partial_report().empty());
+    }
+}
+
+TEST(Budget, WallClockHandsDownDeadline) {
+    resource_limits limits;
+    limits.deadline_seconds = 1e-9;
+    const resource_budget budget(limits);
+    EXPECT_TRUE(budget.wall_clock().expired());
+    EXPECT_THROW(budget.wall_clock().check("stage"), budget_exceeded_error);
+
+    const resource_budget unlimited;
+    EXPECT_FALSE(unlimited.wall_clock().expired());
+}
+
+TEST(Budget, ProgressMentionsAllCounters) {
+    resource_budget budget;
+    budget.charge_segments(7, "s");
+    budget.charge_bytes(42, "b");
+    const std::string progress = budget.progress();
+    EXPECT_NE(progress.find("segments 7"), std::string::npos) << progress;
+    EXPECT_NE(progress.find("bytes 42"), std::string::npos) << progress;
+    EXPECT_NE(progress.find("elapsed "), std::string::npos) << progress;
+}
+
+TEST(Budget, ErrorCarriesOptionalPartialReport) {
+    const budget_exceeded_error plain("ran out");
+    EXPECT_TRUE(plain.partial_report().empty());
+    const budget_exceeded_error detailed("ran out", "segments 5, bytes 10");
+    EXPECT_EQ(detailed.partial_report(), "segments 5, bytes 10");
+}
+
+}  // namespace
+}  // namespace ftc

@@ -1,0 +1,95 @@
+// Unit tests for the structured diagnostics sink (util/diag.hpp).
+#include "util/diag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftc::diag {
+namespace {
+
+diagnostic record_fault(std::size_t index, const char* detail) {
+    return {category::record, severity::error, index, 24 + 16 * index, detail};
+}
+
+TEST(Diag, StrictFailThrowsParseError) {
+    error_sink sink(policy::strict);
+    EXPECT_FALSE(sink.lenient());
+    try {
+        sink.fail(record_fault(0, "pcap: truncated record header"));
+        FAIL() << "expected parse_error";
+    } catch (const parse_error& e) {
+        EXPECT_STREQ(e.what(), "pcap: truncated record header");
+    }
+    // Nothing was recorded: strict mode fails fast like the legacy code.
+    EXPECT_TRUE(sink.empty());
+}
+
+TEST(Diag, LenientFailQuarantines) {
+    error_sink sink(policy::lenient);
+    EXPECT_TRUE(sink.lenient());
+    EXPECT_NO_THROW(sink.fail(record_fault(3, "bad record")));
+    EXPECT_EQ(sink.quarantined(), 1u);
+    ASSERT_EQ(sink.diagnostics().size(), 1u);
+    EXPECT_EQ(sink.diagnostics()[0].record_index, 3u);
+    EXPECT_EQ(sink.diagnostics()[0].sev, severity::error);
+}
+
+TEST(Diag, ReportNeverThrows) {
+    error_sink strict(policy::strict);
+    EXPECT_NO_THROW(strict.report({category::decap, severity::error, 1, 0, "runt frame"}));
+    EXPECT_NO_THROW(strict.report({category::decap, severity::note, 2, 0, "skipped ARP"}));
+    EXPECT_EQ(strict.diagnostics().size(), 2u);
+    EXPECT_EQ(strict.quarantined(), 1u);  // only the severity::error entry
+}
+
+TEST(Diag, CountsPerCategory) {
+    error_sink sink(policy::lenient);
+    sink.fail(record_fault(0, "a"));
+    sink.fail(record_fault(1, "b"));
+    sink.report({category::decap, severity::error, 2, 0, "c"});
+    sink.report({category::segmentation, severity::warning, 3, 0, "d"});
+    EXPECT_EQ(sink.count(category::record), 2u);
+    EXPECT_EQ(sink.count(category::decap), 1u);
+    EXPECT_EQ(sink.count(category::segmentation), 1u);
+    EXPECT_EQ(sink.count(category::file_header), 0u);
+    EXPECT_EQ(sink.quarantined(), 3u);
+}
+
+TEST(Diag, SummaryRollsUpCountsAndSeverities) {
+    error_sink sink(policy::lenient);
+    EXPECT_EQ(sink.summary(), "");
+
+    sink.fail(record_fault(0, "bad"));
+    sink.report({category::decap, severity::error, 1, 0, "checksum"});
+    sink.report({category::decap, severity::error, 2, 0, "checksum"});
+    sink.report({category::record, severity::note, 3, 0, "snapped"});
+    const std::string summary = sink.summary();
+    EXPECT_NE(summary.find("quarantined 3 records"), std::string::npos) << summary;
+    EXPECT_NE(summary.find("1 record"), std::string::npos) << summary;
+    EXPECT_NE(summary.find("2 decap"), std::string::npos) << summary;
+    EXPECT_NE(summary.find("1 note"), std::string::npos) << summary;
+}
+
+TEST(Diag, MergePreservesOrder) {
+    error_sink a(policy::lenient);
+    error_sink b(policy::lenient);
+    a.fail(record_fault(0, "first"));
+    b.report({category::decap, severity::error, 1, 0, "second"});
+    a.merge(b);
+    ASSERT_EQ(a.diagnostics().size(), 2u);
+    EXPECT_EQ(a.diagnostics()[0].detail, "first");
+    EXPECT_EQ(a.diagnostics()[1].detail, "second");
+}
+
+TEST(Diag, CategoryAndSeverityNames) {
+    EXPECT_EQ(category_name(category::record), "record");
+    EXPECT_EQ(category_name(category::decap), "decap");
+    EXPECT_EQ(category_name(category::file_header), "file-header");
+    EXPECT_EQ(category_name(category::segmentation), "segmentation");
+    EXPECT_EQ(category_name(category::resource), "resource");
+    EXPECT_EQ(severity_name(severity::note), "note");
+    EXPECT_EQ(severity_name(severity::warning), "warning");
+    EXPECT_EQ(severity_name(severity::error), "error");
+}
+
+}  // namespace
+}  // namespace ftc::diag

@@ -5,16 +5,27 @@
 ///
 /// Subcommands:
 ///   ftclust analyze  <capture.pcap> [--segmenter NEMESYS|CSP|Netzob]
-///                    [--budget SECONDS] [--threads N] [--semantics]
+///                    [--budget SECONDS] [--deadline-ms N] [--max-segments N]
+///                    [--max-bytes N] [--strict|--lenient] [--threads N]
+///                    [--semantics]
 ///       Cluster the capture's messages into pseudo data types and print
 ///       the analyst report. Works on UDP/TCP payloads (Ethernet/IPv4) and
-///       raw/user0 captures. --threads bounds the worker count of the
+///       raw/user0 captures. --lenient quarantines malformed pcap records
+///       and frames (counted and reported) instead of aborting at the
+///       first one; --strict (the default) keeps the legacy fail-fast
+///       behavior. --deadline-ms / --max-segments / --max-bytes bound the
+///       run; exceeding a bound exits with code 3 and a partial-progress
+///       report. --threads bounds the worker count of the
 ///       dissimilarity/auto-configuration stages (0 = all hardware
 ///       threads, 1 = serial); the result is identical either way.
 ///
 ///   ftclust generate <protocol> <messages> <out.pcap> [--seed N]
 ///       Synthesize a deduplicated trace of one of the built-in protocols
 ///       (NTP, DNS, NBNS, DHCP, SMB, AWDL, AU) and write it as pcap.
+///
+///   ftclust corrupt  <in.pcap> <out.pcap> [--fraction F] [--seed N]
+///       Fault-inject a capture (bit flips in checksum-protected headers,
+///       snapped records, corrupt length fields) to exercise lenient mode.
 ///
 ///   ftclust evaluate <protocol> <messages> [--segmenter NAME] [--seed N]
 ///       Generate a trace with ground truth and report clustering quality
@@ -29,9 +40,13 @@
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/semantics.hpp"
+#include "pcap/decap.hpp"
 #include "pcap/pcap.hpp"
 #include "protocols/registry.hpp"
 #include "segmentation/segment.hpp"
+#include "testing/corrupter.hpp"
+#include "util/check.hpp"
+#include "util/diag.hpp"
 
 namespace {
 
@@ -41,8 +56,11 @@ int usage() {
     std::fputs(
         "usage:\n"
         "  ftclust analyze  <capture.pcap> [--segmenter NEMESYS|CSP|Netzob]\n"
-        "                   [--budget SECONDS] [--threads N] [--semantics]\n"
+        "                   [--budget SECONDS] [--deadline-ms N] [--max-segments N]\n"
+        "                   [--max-bytes N] [--strict|--lenient] [--threads N]\n"
+        "                   [--semantics]\n"
         "  ftclust generate <protocol> <messages> <out.pcap> [--seed N]\n"
+        "  ftclust corrupt  <in.pcap> <out.pcap> [--fraction F] [--seed N]\n"
         "  ftclust evaluate <protocol> <messages> [--segmenter NAME|true] [--seed N]\n"
         "                   [--threads N]\n"
         "protocols: NTP DNS NBNS DHCP SMB AWDL AU\n",
@@ -75,16 +93,23 @@ int cmd_analyze(int argc, char** argv) {
     }
     const std::string path = argv[0];
     const std::string segmenter_name = flag_value(argc, argv, "--segmenter", "NEMESYS");
-    const double budget = std::atof(flag_value(argc, argv, "--budget", "120"));
+    double budget = std::atof(flag_value(argc, argv, "--budget", "120"));
+    const double deadline_ms = std::atof(flag_value(argc, argv, "--deadline-ms", "0"));
+    if (deadline_ms > 0) {
+        budget = deadline_ms / 1000.0;
+    }
+    const bool lenient = has_flag(argc, argv, "--lenient");
+    diag::error_sink sink(lenient ? diag::policy::lenient : diag::policy::strict);
 
-    const pcap::capture cap = pcap::read_file(path);
+    const pcap::capture cap = pcap::read_file(path, sink);
     std::vector<byte_vector> messages;
-    for (pcap::datagram& d : pcap::extract_datagrams(cap)) {
+    for (pcap::datagram& d : pcap::extract_datagrams(cap, {}, sink)) {
         messages.push_back(std::move(d.payload));
     }
-    std::printf("loaded %zu packets -> %zu application messages\n", cap.packets.size(),
-                messages.size());
+    std::printf("loaded %zu packets -> %zu application messages (%s mode)\n",
+                cap.packets.size(), messages.size(), lenient ? "lenient" : "strict");
     if (messages.size() < 3) {
+        std::fputs(core::render_quarantine(sink).c_str(), stdout);
         std::fputs("not enough messages to analyze\n", stderr);
         return 1;
     }
@@ -92,20 +117,66 @@ int cmd_analyze(int argc, char** argv) {
     const auto segmenter = segmentation::make_segmenter(segmenter_name);
     core::pipeline_options opt;
     opt.budget_seconds = budget;
+    opt.max_segments =
+        static_cast<std::size_t>(std::atoll(flag_value(argc, argv, "--max-segments", "0")));
+    opt.max_bytes =
+        static_cast<std::size_t>(std::atoll(flag_value(argc, argv, "--max-bytes", "0")));
     opt.threads =
         static_cast<std::size_t>(std::atoll(flag_value(argc, argv, "--threads", "0")));
-    const core::pipeline_result result = core::analyze(messages, *segmenter, opt);
+
+    // Lenient mode quarantines unsegmentable messages instead of aborting.
+    const deadline dl = budget > 0 ? deadline(budget) : deadline();
+    segmentation::lenient_segmentation segmented;
+    try {
+        segmented = segmentation::segment_lenient(*segmenter, messages, dl, sink);
+    } catch (const budget_exceeded_error& e) {
+        if (!e.partial_report().empty()) {
+            throw;
+        }
+        // Segmenters raise bare deadline errors; attach the progress the
+        // exit handler expects so a bounded run still reports where it got.
+        throw budget_exceeded_error(
+            e.what(), message("messages ", messages.size(), "; reached stage segmentation"));
+    }
+
+    const core::pipeline_result result =
+        core::analyze_segments(segmented.messages, std::move(segmented.segments), opt);
     std::printf("%s segmentation -> %zu unique segments -> %zu pseudo data types "
-                "(eps %.3f, min_samples %zu, %.1fs)\n\n",
+                "(eps %.3f, min_samples %zu, %.1fs)\n",
                 segmenter_name.c_str(), result.unique.size(),
                 result.final_labels.cluster_count, result.clustering.config.epsilon,
                 result.clustering.config.min_samples, result.elapsed_seconds);
+    const std::string quarantine = core::render_quarantine(sink);
+    if (!quarantine.empty()) {
+        std::fputs(quarantine.c_str(), stdout);
+    }
+    std::fputs("\n", stdout);
     std::fputs(core::render_report(core::summarize_clusters(result)).c_str(), stdout);
 
     if (has_flag(argc, argv, "--semantics")) {
         std::printf("\ndeduced semantics:\n%s",
-                    core::render_semantics(core::deduce_semantics(messages, result)).c_str());
+                    core::render_semantics(
+                        core::deduce_semantics(segmented.messages, result))
+                        .c_str());
     }
+    return 0;
+}
+
+int cmd_corrupt(int argc, char** argv) {
+    if (argc < 2) {
+        return usage();
+    }
+    testing::corruption_options opt;
+    opt.fault_fraction = std::atof(flag_value(argc, argv, "--fraction", "0.1"));
+    opt.seed = static_cast<std::uint64_t>(
+        std::atoll(flag_value(argc, argv, "--seed", "1")));
+    testing::corruption_log log;
+    testing::corrupt_pcap_file(argv[0], argv[1], opt, &log);
+    std::printf("injected %zu faults (%zu bit flips, %zu snapped, %zu corrupt lengths) "
+                "into %s\n",
+                log.faults.size(), log.count(testing::fault_kind::bit_flip),
+                log.count(testing::fault_kind::snap),
+                log.count(testing::fault_kind::length_garbage), argv[1]);
     return 0;
 }
 
@@ -178,10 +249,19 @@ int main(int argc, char** argv) {
         if (cmd == "generate") {
             return cmd_generate(argc - 2, argv + 2);
         }
+        if (cmd == "corrupt") {
+            return cmd_corrupt(argc - 2, argv + 2);
+        }
         if (cmd == "evaluate") {
             return cmd_evaluate(argc - 2, argv + 2);
         }
         return usage();
+    } catch (const ftc::budget_exceeded_error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        if (!e.partial_report().empty()) {
+            std::fprintf(stderr, "partial progress: %s\n", e.partial_report().c_str());
+        }
+        return 3;
     } catch (const ftc::error& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
