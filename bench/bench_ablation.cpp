@@ -47,12 +47,16 @@ int main() {
     text_table table({"proto", "msgs", "variant", "eps", "clusters", "P", "R", "F1/4"});
     table.set_align(0, align::left);
     table.set_align(2, align::left);
+    bench::bench_report report("ablation");
 
     for (const char* proto : {"NTP", "DNS", "SMB"}) {
         const std::size_t size = 400;
         const protocols::trace truth = bench::make_trace(proto, size);
         const auto messages = segmentation::message_bytes(truth);
         for (const char* variant : kVariants) {
+            bench::run_result row;
+            row.messages = truth.messages.size();
+            obs::scoped_recorder recorder;
             try {
                 const core::pipeline_result r = core::analyze_segments(
                     messages, segmentation::segments_from_annotations(truth),
@@ -60,20 +64,32 @@ int main() {
                 const core::typed_segments typed = core::assign_types(truth, r.unique);
                 const core::clustering_quality q =
                     core::evaluate_clustering(r.final_labels, typed, truth.total_bytes());
+                row.unique_fields = r.unique.size();
+                row.epsilon = r.clustering.config.epsilon;
+                row.quality = q;
+                row.elapsed_seconds = r.elapsed_seconds;
                 table.add_row({proto, std::to_string(size), variant,
                                format_fixed(r.clustering.config.epsilon, 3),
                                std::to_string(r.final_labels.cluster_count),
                                format_fixed(q.precision, 2), format_fixed(q.recall, 2),
                                format_fixed(q.f_score, 2)});
             } catch (const error& e) {
+                row.failed = true;
+                row.failure_reason = e.what();
                 table.add_row({proto, std::to_string(size), variant, "-", "-", "-", "-",
                                "fails"});
                 std::fprintf(stderr, "[fails] %s %s: %s\n", proto, variant, e.what());
             }
+            row.stages = obs::collect_stages(recorder.rec().trace());
+            report.add(std::string(proto) + "@" + std::to_string(size) + "/" + variant, row);
         }
     }
 
     std::fputs(table.render().c_str(), stdout);
+    const std::string json = report.write();
+    if (!json.empty()) {
+        std::printf("\nwrote %s (machine-readable rows + stage timings)\n", json.c_str());
+    }
     std::printf(
         "\nReading guide: 'no-guard' hurts most where one dense blob dominates\n"
         "(SMB); 'with-1byte' floods the matrix with coincidentally-similar\n"

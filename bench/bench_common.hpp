@@ -10,12 +10,16 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/metrics.hpp"
 #include "core/pipeline.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "protocols/registry.hpp"
 #include "segmentation/segment.hpp"
 #include "util/stopwatch.hpp"
@@ -45,6 +49,9 @@ struct run_result {
     double epsilon = 0.0;
     core::clustering_quality quality;
     double elapsed_seconds = 0.0;
+    /// Per-stage timings from ftc::obs (execution order), so the bench
+    /// tables carry a breakdown of *where* each run spent its budget.
+    std::vector<obs::manifest_stage> stages;
 };
 
 /// Generate the deduplicated trace for a protocol/size, routed through real
@@ -70,6 +77,9 @@ inline run_result score_pipeline(const protocols::trace& truth,
                                  double budget) {
     run_result out;
     out.messages = truth.messages.size();
+    // Record stage timings for this run; a failed run keeps the stages it
+    // completed before the budget tripped.
+    obs::scoped_recorder recorder;
     try {
         core::pipeline_options opt;
         opt.budget_seconds = budget;
@@ -87,6 +97,7 @@ inline run_result score_pipeline(const protocols::trace& truth,
         out.failed = true;
         out.failure_reason = e.what();
     }
+    out.stages = obs::collect_stages(recorder.rec().trace());
     return out;
 }
 
@@ -109,13 +120,21 @@ inline run_result run_heuristic(const std::string& protocol, std::size_t size,
     try {
         const auto segmenter = segmentation::make_segmenter(segmenter_name);
         const stopwatch watch;
-        segmentation::message_segments segments =
-            segmenter->run(messages, deadline(budget));
+        std::vector<obs::manifest_stage> seg_stages;
+        segmentation::message_segments segments = [&] {
+            // Separate recorder for the segmentation stage: score_pipeline
+            // installs its own, and stages are concatenated below.
+            obs::scoped_recorder recorder;
+            segmentation::message_segments segs = segmenter->run(messages, deadline(budget));
+            seg_stages = obs::collect_stages(recorder.rec().trace());
+            return segs;
+        }();
         const double remaining = budget - watch.elapsed_seconds();
         if (remaining <= 0) {
             throw budget_exceeded_error(segmenter_name + ": budget exhausted");
         }
         out = score_pipeline(truth, messages, std::move(segments), remaining);
+        out.stages.insert(out.stages.begin(), seg_stages.begin(), seg_stages.end());
         out.elapsed_seconds = watch.elapsed_seconds();  // segmentation + clustering
     } catch (const error& e) {
         out.failed = true;
@@ -123,5 +142,99 @@ inline run_result run_heuristic(const std::string& protocol, std::size_t size,
     }
     return out;
 }
+
+/// Accumulates bench rows and writes them as BENCH_<name>.json next to the
+/// text table, so runs are diffable by machines (CI perf tracking) — each
+/// row carries the scored quality plus the ftc::obs stage breakdown.
+class bench_report {
+public:
+    explicit bench_report(std::string name) : name_(std::move(name)) {}
+
+    void add(std::string label, const run_result& r) {
+        runs_.push_back({std::move(label), r});
+    }
+
+    /// Write BENCH_<name>.json into the working directory; returns the
+    /// file name (empty on I/O failure — benches keep going, the table on
+    /// stdout is the primary artifact).
+    std::string write() const {
+        obs::json_writer w;
+        w.begin_object();
+        w.key("bench");
+        w.value(name_);
+        w.key("seed");
+        w.value(static_cast<std::uint64_t>(kBenchSeed));
+        w.key("budget_seconds");
+        w.value(budget_seconds());
+        w.key("runs");
+        w.begin_array();
+        for (const entry& e : runs_) {
+            const run_result& r = e.result;
+            w.begin_object();
+            w.key("label");
+            w.value(e.label);
+            w.key("failed");
+            w.value(r.failed);
+            if (r.failed) {
+                w.key("failure_reason");
+                w.value(r.failure_reason);
+            }
+            w.key("messages");
+            w.value(static_cast<std::uint64_t>(r.messages));
+            w.key("unique_fields");
+            w.value(static_cast<std::uint64_t>(r.unique_fields));
+            w.key("epsilon");
+            w.value(r.epsilon);
+            w.key("precision");
+            w.value(r.quality.precision);
+            w.key("recall");
+            w.value(r.quality.recall);
+            w.key("f_score");
+            w.value(r.quality.f_score);
+            w.key("coverage");
+            w.value(r.quality.coverage);
+            w.key("elapsed_seconds");
+            w.value(r.elapsed_seconds);
+            w.key("stages");
+            w.begin_array();
+            for (const obs::manifest_stage& s : r.stages) {
+                w.begin_object();
+                w.key("name");
+                w.value(s.name);
+                w.key("wall_seconds");
+                w.value(s.wall_seconds);
+                w.key("cpu_seconds");
+                w.value(s.cpu_seconds);
+                w.key("counts");
+                w.begin_object();
+                for (const obs::span_arg& a : s.counts) {
+                    w.key(a.key);
+                    w.value(a.value);
+                }
+                w.end_object();
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+
+        const std::string file = "BENCH_" + name_ + ".json";
+        std::ofstream outfile(file, std::ios::binary | std::ios::trunc);
+        const std::string json = w.take();
+        outfile.write(json.data(), static_cast<std::streamsize>(json.size()));
+        return outfile ? file : std::string{};
+    }
+
+private:
+    struct entry {
+        std::string label;
+        run_result result;
+    };
+
+    std::string name_;
+    std::vector<entry> runs_;
+};
 
 }  // namespace ftc::bench

@@ -19,9 +19,11 @@ int main() {
 
     text_table table({"proto", "msgs", "fields", "eps", "P", "R", "F1/4", "time"});
     table.set_align(0, align::left);
+    bench::bench_report report("table1");
 
     auto add_run = [&](const std::string& proto, std::size_t size) {
         const bench::run_result r = bench::run_ground_truth(proto, size);
+        report.add(proto + "@" + std::to_string(size), r);
         if (r.failed) {
             table.add_row({proto, std::to_string(r.messages), "-", "-", "-", "-", "fails",
                            "-"});
@@ -44,6 +46,10 @@ int main() {
     add_run("AU", protocols::paper_trace_size("AU"));
 
     std::fputs(table.render().c_str(), stdout);
+    const std::string json = report.write();
+    if (!json.empty()) {
+        std::printf("\nwrote %s (machine-readable rows + stage timings)\n", json.c_str());
+    }
     std::printf(
         "\nPaper reference (Table I): F1/4 near 1 for most protocols; SMB@1000\n"
         "is the worst case (paper: P=0.59) because timestamps and signatures\n"

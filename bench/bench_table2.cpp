@@ -33,10 +33,14 @@ int main() {
     text_table table({"proto", "msgs", "segmenter", "P", "R", "F1/4", "cov.", "time"});
     table.set_align(0, align::left);
     table.set_align(2, align::left);
+    bench::bench_report report("table2");
 
     for (const row_spec& spec : rows) {
         for (const char* segmenter : {"Netzob", "NEMESYS", "CSP"}) {
             const bench::run_result r = bench::run_heuristic(spec.proto, spec.size, segmenter);
+            report.add(std::string(spec.proto) + "@" + std::to_string(spec.size) + "/" +
+                           segmenter,
+                       r);
             if (r.failed) {
                 table.add_row({spec.proto, std::to_string(spec.size), segmenter, "-", "-",
                                "fails", "-", "-"});
@@ -54,6 +58,10 @@ int main() {
     }
 
     std::fputs(table.render().c_str(), stdout);
+    const std::string json = report.write();
+    if (!json.empty()) {
+        std::printf("\nwrote %s (machine-readable rows + stage timings)\n", json.c_str());
+    }
     std::printf(
         "\nPaper reference (Table II): precision stays high (mostly >= 0.9)\n"
         "while recall drops versus ground-truth segmentation; Netzob leads on\n"

@@ -6,6 +6,7 @@
 
 #include "mathx/kneedle.hpp"
 #include "mathx/smoothing.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -44,6 +45,8 @@ using knn_fn = std::function<std::vector<double>(std::size_t k, std::size_t thre
 
 autoconf_result configure_from_knn(const knn_fn& knn_of_k, std::size_t n,
                                    const autoconf_options& options) {
+    obs::span sp("cluster.autoconf");
+    sp.count("n", n);
     autoconf_result result;
     result.min_samples =
         std::max<std::size_t>(2, static_cast<std::size_t>(std::lround(std::log(
@@ -65,24 +68,28 @@ autoconf_result configure_from_knn(const knn_fn& knn_of_k, std::size_t n,
     const std::size_t sweep_lanes = std::min(sweep_threads, k_max - 1);
     const std::size_t inner_lanes = std::max<std::size_t>(1, sweep_threads / sweep_lanes);
     result.candidates.resize(k_max - 1);
-    util::parallel_for(k_max - 1, 1, sweep_lanes, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t idx = begin; idx < end; ++idx) {
-            k_candidate& cand = result.candidates[idx];
-            cand.k = idx + 2;
-            cand.knn_sorted = knn_of_k(cand.k, inner_lanes);
-            std::sort(cand.knn_sorted.begin(), cand.knn_sorted.end());
-            const double lambda =
-                options.smoothing_lambda *
-                std::max(0.04, static_cast<double>(cand.knn_sorted.size()) / 1000.0);
-            cand.smoothed = mathx::whittaker_smooth(cand.knn_sorted, lambda);
-            // Smoothing of a monotone sequence can introduce tiny decreases
-            // at the ends; restore monotonicity for a well-formed ECDF.
-            for (std::size_t i = 1; i < cand.smoothed.size(); ++i) {
-                cand.smoothed[i] = std::max(cand.smoothed[i], cand.smoothed[i - 1]);
+    {
+        obs::span sweep_span("cluster.epsilon_sweep");
+        sweep_span.count("candidates", k_max - 1);
+        util::parallel_for(k_max - 1, 1, sweep_lanes, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t idx = begin; idx < end; ++idx) {
+                k_candidate& cand = result.candidates[idx];
+                cand.k = idx + 2;
+                cand.knn_sorted = knn_of_k(cand.k, inner_lanes);
+                std::sort(cand.knn_sorted.begin(), cand.knn_sorted.end());
+                const double lambda =
+                    options.smoothing_lambda *
+                    std::max(0.04, static_cast<double>(cand.knn_sorted.size()) / 1000.0);
+                cand.smoothed = mathx::whittaker_smooth(cand.knn_sorted, lambda);
+                // Smoothing of a monotone sequence can introduce tiny decreases
+                // at the ends; restore monotonicity for a well-formed ECDF.
+                for (std::size_t i = 1; i < cand.smoothed.size(); ++i) {
+                    cand.smoothed[i] = std::max(cand.smoothed[i], cand.smoothed[i - 1]);
+                }
+                cand.sharpness = max_step(cand.smoothed);
             }
-            cand.sharpness = max_step(cand.smoothed);
-        }
-    });
+        });
+    }
 
     std::size_t best_idx = 0;
     for (std::size_t i = 1; i < result.candidates.size(); ++i) {
@@ -218,6 +225,8 @@ auto_cluster_result auto_cluster(const dissim::dissimilarity_matrix& matrix,
         out.reclustered = true;
         ++out.reconfigurations;
     }
+    obs::counter_add("cluster.reconfigurations_total",
+                     static_cast<double>(out.reconfigurations));
     return out;
 }
 

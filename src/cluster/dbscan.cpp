@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ftc::cluster {
@@ -30,7 +31,9 @@ cluster_labels dbscan(const dissim::dissimilarity_matrix& matrix, const dbscan_p
     expects(params.epsilon >= 0.0, "dbscan: epsilon must be non-negative");
     expects(params.min_samples >= 1, "dbscan: min_samples must be at least 1");
 
+    obs::span sp("cluster.dbscan");
     const std::size_t n = matrix.size();
+    sp.count("n", n);
     cluster_labels result;
     result.labels.assign(n, kNoise);
     std::vector<bool> visited(n, false);
@@ -80,6 +83,11 @@ cluster_labels dbscan(const dissim::dissimilarity_matrix& matrix, const dbscan_p
         }
     }
     result.cluster_count = static_cast<std::size_t>(next_cluster);
+    if (sp.enabled()) {
+        sp.count("clusters", result.cluster_count);
+        sp.count("noise", result.noise_count());
+        obs::counter_add("cluster.dbscan_runs_total", 1.0);
+    }
     return result;
 }
 

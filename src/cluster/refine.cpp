@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -265,12 +266,18 @@ refine_result split_clusters(const cluster_labels& input,
 refine_result refine(const dissim::dissimilarity_matrix& matrix, const cluster_labels& input,
                      const std::vector<std::size_t>& occurrence_counts,
                      const refine_options& options) {
+    obs::span sp("cluster.refine");
+    sp.count("input_clusters", input.cluster_count);
     refine_result merged = merge_clusters(matrix, input, options);
     refine_result split = split_clusters(merged.labels, occurrence_counts, options);
     refine_result out;
     out.labels = std::move(split.labels);
     out.merges = std::move(merged.merges);
     out.splits = std::move(split.splits);
+    sp.count("merges", out.merges.size());
+    sp.count("splits", out.splits.size());
+    obs::counter_add("cluster.refine_merges_total", static_cast<double>(out.merges.size()));
+    obs::counter_add("cluster.refine_splits_total", static_cast<double>(out.splits.size()));
     return out;
 }
 

@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include "obs/obs.hpp"
 #include "util/budget.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
@@ -22,6 +23,11 @@ resource_budget make_budget(const pipeline_options& options) {
 [[noreturn]] void rethrow_with_progress(const budget_exceeded_error& e, const char* stage,
                                         const resource_budget& budget,
                                         std::size_t unique_segments) {
+    // The counters in this report are the same values the budget already
+    // published into the obs registry at charge time (see
+    // resource_budget::charge_*); mirror the stage marker there too so the
+    // manifest and this message describe one run from one source.
+    obs::gauge_set("pipeline.unique_segments", static_cast<double>(unique_segments));
     std::string partial = e.partial_report();
     if (partial.empty()) {
         partial = budget.progress();
@@ -58,40 +64,63 @@ pipeline_result analyze_segments_budgeted(const std::vector<byte_vector>& messag
         budget.charge_segments(total_segments, "pipeline");
 
         // Dissimilarity stage: unique >=2-byte segments, pairwise matrix.
-        result.unique = dissim::condense(messages, result.segments, options.min_segment_length);
-        expects(result.unique.size() >= 3,
-                "analyze: fewer than 3 unique segments; trace too uniform to cluster");
         const std::size_t threads = util::resolve_threads(options.threads);
-        const dissim::dissimilarity_matrix matrix(result.unique.values, dl, threads);
+        const dissim::dissimilarity_matrix matrix = [&] {
+            obs::span sp("dissimilarity");
+            result.unique =
+                dissim::condense(messages, result.segments, options.min_segment_length);
+            expects(result.unique.size() >= 3,
+                    "analyze: fewer than 3 unique segments; trace too uniform to cluster");
+            sp.count("segments", total_segments);
+            sp.count("unique_segments", result.unique.size());
+            sp.count("pairs", result.unique.size() * (result.unique.size() - 1) / 2);
+            obs::gauge_set("pipeline.unique_segments",
+                           static_cast<double>(result.unique.size()));
+            return dissim::dissimilarity_matrix(result.unique.values, dl, threads);
+        }();
 
         // Auto-configuration + DBSCAN with the oversized-cluster guard.
         // pipeline_options::threads governs the whole run, including the
         // epsilon sweep inside auto-configuration.
         stage = "clustering";
-        cluster::autoconf_options autoconf = options.autoconf;
-        autoconf.threads = threads;
-        result.clustering =
-            cluster::auto_cluster(matrix, autoconf, options.oversize_fraction);
+        {
+            obs::span sp("clustering");
+            cluster::autoconf_options autoconf = options.autoconf;
+            autoconf.threads = threads;
+            result.clustering =
+                cluster::auto_cluster(matrix, autoconf, options.oversize_fraction);
+            if (sp.enabled()) {
+                sp.count("clusters", result.clustering.labels.cluster_count);
+                sp.count("noise", result.clustering.labels.noise_count());
+                sp.count("reconfigurations", result.clustering.reconfigurations);
+            }
+        }
 
         // Refinement. After the oversized-cluster guard walked the epsilon
         // down, merging must not re-create an oversized cluster.
         stage = "refinement";
         budget.check("pipeline refinement");
-        if (options.apply_refinement) {
-            std::vector<std::size_t> occurrence_counts;
-            occurrence_counts.reserve(result.unique.size());
-            for (const auto& occs : result.unique.occurrences) {
-                occurrence_counts.push_back(occs.size());
+        {
+            obs::span sp("refinement");
+            if (options.apply_refinement) {
+                std::vector<std::size_t> occurrence_counts;
+                occurrence_counts.reserve(result.unique.size());
+                for (const auto& occs : result.unique.occurrences) {
+                    occurrence_counts.push_back(occs.size());
+                }
+                cluster::refine_options refine_opts = options.refine;
+                if (result.clustering.reclustered && refine_opts.max_merged_fraction <= 0.0) {
+                    refine_opts.max_merged_fraction = options.oversize_fraction;
+                }
+                result.refinement = cluster::refine(matrix, result.clustering.labels,
+                                                    occurrence_counts, refine_opts);
+                result.final_labels = result.refinement.labels;
+            } else {
+                result.final_labels = result.clustering.labels;
             }
-            cluster::refine_options refine_opts = options.refine;
-            if (result.clustering.reclustered && refine_opts.max_merged_fraction <= 0.0) {
-                refine_opts.max_merged_fraction = options.oversize_fraction;
-            }
-            result.refinement = cluster::refine(matrix, result.clustering.labels,
-                                                occurrence_counts, refine_opts);
-            result.final_labels = result.refinement.labels;
-        } else {
-            result.final_labels = result.clustering.labels;
+            sp.count("clusters", result.final_labels.cluster_count);
+            sp.count("merges", result.refinement.merges.size());
+            sp.count("splits", result.refinement.splits.size());
         }
     } catch (const budget_exceeded_error& e) {
         rethrow_with_progress(e, stage, budget, result.unique.size());
@@ -116,6 +145,8 @@ pipeline_result analyze(const std::vector<byte_vector>& messages,
     resource_budget budget = make_budget(options);
     segmentation::message_segments segments;
     try {
+        obs::span sp("segmentation");
+        sp.count("messages", messages.size());
         segments = segmenter.run(messages, budget.wall_clock());
     } catch (const budget_exceeded_error& e) {
         rethrow_with_progress(e, "segmentation", budget, 0);

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "dissim/canberra.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -36,6 +37,9 @@ unique_segments condense(const std::vector<byte_vector>& messages,
 dissimilarity_matrix::dissimilarity_matrix(std::span<const byte_vector> values,
                                            const deadline& dl, std::size_t threads)
     : n_(values.size()), data_(values.size() * values.size(), 0.0f) {
+    obs::span sp("dissim.matrix");
+    sp.count("n", n_);
+    sp.count("pairs", n_ * (n_ - (n_ > 0 ? 1 : 0)) / 2);
     // Row-blocked upper-triangle fan-out. Each (i, j) pair with i < j is
     // computed by exactly one block and written to the two mirrored cells
     // that no other block touches, so the matrix is bitwise identical at
@@ -80,6 +84,9 @@ std::vector<double> dissimilarity_matrix::kth_nn(std::size_t k, std::size_t thre
     if (n_ < 2) {
         return {};
     }
+    obs::span sp("dissim.kth_nn");
+    sp.count("n", n_);
+    sp.count("k", k);
     const std::size_t kk = std::min(k, n_ - 1);
     // Each row selects its k-th neighbour independently into out[i]; the
     // per-lane scratch row keeps nth_element off shared state.

@@ -1,0 +1,109 @@
+/// \file export.hpp
+/// Exporters over ftc::obs snapshots: Chrome trace-event JSON
+/// (chrome://tracing / Perfetto), a flat Prometheus-style text dump, and
+/// the machine-readable per-run manifest (run.json) the CLI and benches
+/// emit so the perf trajectory of the pipeline is tracked across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace ftc::obs {
+
+/// Minimal streaming JSON writer: objects, arrays, scalars, full string
+/// escaping. Emits compact JSON; callers own key ordering.
+class json_writer {
+public:
+    void begin_object();
+    void end_object();
+    void begin_array();
+    void end_array();
+    void key(std::string_view k);
+    void value(std::string_view v);
+    void value(const char* v) { value(std::string_view{v}); }
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(bool v);
+    void null();
+
+    /// The JSON produced so far; the writer must be at nesting depth 0.
+    std::string take();
+
+private:
+    void separator();
+    void raw(std::string_view text);
+
+    std::string out_;
+    std::vector<bool> first_;  ///< per nesting level: no element emitted yet
+};
+
+/// Append \p text to \p out with JSON string escaping applied.
+void json_escape(std::string& out, std::string_view text);
+
+/// Chrome trace-event JSON ("X" complete events, microsecond timestamps,
+/// one tid per recorder thread) — loadable by chrome://tracing and Perfetto.
+std::string to_chrome_trace(const trace_snapshot& trace);
+
+/// Prometheus-style text exposition: counters, gauges and cumulative-bucket
+/// histograms, metric names prefixed "ftc_" with dots mapped to underscores.
+std::string to_prometheus(const metrics_snapshot& metrics);
+
+/// One top-level pipeline stage in the manifest.
+struct manifest_stage {
+    std::string name;
+    double wall_seconds = 0.0;
+    double cpu_seconds = 0.0;
+    std::vector<span_arg> counts;
+};
+
+/// Top-level stages (depth-0 spans of the main thread) in execution order.
+std::vector<manifest_stage> collect_stages(const trace_snapshot& trace);
+
+/// Everything a run leaves behind for machines: options, input identity,
+/// stage timings, the full metrics snapshot, quarantine and resource
+/// summaries, and the final clustering result.
+struct run_manifest {
+    std::string tool = "ftclust";
+    std::string version;
+    std::string command;
+    std::vector<std::pair<std::string, std::string>> options;
+
+    std::string input_path;
+    std::uint64_t input_bytes = 0;
+    std::uint64_t input_digest = 0;  ///< FNV-1a 64 of the raw input file
+    bool has_seed = false;
+    std::uint64_t seed = 0;
+
+    std::size_t threads = 0;
+    std::vector<manifest_stage> stages;
+    metrics_snapshot metrics;
+
+    std::uint64_t quarantined = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> quarantine_by_category;
+
+    std::uint64_t peak_rss_bytes = 0;
+    double elapsed_seconds = 0.0;
+
+    std::size_t messages = 0;
+    std::size_t unique_segments = 0;
+    std::size_t clusters = 0;
+    std::size_t noise = 0;
+    double epsilon = 0.0;
+    std::size_t min_samples = 0;
+
+    std::string status = "ok";  ///< "ok" | "budget-exceeded" | "error"
+};
+
+/// Serialize the manifest as a JSON object.
+std::string to_json(const run_manifest& manifest);
+
+/// FNV-1a 64-bit digest, the manifest's input fingerprint.
+std::uint64_t fnv1a64(const void* data, std::size_t size);
+
+}  // namespace ftc::obs

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/obs.hpp"
+
 #include "util/check.hpp"
 
 namespace ftc::pcap {
@@ -180,6 +182,8 @@ std::vector<byte_vector> tcp_reassembler::feed(const flow_key& flow, std::uint32
 
 std::vector<datagram> extract_datagrams(const capture& cap, const extract_options& options,
                                         diag::error_sink& sink) {
+    obs::span sp("pcap.decap");
+    sp.count("packets", cap.packets.size());
     std::vector<datagram> out;
     tcp_reassembler reassembler;
 
@@ -273,6 +277,10 @@ std::vector<datagram> extract_datagrams(const capture& cap, const extract_option
                          message("skipped unsupported IP protocol ",
                                  static_cast<int>(ip.protocol))});
         }
+    }
+    if (sp.enabled()) {
+        sp.count("datagrams", out.size());
+        obs::counter_add("pcap.datagrams_total", static_cast<double>(out.size()));
     }
     return out;
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ftc::segmentation {
@@ -85,6 +86,8 @@ std::vector<byte_vector> csp_segmenter::mine_patterns(const std::vector<byte_vec
 
 message_segments csp_segmenter::run(const std::vector<byte_vector>& messages,
                                     const deadline& dl) const {
+    obs::span sp("segmentation.csp");
+    sp.count("messages", messages.size());
     const std::vector<byte_vector> patterns = mine_patterns(messages, dl);
 
     // Index patterns by their first two bytes for fast lookup.

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "mathx/smoothing.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/hex.hpp"
 
@@ -164,6 +165,8 @@ std::vector<std::size_t> nemesys_segmenter::boundaries(byte_view msg) const {
 
 message_segments nemesys_segmenter::run(const std::vector<byte_vector>& messages,
                                         const deadline& dl) const {
+    obs::span sp("segmentation.nemesys");
+    sp.count("messages", messages.size());
     message_segments out;
     out.reserve(messages.size());
     for (std::size_t m = 0; m < messages.size(); ++m) {

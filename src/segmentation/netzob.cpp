@@ -4,6 +4,7 @@
 #include <array>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ftc::segmentation {
@@ -208,6 +209,8 @@ profile merge_profiles(const profile& a, const profile& b, const std::vector<ali
 
 message_segments netzob_segmenter::run(const std::vector<byte_vector>& messages,
                                        const deadline& dl) const {
+    obs::span sp("segmentation.netzob");
+    sp.count("messages", messages.size());
     const std::size_t n = messages.size();
     expects(n > 0, "netzob: empty trace");
 

@@ -1,5 +1,6 @@
 #include "segmentation/segment.hpp"
 
+#include "obs/obs.hpp"
 #include "segmentation/csp.hpp"
 #include "segmentation/nemesys.hpp"
 #include "segmentation/netzob.hpp"
@@ -59,6 +60,8 @@ std::vector<byte_vector> message_bytes(const protocols::trace& input) {
 lenient_segmentation segment_lenient(const segmenter& seg,
                                      const std::vector<byte_vector>& messages,
                                      const deadline& dl, diag::error_sink& sink) {
+    obs::span sp("segmentation");
+    sp.count("messages", messages.size());
     lenient_segmentation out;
     out.messages.reserve(messages.size());
     out.surviving.reserve(messages.size());
@@ -77,6 +80,7 @@ lenient_segmentation segment_lenient(const segmenter& seg,
 
     try {
         out.segments = seg.run(out.messages, dl);
+        sp.count("surviving", out.messages.size());
         return out;
     } catch (const budget_exceeded_error&) {
         throw;
@@ -108,6 +112,7 @@ lenient_segmentation segment_lenient(const segmenter& seg,
                          out.surviving[i], 0, e.what()});
         }
     }
+    sp.count("surviving", retried.messages.size());
     return retried;
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/obs.hpp"
 #include "util/stopwatch.hpp"
 
 namespace ftc {
@@ -49,9 +50,13 @@ public:
     std::size_t bytes_used() const { return bytes_; }
 
     /// Record \p n more segments; throws budget_exceeded_error naming
-    /// \p what once the segment cap is crossed.
+    /// \p what once the segment cap is crossed. Every charge is mirrored
+    /// into the active ftc::obs registry, so the numbers in progress() /
+    /// partial_report() and in the run manifest come from the same charge
+    /// events — there is no second tally to drift.
     void charge_segments(std::size_t n, std::string_view what) {
         segments_ += n;
+        obs::counter_add("budget.segments", static_cast<double>(n));
         if (limits_.max_segments > 0 && segments_ > limits_.max_segments) {
             throw_exceeded(what, "segment cap (" + std::to_string(limits_.max_segments) +
                                      ") exceeded");
@@ -61,6 +66,7 @@ public:
     /// Record \p n more payload bytes; throws once the byte cap is crossed.
     void charge_bytes(std::size_t n, std::string_view what) {
         bytes_ += n;
+        obs::counter_add("budget.bytes", static_cast<double>(n));
         if (limits_.max_bytes > 0 && bytes_ > limits_.max_bytes) {
             throw_exceeded(what, "byte cap (" + std::to_string(limits_.max_bytes) +
                                      ") exceeded");
@@ -84,6 +90,7 @@ public:
 
 private:
     [[noreturn]] void throw_exceeded(std::string_view what, const std::string& why) const {
+        obs::counter_add("budget.exceeded_total", 1.0);
         throw budget_exceeded_error(std::string{what} + ": " + why, progress());
     }
 

@@ -1,8 +1,28 @@
 #include "util/diag.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ftc::diag {
+
+namespace {
+
+/// Publish one diagnostic into the active obs registry so quarantine
+/// tables (CLI report, run manifest) are views over the same counters the
+/// sink accumulates — never a second tally.
+void publish(const diagnostic& d) {
+    if (obs::current() == nullptr) {
+        return;
+    }
+    obs::counter_add("diag.diagnostics_total", 1.0);
+    if (d.sev == severity::error) {
+        obs::counter_add("diag.quarantined_total", 1.0);
+        obs::counter_add(
+            ("diag.quarantined." + std::string{category_name(d.cat)}).c_str(), 1.0);
+    }
+}
+
+}  // namespace
 
 std::string_view category_name(category cat) {
     switch (cat) {
@@ -37,10 +57,12 @@ void error_sink::fail(diagnostic d) {
         throw parse_error(d.detail);
     }
     d.sev = severity::error;
+    publish(d);
     entries_.push_back(std::move(d));
 }
 
 void error_sink::report(diagnostic d) {
+    publish(d);
     entries_.push_back(std::move(d));
 }
 

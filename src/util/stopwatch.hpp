@@ -29,6 +29,9 @@ public:
 
 private:
     using clock = std::chrono::steady_clock;
+    // Timings must survive NTP steps and DST changes: a wall clock here
+    // would let elapsed_seconds() go backwards and expire deadlines early.
+    static_assert(clock::is_steady, "stopwatch requires a monotonic clock");
     clock::time_point start_;
 };
 

@@ -1,6 +1,9 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/obs.hpp"
 
 namespace ftc::util {
 
@@ -37,16 +40,23 @@ thread_pool::~thread_pool() {
 }
 
 void thread_pool::run_blocks(job& j) {
+    // One pointer load per fan-out lane; when observability is off the
+    // per-block clock reads below are skipped entirely.
+    obs::recorder* const rec = obs::current();
+    using obs_clock = std::chrono::steady_clock;
+    double busy_seconds = 0.0;
     for (;;) {
         if (j.failed.load(std::memory_order_relaxed)) {
-            return;
+            break;
         }
         const std::size_t block = j.next_block.fetch_add(1, std::memory_order_relaxed);
         const std::size_t begin = block * j.grain;
         if (begin >= j.count) {
-            return;
+            break;
         }
         const std::size_t end = std::min(begin + j.grain, j.count);
+        const obs_clock::time_point t0 = rec != nullptr ? obs_clock::now()
+                                                        : obs_clock::time_point{};
         try {
             (*j.body)(begin, end);
         } catch (...) {
@@ -56,6 +66,14 @@ void thread_pool::run_blocks(job& j) {
             }
             j.failed.store(true, std::memory_order_relaxed);
         }
+        if (rec != nullptr) {
+            const double dt = std::chrono::duration<double>(obs_clock::now() - t0).count();
+            busy_seconds += dt;
+            rec->metrics().observe("threadpool.block_seconds", dt);
+        }
+    }
+    if (rec != nullptr && busy_seconds > 0.0) {
+        rec->metrics().add("threadpool.busy_seconds", busy_seconds);
     }
 }
 
@@ -91,6 +109,14 @@ void thread_pool::parallel_for(std::size_t count, std::size_t grain,
     j.grain = std::max<std::size_t>(grain, 1);
     j.body = &body;
 
+    if (obs::recorder* rec = obs::current()) {
+        rec->metrics().add("threadpool.jobs_total", 1.0);
+        // Blocks still waiting for a lane when the job is handed out: the
+        // queue-depth watermark of this fan-out.
+        rec->metrics().set("threadpool.queue_depth",
+                           static_cast<double>((count + j.grain - 1) / j.grain));
+    }
+
     // A single block (or no workers) needs no fan-out: run on the calling
     // thread — this is the exact legacy serial path.
     if (workers_.empty() || j.grain >= count) {
@@ -123,8 +149,25 @@ void parallel_for(std::size_t count, std::size_t grain, std::size_t threads,
     if (lanes <= 1 || grain >= count) {
         // Serial path without any pool machinery: blocks in order on the
         // calling thread, exceptions propagate naturally.
+        obs::recorder* const rec = obs::current();
+        using obs_clock = std::chrono::steady_clock;
+        if (rec != nullptr && count > 0) {
+            rec->metrics().add("threadpool.jobs_total", 1.0);
+        }
+        double busy_seconds = 0.0;
         for (std::size_t begin = 0; begin < count; begin += grain) {
+            const obs_clock::time_point t0 = rec != nullptr ? obs_clock::now()
+                                                            : obs_clock::time_point{};
             body(begin, std::min(begin + grain, count));
+            if (rec != nullptr) {
+                const double dt =
+                    std::chrono::duration<double>(obs_clock::now() - t0).count();
+                busy_seconds += dt;
+                rec->metrics().observe("threadpool.block_seconds", dt);
+            }
+        }
+        if (rec != nullptr && busy_seconds > 0.0) {
+            rec->metrics().add("threadpool.busy_seconds", busy_seconds);
         }
         return;
     }

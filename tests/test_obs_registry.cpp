@@ -1,0 +1,162 @@
+// Unit tests for the ftc::obs metrics registry (obs/obs.hpp): exact sums
+// under concurrent sharded writes, deterministic merge order, gauge
+// last-write-wins, histogram bucketing and the disabled-path contract.
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace ftc::obs {
+namespace {
+
+TEST(ObsRegistry, CounterAddAccumulates) {
+    registry reg;
+    reg.add("a", 1.0);
+    reg.add("a", 2.0);
+    reg.add("b", 0.5);
+    const metrics_snapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_DOUBLE_EQ(snap.counters.at("a"), 3.0);
+    EXPECT_DOUBLE_EQ(snap.counters.at("b"), 0.5);
+}
+
+TEST(ObsRegistry, ConcurrentIncrementsSumExactly) {
+    // One shard per writer thread: integer-valued increments must merge to
+    // the exact total (doubles are exact for integers up to 2^53).
+    registry reg;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg] {
+            for (int i = 0; i < kPerThread; ++i) {
+                reg.add("hits", 1.0);
+            }
+        });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+    EXPECT_DOUBLE_EQ(reg.snapshot().counters.at("hits"),
+                     static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(ObsRegistry, ThreadPoolWorkersWriteToOwnShards) {
+    // The instrumented fan-out path: pool workers each hit their own shard;
+    // the snapshot still sums exactly.
+    scoped_recorder recorder;
+    constexpr std::size_t kCount = 4096;
+    util::parallel_for(kCount, 16, 0, [&recorder](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            recorder.rec().metrics().add("work_items", 1.0);
+        }
+    });
+    EXPECT_DOUBLE_EQ(recorder.rec().metrics().snapshot().counters.at("work_items"),
+                     static_cast<double>(kCount));
+}
+
+TEST(ObsRegistry, SnapshotMergeIsDeterministic) {
+    registry reg;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&reg, t] {
+            reg.add("shared", 1.0);
+            reg.add("per_thread_" + std::to_string(t), static_cast<double>(t));
+            reg.observe("latency", 1e-4);
+        });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+    // Two scrapes of an idle registry are identical, element for element.
+    const metrics_snapshot a = reg.snapshot();
+    const metrics_snapshot b = reg.snapshot();
+    EXPECT_EQ(a.counters, b.counters);
+    EXPECT_EQ(a.gauges, b.gauges);
+    ASSERT_EQ(a.histograms.size(), b.histograms.size());
+    for (const auto& [name, hist] : a.histograms) {
+        const histogram_snapshot& other = b.histograms.at(name);
+        EXPECT_EQ(hist.buckets, other.buckets);
+        EXPECT_DOUBLE_EQ(hist.sum, other.sum);
+        EXPECT_EQ(hist.count, other.count);
+    }
+    // And names come out sorted, independent of insertion order.
+    std::string last;
+    for (const auto& [name, value] : a.counters) {
+        (void)value;
+        EXPECT_LT(last, name);
+        last = name;
+    }
+}
+
+TEST(ObsRegistry, GaugeLastWriteWins) {
+    registry reg;
+    reg.set("depth", 3.0);
+    reg.set("depth", 7.0);
+    EXPECT_DOUBLE_EQ(reg.snapshot().gauges.at("depth"), 7.0);
+}
+
+TEST(ObsRegistry, HistogramBucketsAndSum) {
+    registry reg;
+    reg.observe("t", 5e-7);   // <= 1e-6 -> bucket 0
+    reg.observe("t", 5e-3);   // <= 1e-2 -> bucket 4
+    reg.observe("t", 120.0);  // > 60    -> +Inf bucket
+    const histogram_snapshot h = reg.snapshot().histograms.at("t");
+    EXPECT_EQ(h.count, 3u);
+    EXPECT_DOUBLE_EQ(h.sum, 5e-7 + 5e-3 + 120.0);
+    EXPECT_EQ(h.buckets[0], 1u);
+    EXPECT_EQ(h.buckets[4], 1u);
+    EXPECT_EQ(h.buckets[kHistogramBucketCount - 1], 1u);
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : h.buckets) {
+        total += b;
+    }
+    EXPECT_EQ(total, h.count);
+}
+
+TEST(ObsRegistry, HooksAreNoOpsWithoutRecorder) {
+    // No recorder installed: the inline hooks must silently do nothing.
+    ASSERT_EQ(current(), nullptr);
+    counter_add("ignored", 1.0);
+    gauge_set("ignored", 1.0);
+    observe("ignored", 1.0);
+    span sp("ignored");
+    sp.count("ignored", 42);
+    EXPECT_FALSE(sp.enabled());
+}
+
+TEST(ObsRegistry, ScopedRecorderInstallsAndRestores) {
+#ifdef FTC_OBS_DISABLE
+    // Compiled-in no-op sink: the recorder exists but is never installed.
+    scoped_recorder recorder;
+    EXPECT_EQ(current(), nullptr);
+#else
+    ASSERT_EQ(current(), nullptr);
+    {
+        scoped_recorder recorder;
+        EXPECT_EQ(current(), &recorder.rec());
+        counter_add("seen", 1.0);
+        EXPECT_DOUBLE_EQ(recorder.rec().metrics().snapshot().counters.at("seen"), 1.0);
+    }
+    EXPECT_EQ(current(), nullptr);
+#endif
+}
+
+TEST(ObsRegistry, SequentialRecordersDoNotLeakState) {
+    // TLS shard caches are epoch-keyed: a second recorder on the same
+    // thread must start from zero, not inherit the first one's shard.
+    for (int round = 0; round < 2; ++round) {
+        scoped_recorder recorder;
+        recorder.rec().metrics().add("round", 1.0);
+        EXPECT_DOUBLE_EQ(recorder.rec().metrics().snapshot().counters.at("round"), 1.0);
+    }
+}
+
+}  // namespace
+}  // namespace ftc::obs

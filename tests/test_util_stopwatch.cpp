@@ -17,6 +17,19 @@ TEST(Stopwatch, ElapsedGrowsMonotonically) {
     EXPECT_GT(t2, t1);
 }
 
+TEST(Stopwatch, ElapsedNeverDecreases) {
+    // Regression guard for the steady-clock audit: with a non-monotonic
+    // clock source a step adjustment mid-run makes elapsed_seconds() go
+    // backwards. Sample tightly so even a small step would be caught.
+    stopwatch w;
+    double last = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double now = w.elapsed_seconds();
+        ASSERT_GE(now, last) << "elapsed went backwards at sample " << i;
+        last = now;
+    }
+}
+
 TEST(Stopwatch, ResetRestartsClock) {
     stopwatch w;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));

@@ -7,7 +7,8 @@
 ///   ftclust analyze  <capture.pcap> [--segmenter NEMESYS|CSP|Netzob]
 ///                    [--budget SECONDS] [--deadline-ms N] [--max-segments N]
 ///                    [--max-bytes N] [--strict|--lenient] [--threads N]
-///                    [--semantics]
+///                    [--semantics] [--trace-out FILE] [--metrics-out FILE]
+///                    [--manifest-out FILE]
 ///       Cluster the capture's messages into pseudo data types and print
 ///       the analyst report. Works on UDP/TCP payloads (Ethernet/IPv4) and
 ///       raw/user0 captures. --lenient quarantines malformed pcap records
@@ -18,6 +19,13 @@
 ///       report. --threads bounds the worker count of the
 ///       dissimilarity/auto-configuration stages (0 = all hardware
 ///       threads, 1 = serial); the result is identical either way.
+///       `ftclust run` is an alias for `analyze`. Any of --trace-out
+///       (Chrome trace-event JSON for chrome://tracing), --metrics-out
+///       (Prometheus-style text) and --manifest-out (machine-readable
+///       run.json: options, input digest, stage timings, quarantine
+///       summary, peak RSS, final cluster metrics) turns observability on;
+///       without them instrumentation stays a no-op and clustering output
+///       is bitwise identical either way.
 ///
 ///   ftclust generate <protocol> <messages> <out.pcap> [--seed N]
 ///       Synthesize a deduplicated trace of one of the built-in protocols
@@ -34,12 +42,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/metrics.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/semantics.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "pcap/decap.hpp"
 #include "pcap/pcap.hpp"
 #include "protocols/registry.hpp"
@@ -47,6 +60,7 @@
 #include "testing/corrupter.hpp"
 #include "util/check.hpp"
 #include "util/diag.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -58,7 +72,9 @@ int usage() {
         "  ftclust analyze  <capture.pcap> [--segmenter NEMESYS|CSP|Netzob]\n"
         "                   [--budget SECONDS] [--deadline-ms N] [--max-segments N]\n"
         "                   [--max-bytes N] [--strict|--lenient] [--threads N]\n"
-        "                   [--semantics]\n"
+        "                   [--semantics] [--trace-out FILE] [--metrics-out FILE]\n"
+        "                   [--manifest-out FILE]\n"
+        "  ftclust run      (alias for analyze)\n"
         "  ftclust generate <protocol> <messages> <out.pcap> [--seed N]\n"
         "  ftclust corrupt  <in.pcap> <out.pcap> [--fraction F] [--seed N]\n"
         "  ftclust evaluate <protocol> <messages> [--segmenter NAME|true] [--seed N]\n"
@@ -87,7 +103,29 @@ bool has_flag(int argc, char** argv, const char* flag) {
     return false;
 }
 
-int cmd_analyze(int argc, char** argv) {
+/// Read a whole file into memory; the CLI digests the raw bytes for the
+/// run manifest before handing them to the pcap parser.
+byte_vector read_input_bytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw ftc::error("cannot open " + path);
+    }
+    byte_vector bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    if (in.bad()) {
+        throw ftc::error("cannot read " + path);
+    }
+    return bytes;
+}
+
+void write_text_file(const char* path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    if (!out) {
+        throw ftc::error(std::string{"cannot write "} + path);
+    }
+}
+
+int cmd_analyze(const char* cmd_name, int argc, char** argv) {
     if (argc < 1) {
         return usage();
     }
@@ -101,20 +139,25 @@ int cmd_analyze(int argc, char** argv) {
     const bool lenient = has_flag(argc, argv, "--lenient");
     diag::error_sink sink(lenient ? diag::policy::lenient : diag::policy::strict);
 
-    const pcap::capture cap = pcap::read_file(path, sink);
+    const char* trace_out = flag_value(argc, argv, "--trace-out", nullptr);
+    const char* metrics_out = flag_value(argc, argv, "--metrics-out", nullptr);
+    const char* manifest_out = flag_value(argc, argv, "--manifest-out", nullptr);
+    // Any observability output installs the recorder; otherwise every hook
+    // in the pipeline stays a single null-pointer check.
+    std::optional<obs::scoped_recorder> recorder;
+    if (trace_out != nullptr || metrics_out != nullptr || manifest_out != nullptr) {
+        recorder.emplace();
+    }
+
+    const byte_vector raw = read_input_bytes(path);
+    const pcap::capture cap = pcap::from_pcap_bytes(raw, sink);
     std::vector<byte_vector> messages;
     for (pcap::datagram& d : pcap::extract_datagrams(cap, {}, sink)) {
         messages.push_back(std::move(d.payload));
     }
     std::printf("loaded %zu packets -> %zu application messages (%s mode)\n",
                 cap.packets.size(), messages.size(), lenient ? "lenient" : "strict");
-    if (messages.size() < 3) {
-        std::fputs(core::render_quarantine(sink).c_str(), stdout);
-        std::fputs("not enough messages to analyze\n", stderr);
-        return 1;
-    }
 
-    const auto segmenter = segmentation::make_segmenter(segmenter_name);
     core::pipeline_options opt;
     opt.budget_seconds = budget;
     opt.max_segments =
@@ -124,28 +167,110 @@ int cmd_analyze(int argc, char** argv) {
     opt.threads =
         static_cast<std::size_t>(std::atoll(flag_value(argc, argv, "--threads", "0")));
 
+    // Everything a machine needs to reproduce or compare this run. The
+    // quarantine table is read back from the obs registry (diag publishes
+    // every quarantined record there), so the manifest and the CLI report
+    // are views over the same counters.
+    auto write_outputs = [&](const core::pipeline_result* result, std::size_t message_count,
+                             const char* status) {
+        if (!recorder.has_value()) {
+            return;
+        }
+        const obs::trace_snapshot trace = recorder->rec().trace();
+        const obs::metrics_snapshot metrics = recorder->rec().metrics().snapshot();
+        if (trace_out != nullptr) {
+            write_text_file(trace_out, obs::to_chrome_trace(trace));
+        }
+        if (metrics_out != nullptr) {
+            write_text_file(metrics_out, obs::to_prometheus(metrics));
+        }
+        if (manifest_out == nullptr) {
+            return;
+        }
+        obs::run_manifest m;
+        m.version = "1.0.0";
+        m.command = cmd_name;
+        m.options = {
+            {"segmenter", segmenter_name},
+            {"budget_seconds", std::to_string(budget)},
+            {"max_segments", std::to_string(opt.max_segments)},
+            {"max_bytes", std::to_string(opt.max_bytes)},
+            {"mode", lenient ? "lenient" : "strict"},
+            {"threads", std::to_string(opt.threads)},
+        };
+        m.input_path = path;
+        m.input_bytes = raw.size();
+        m.input_digest = obs::fnv1a64(raw.data(), raw.size());
+        m.threads = util::resolve_threads(opt.threads);
+        m.stages = obs::collect_stages(trace);
+        m.metrics = metrics;
+        if (const auto it = metrics.counters.find("diag.quarantined_total");
+            it != metrics.counters.end()) {
+            m.quarantined = static_cast<std::uint64_t>(it->second);
+        }
+        constexpr std::string_view kQuarantinePrefix = "diag.quarantined.";
+        for (const auto& [name, value] : metrics.counters) {
+            if (name.size() > kQuarantinePrefix.size() &&
+                name.compare(0, kQuarantinePrefix.size(), kQuarantinePrefix) == 0) {
+                m.quarantine_by_category.emplace_back(name.substr(kQuarantinePrefix.size()),
+                                                      static_cast<std::uint64_t>(value));
+            }
+        }
+        m.peak_rss_bytes = obs::peak_rss_bytes();
+        m.elapsed_seconds =
+            static_cast<double>(recorder->rec().now_ns()) / 1e9;
+        m.messages = message_count;
+        m.status = status;
+        if (result != nullptr) {
+            m.unique_segments = result->unique.size();
+            m.clusters = result->final_labels.cluster_count;
+            m.noise = result->final_labels.noise_count();
+            m.epsilon = result->clustering.config.epsilon;
+            m.min_samples = result->clustering.config.min_samples;
+            m.elapsed_seconds = result->elapsed_seconds;
+        }
+        write_text_file(manifest_out, obs::to_json(m));
+    };
+
+    if (messages.size() < 3) {
+        std::fputs(core::render_quarantine(sink).c_str(), stdout);
+        write_outputs(nullptr, messages.size(), "error");
+        std::fputs("not enough messages to analyze\n", stderr);
+        return 1;
+    }
+
+    const auto segmenter = segmentation::make_segmenter(segmenter_name);
+
     // Lenient mode quarantines unsegmentable messages instead of aborting.
     const deadline dl = budget > 0 ? deadline(budget) : deadline();
     segmentation::lenient_segmentation segmented;
+    core::pipeline_result result;
     try {
-        segmented = segmentation::segment_lenient(*segmenter, messages, dl, sink);
-    } catch (const budget_exceeded_error& e) {
-        if (!e.partial_report().empty()) {
-            throw;
+        try {
+            segmented = segmentation::segment_lenient(*segmenter, messages, dl, sink);
+        } catch (const budget_exceeded_error& e) {
+            if (!e.partial_report().empty()) {
+                throw;
+            }
+            // Segmenters raise bare deadline errors; attach the progress the
+            // exit handler expects so a bounded run still reports where it got.
+            throw budget_exceeded_error(
+                e.what(),
+                message("messages ", messages.size(), "; reached stage segmentation"));
         }
-        // Segmenters raise bare deadline errors; attach the progress the
-        // exit handler expects so a bounded run still reports where it got.
-        throw budget_exceeded_error(
-            e.what(), message("messages ", messages.size(), "; reached stage segmentation"));
+        result = core::analyze_segments(segmented.messages, std::move(segmented.segments), opt);
+    } catch (const budget_exceeded_error&) {
+        // A bounded run that trips its budget still leaves its trace,
+        // metrics and a manifest behind — that is when they matter most.
+        write_outputs(nullptr, messages.size(), "budget-exceeded");
+        throw;
     }
-
-    const core::pipeline_result result =
-        core::analyze_segments(segmented.messages, std::move(segmented.segments), opt);
     std::printf("%s segmentation -> %zu unique segments -> %zu pseudo data types "
                 "(eps %.3f, min_samples %zu, %.1fs)\n",
                 segmenter_name.c_str(), result.unique.size(),
                 result.final_labels.cluster_count, result.clustering.config.epsilon,
                 result.clustering.config.min_samples, result.elapsed_seconds);
+    write_outputs(&result, segmented.messages.size(), "ok");
     const std::string quarantine = core::render_quarantine(sink);
     if (!quarantine.empty()) {
         std::fputs(quarantine.c_str(), stdout);
@@ -243,8 +368,8 @@ int main(int argc, char** argv) {
     }
     try {
         const std::string cmd = argv[1];
-        if (cmd == "analyze") {
-            return cmd_analyze(argc - 2, argv + 2);
+        if (cmd == "analyze" || cmd == "run") {
+            return cmd_analyze(cmd.c_str(), argc - 2, argv + 2);
         }
         if (cmd == "generate") {
             return cmd_generate(argc - 2, argv + 2);
