@@ -39,11 +39,16 @@ double max_step(const std::vector<double>& values) {
     return best;
 }
 
-/// Per-k k-NN extraction: the sweep hands every candidate the lane budget
-/// it may use internally.
-using knn_fn = std::function<std::vector<double>(std::size_t k, std::size_t threads)>;
+/// Batched k-NN extraction: returns the per-element k-NN curves for every
+/// candidate k = 2..k_max (index 0 ↔ k = 2) in one call, so the backing
+/// matrix can serve all candidates from a single row scan
+/// (dissim::dissimilarity_matrix::kth_nn_many) instead of re-scanning per
+/// candidate. The curves are the same values a per-k extraction yields, so
+/// the selected epsilon is unchanged.
+using knn_batch_fn =
+    std::function<std::vector<std::vector<double>>(std::size_t k_max, std::size_t threads)>;
 
-autoconf_result configure_from_knn(const knn_fn& knn_of_k, std::size_t n,
+autoconf_result configure_from_knn(const knn_batch_fn& knn_batch, std::size_t n,
                                    const autoconf_options& options) {
     obs::span sp("cluster.autoconf");
     sp.count("n", n);
@@ -59,14 +64,16 @@ autoconf_result configure_from_knn(const knn_fn& knn_of_k, std::size_t n,
     // smoothing strength scales with the sample count so that small traces
     // are not over-smoothed (the Whittaker penalty acts per point).
     //
-    // Candidates are independent of each other, so the sweep fans out over
-    // k; each candidate writes only its own pre-allocated slot and the
-    // selection below is a serial reduction over the finished vector, so
-    // the chosen epsilon does not depend on the thread count. Lanes left
-    // over after one per candidate go to the k-NN extraction inside.
+    // All candidate curves come from one batched k-NN extraction (a single
+    // matrix row scan on the full lane budget); the sweep then fans out
+    // over k for the sorting/smoothing work. Each candidate writes only
+    // its own pre-allocated slot and the selection below is a serial
+    // reduction over the finished vector, so the chosen epsilon does not
+    // depend on the thread count.
     const std::size_t sweep_threads = util::resolve_threads(options.threads);
     const std::size_t sweep_lanes = std::min(sweep_threads, k_max - 1);
-    const std::size_t inner_lanes = std::max<std::size_t>(1, sweep_threads / sweep_lanes);
+    std::vector<std::vector<double>> curves = knn_batch(k_max, sweep_threads);
+    expects(curves.size() == k_max - 1, "configure_from_knn: curve count mismatch");
     result.candidates.resize(k_max - 1);
     {
         obs::span sweep_span("cluster.epsilon_sweep");
@@ -75,7 +82,7 @@ autoconf_result configure_from_knn(const knn_fn& knn_of_k, std::size_t n,
             for (std::size_t idx = begin; idx < end; ++idx) {
                 k_candidate& cand = result.candidates[idx];
                 cand.k = idx + 2;
-                cand.knn_sorted = knn_of_k(cand.k, inner_lanes);
+                cand.knn_sorted = std::move(curves[idx]);
                 std::sort(cand.knn_sorted.begin(), cand.knn_sorted.end());
                 const double lambda =
                     options.smoothing_lambda *
@@ -117,26 +124,43 @@ autoconf_result configure_from_knn(const knn_fn& knn_of_k, std::size_t n,
 
 }  // namespace
 
+namespace {
+
+/// All candidate k-NN curves (k = 2..k_max) from one matrix row scan.
+std::vector<std::vector<double>> candidate_curves(const dissim::dissimilarity_matrix& matrix,
+                                                  std::size_t k_max, std::size_t threads) {
+    std::vector<std::vector<double>> all = matrix.kth_nn_many(k_max, threads);
+    all.erase(all.begin());  // drop k = 1; candidates start at k = 2
+    return all;
+}
+
+}  // namespace
+
 autoconf_result auto_configure(const dissim::dissimilarity_matrix& matrix,
                                const autoconf_options& options) {
     expects(matrix.size() >= 3, "auto_configure: need at least 3 unique segments");
     return configure_from_knn(
-        [&](std::size_t k, std::size_t threads) { return matrix.kth_nn(k, threads); },
+        [&](std::size_t k_max, std::size_t threads) {
+            return candidate_curves(matrix, k_max, threads);
+        },
         matrix.size(), options);
 }
 
 autoconf_result auto_configure_trimmed(const dissim::dissimilarity_matrix& matrix,
                                        double limit, const autoconf_options& options) {
     expects(matrix.size() >= 3, "auto_configure_trimmed: need at least 3 unique segments");
-    auto trimmed_knn = [&](std::size_t k, std::size_t threads) {
-        std::vector<double> knn = matrix.kth_nn(k, threads);
-        std::vector<double> kept;
-        for (double d : knn) {
-            if (d < limit) {
-                kept.push_back(d);
+    auto trimmed_knn = [&](std::size_t k_max, std::size_t threads) {
+        std::vector<std::vector<double>> curves = candidate_curves(matrix, k_max, threads);
+        for (std::vector<double>& curve : curves) {
+            std::vector<double> kept;
+            for (double d : curve) {
+                if (d < limit) {
+                    kept.push_back(d);
+                }
             }
+            curve = std::move(kept);
         }
-        return kept;
+        return curves;
     };
     // The trimmed sample can degenerate; fall back to a fraction of the
     // previous knee so reclustering still tightens the density requirement.

@@ -1,0 +1,118 @@
+// AVX2 gather backend for the Canberra kernel (compiled only when
+// -DFTC_SIMD=ON on x86-64; this translation unit gets -mavx2 while the
+// rest of the library stays at the baseline ISA, so the runtime dispatch
+// in kernel.cpp is the only place that may call into it).
+//
+// Two vector axes, both reorder-free per window (DESIGN.md §9):
+//  - row_terms_avx2: vectorized index computation (x<<8 | y) and table
+//    loads (_mm256_i32gather_pd); the gathered terms are folded into the
+//    accumulator one lane at a time, in element order. Splitting ONE
+//    window's sum across parallel accumulators would break the
+//    bitwise-identity contract, so it is deliberately not done.
+//  - batch4_terms_avx2: four INDEPENDENT sliding windows, one per lane,
+//    advanced with vertical adds. Each lane is a strictly in-order chain
+//    over its own window's terms — the parallelism is across windows, not
+//    within one sum, so every window's total is the scalar double.
+#include "dissim/kernel_impl.hpp"
+
+#ifdef FTC_SIMD_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace ftc::dissim::kernel::detail {
+
+namespace {
+
+inline std::uint32_t load_u32(const std::uint8_t* p) {
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+}  // namespace
+
+bool avx2_runtime_supported() { return __builtin_cpu_supports("avx2") != 0; }
+
+double row_terms_avx2(const std::uint8_t* x, const std::uint8_t* y, std::size_t len,
+                      double sum, const double* lut) {
+    std::size_t i = 0;
+    for (; i + 4 <= len; i += 4) {
+        const __m128i xb = _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(load_u32(x + i))));
+        const __m128i yb = _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(load_u32(y + i))));
+        const __m128i idx = _mm_or_si128(_mm_slli_epi32(xb, 8), yb);
+        const __m256d terms = _mm256_i32gather_pd(lut, idx, sizeof(double));
+        alignas(32) double t[4];
+        _mm256_store_pd(t, terms);
+        sum += t[0];
+        sum += t[1];
+        sum += t[2];
+        sum += t[3];
+    }
+    for (; i < len; ++i) {
+        sum += lut[static_cast<std::size_t>(x[i]) << 8 | y[i]];
+    }
+    return sum;
+}
+
+bool batch8_terms_avx2(const std::uint8_t* x, const std::uint8_t* y, std::size_t m,
+                       const double* lut, double bound, double* sums) {
+    __m256d acc_lo = _mm256_setzero_pd();
+    __m256d acc_hi = _mm256_setzero_pd();
+    const __m256d vbound = _mm256_set1_pd(bound);
+    std::size_t i = 0;
+    while (i < m) {
+        const std::size_t stop = std::min(i + kPruneChunk, m);
+        for (; i < stop; ++i) {
+            // Lane k needs term (x[i], y[i + k]); y[i..i+7] are consecutive.
+            std::uint64_t y8;
+            std::memcpy(&y8, y + i, sizeof(y8));
+            const __m256i yb =
+                _mm256_cvtepu8_epi32(_mm_cvtsi64_si128(static_cast<long long>(y8)));
+            const __m256i idx =
+                _mm256_or_si256(_mm256_set1_epi32(static_cast<int>(x[i]) << 8), yb);
+            acc_lo = _mm256_add_pd(
+                acc_lo, _mm256_i32gather_pd(lut, _mm256_castsi256_si128(idx), sizeof(double)));
+            acc_hi = _mm256_add_pd(
+                acc_hi, _mm256_i32gather_pd(lut, _mm256_extracti128_si256(idx, 1),
+                                            sizeof(double)));
+        }
+        if (i < m &&
+            _mm256_movemask_pd(_mm256_cmp_pd(acc_lo, vbound, _CMP_GT_OQ)) == 0xF &&
+            _mm256_movemask_pd(_mm256_cmp_pd(acc_hi, vbound, _CMP_GT_OQ)) == 0xF) {
+            return true;
+        }
+    }
+    _mm256_storeu_pd(sums, acc_lo);
+    _mm256_storeu_pd(sums + 4, acc_hi);
+    return false;
+}
+
+bool batch4_terms_avx2(const std::uint8_t* x, const std::uint8_t* y, std::size_t m,
+                       const double* lut, double bound, double* sums) {
+    __m256d acc = _mm256_setzero_pd();
+    const __m256d vbound = _mm256_set1_pd(bound);
+    std::size_t i = 0;
+    while (i < m) {
+        const std::size_t stop = std::min(i + kPruneChunk, m);
+        for (; i < stop; ++i) {
+            // Lane k needs term (x[i], y[i + k]); y[i..i+3] are consecutive.
+            const __m128i yb =
+                _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(load_u32(y + i))));
+            const __m128i idx =
+                _mm_or_si128(_mm_set1_epi32(static_cast<int>(x[i]) << 8), yb);
+            acc = _mm256_add_pd(acc, _mm256_i32gather_pd(lut, idx, sizeof(double)));
+        }
+        if (i < m && _mm256_movemask_pd(_mm256_cmp_pd(acc, vbound, _CMP_GT_OQ)) == 0xF) {
+            return true;
+        }
+    }
+    _mm256_storeu_pd(sums, acc);
+    return false;
+}
+
+}  // namespace ftc::dissim::kernel::detail
+
+#endif  // FTC_SIMD_AVX2

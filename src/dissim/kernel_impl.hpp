@@ -1,0 +1,52 @@
+/// \file kernel_impl.hpp
+/// Private contract between the kernel dispatcher (kernel.cpp) and the
+/// optional SIMD translation unit (kernel_avx2.cpp, compiled only under
+/// -DFTC_SIMD=ON). Not installed; include from src/dissim only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ftc::dissim::kernel::detail {
+
+/// Accumulate the LUT terms of len byte pairs onto \p sum, strictly in
+/// element order (sum = ((sum + t_0) + t_1) + ...). Every backend's row
+/// accumulator has this exact signature and ordering — that is what makes
+/// the backends interchangeable under the bitwise-identity contract.
+using row_fn = double (*)(const std::uint8_t* x, const std::uint8_t* y, std::size_t len,
+                          double sum, const double* lut);
+
+/// Portable unrolled LUT row accumulator.
+double row_terms_lut(const std::uint8_t* x, const std::uint8_t* y, std::size_t len,
+                     double sum, const double* lut);
+
+/// Chunk granularity (bytes) of the early-exit prune checks inside the
+/// sliding loops. Coarse enough to amortize the comparison, fine enough
+/// that a hopeless long window dies early.
+inline constexpr std::size_t kPruneChunk = 32;
+
+#ifdef FTC_SIMD_AVX2
+/// True when the running CPU supports AVX2 (runtime dispatch gate).
+bool avx2_runtime_supported();
+
+/// AVX2 gather row accumulator: vectorized index computation and table
+/// loads, scalar in-order folding of the gathered terms.
+double row_terms_avx2(const std::uint8_t* x, const std::uint8_t* y, std::size_t len,
+                      double sum, const double* lut);
+
+/// AVX2 eight-window batch: sums the windows y+0..y+7 against x into
+/// sums[0..7], one vector lane per window (two 4-lane accumulators),
+/// vertical adds so every lane is a strictly in-order chain. Returns true
+/// when abandoned at a kPruneChunk checkpoint because every lane's partial
+/// already exceeds \p bound. Caller guarantees y[0 .. m+6] is readable
+/// (i.e. the eighth window fits).
+bool batch8_terms_avx2(const std::uint8_t* x, const std::uint8_t* y, std::size_t m,
+                       const double* lut, double bound, double* sums);
+
+/// Four-window variant of batch8_terms_avx2 for the sliding remainder
+/// (same lane-per-window contract; caller guarantees y[0 .. m+2] readable).
+bool batch4_terms_avx2(const std::uint8_t* x, const std::uint8_t* y, std::size_t m,
+                       const double* lut, double bound, double* sums);
+#endif
+
+}  // namespace ftc::dissim::kernel::detail

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 
-#include "dissim/canberra.hpp"
+#include "dissim/kernel.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -34,33 +35,135 @@ unique_segments condense(const std::vector<byte_vector>& messages,
     return out;
 }
 
+namespace {
+
+/// Publish one block's kernel counters through ftc::obs (no-op without a
+/// recorder; called once per work block, never per pair).
+void publish_kernel_stats(const kernel::stats& st) {
+    obs::counter_add("dissim.kernel.invocations_total",
+                     static_cast<double>(st.invocations));
+    obs::counter_add("dissim.kernel.equal_fast_path_total",
+                     static_cast<double>(st.equal_fast_path));
+    obs::counter_add("dissim.kernel.windows_total",
+                     static_cast<double>(st.windows_total));
+    obs::counter_add("dissim.kernel.windows_pruned_total",
+                     static_cast<double>(st.windows_pruned));
+}
+
+}  // namespace
+
 dissimilarity_matrix::dissimilarity_matrix(std::span<const byte_vector> values,
                                            const deadline& dl, std::size_t threads)
     : n_(values.size()), data_(values.size() * values.size(), 0.0f) {
     obs::span sp("dissim.matrix");
     sp.count("n", n_);
     sp.count("pairs", n_ * (n_ - (n_ > 0 ? 1 : 0)) / 2);
-    // Row-blocked upper-triangle fan-out. Each (i, j) pair with i < j is
-    // computed by exactly one block and written to the two mirrored cells
-    // that no other block touches, so the matrix is bitwise identical at
-    // any thread count. Blocks are handed out dynamically because row i
-    // carries n-1-i pairs — late rows are much cheaper than early ones.
+    sp.count("kernel_backend", static_cast<std::uint64_t>(kernel::active()));
+    // Length-bucketed visit order: rows walk their partners grouped by
+    // segment length (stable within a group), so equal-length pairs hit the
+    // branch-predictable fast path back to back and sliding pairs of one
+    // length class stay contiguous. The set of (i, j) pairs and the value
+    // written per cell are unchanged — only the visit order moves — so the
+    // matrix stays bitwise identical to an unbucketed build.
+    std::vector<std::uint32_t> order(n_);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return values[a].size() < values[b].size();
+    });
+    // Row-blocked upper-triangle fan-out over ORDER POSITIONS: block rows
+    // are positions p in the bucketed order, and row p pairs order[p] with
+    // every order[q], q > p — each unordered pair lands in exactly one
+    // block and each cell has exactly one writer, so the matrix is bitwise
+    // identical at any thread count. Iterating in order-space (instead of
+    // index-space with a j <= i skip scan) halves the inner-loop visits
+    // and keeps every row's equal-length partners in one contiguous run.
+    // Blocks are handed out dynamically because row p carries n-1-p pairs
+    // — late rows are much cheaper than early ones.
     const std::size_t lanes = util::resolve_threads(threads);
     const std::size_t grain = std::max<std::size_t>(1, n_ / (8 * lanes));
     util::parallel_for(n_, grain, lanes, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-            if ((i - begin) % 32 == 0) {
+        kernel::stats st;
+        kernel::stats* stp = obs::current() != nullptr ? &st : nullptr;
+        // Partners are collected per row and computed a batch at a time —
+        // equal-length pairs through equal_dissimilarity_batch, the rest
+        // through sliding_dissimilarity_batch. Each pair's value is bitwise
+        // the single-call result, so batching only changes how the
+        // independent computations overlap in the pipeline.
+        static_assert(kernel::kEqualBatch == kernel::kSlideBatch);
+        struct pending_batch {
+            std::size_t cells[kernel::kEqualBatch];  // upper-triangle index
+            byte_view views[kernel::kEqualBatch];
+            double out[kernel::kEqualBatch];
+            std::size_t count = 0;
+        };
+        pending_batch equal_pend;
+        pending_batch slide_pend;
+        for (std::size_t p = begin; p < end; ++p) {
+            if ((p - begin) % 32 == 0) {
                 dl.check("dissimilarity matrix");
             }
+            const std::uint32_t i = order[p];
             const byte_view a{values[i]};
-            for (std::size_t j = i + 1; j < n_; ++j) {
-                const auto d =
-                    static_cast<float>(sliding_canberra_dissimilarity(a, byte_view{values[j]}));
-                data_[i * n_ + j] = d;
-                data_[j * n_ + i] = d;
+            const auto flush_equal = [&] {
+                if (equal_pend.count == 0) {
+                    return;
+                }
+                kernel::equal_dissimilarity_batch(a, equal_pend.views, equal_pend.count,
+                                                  equal_pend.out, stp);
+                for (std::size_t k = 0; k < equal_pend.count; ++k) {
+                    data_[equal_pend.cells[k]] = static_cast<float>(equal_pend.out[k]);
+                }
+                equal_pend.count = 0;
+            };
+            const auto flush_slide = [&] {
+                if (slide_pend.count == 0) {
+                    return;
+                }
+                kernel::sliding_dissimilarity_batch(a, slide_pend.views, slide_pend.count,
+                                                    slide_pend.out, stp);
+                for (std::size_t k = 0; k < slide_pend.count; ++k) {
+                    data_[slide_pend.cells[k]] = static_cast<float>(slide_pend.out[k]);
+                }
+                slide_pend.count = 0;
+            };
+            for (std::size_t q = p + 1; q < n_; ++q) {
+                const std::uint32_t j = order[q];
+                const byte_view b{values[j]};
+                const std::size_t cell = i < j ? i * n_ + j : j * n_ + i;
+                pending_batch& pend = a.size() == b.size() ? equal_pend : slide_pend;
+                pend.cells[pend.count] = cell;
+                pend.views[pend.count] = b;
+                if (++pend.count == kernel::kEqualBatch) {
+                    if (&pend == &equal_pend) {
+                        flush_equal();
+                    } else {
+                        flush_slide();
+                    }
+                }
             }
+            flush_equal();
+            flush_slide();
+        }
+        if (stp != nullptr) {
+            publish_kernel_stats(st);
         }
     });
+    // The fan-out writes only the upper triangle (a strided mirror store
+    // per pair would miss the cache across the whole matrix); mirror once
+    // here in 64×64 blocks so reads and writes both stay resident. Pure
+    // copies of already-final cells — deterministic at any thread count.
+    constexpr std::size_t kMirrorBlock = 64;
+    for (std::size_t ib = 0; ib < n_; ib += kMirrorBlock) {
+        const std::size_t ie = std::min(ib + kMirrorBlock, n_);
+        for (std::size_t jb = ib; jb < n_; jb += kMirrorBlock) {
+            const std::size_t je = std::min(jb + kMirrorBlock, n_);
+            for (std::size_t i = ib; i < ie; ++i) {
+                for (std::size_t j = std::max(jb, i + 1); j < je; ++j) {
+                    data_[j * n_ + i] = data_[i * n_ + j];
+                }
+            }
+        }
+    }
 }
 
 dissimilarity_matrix dissimilarity_matrix::from_dense(std::span<const double> dense,
@@ -102,6 +205,41 @@ std::vector<double> dissimilarity_matrix::kth_nn(std::size_t k, std::size_t thre
             }
             std::nth_element(row.begin(), row.begin() + static_cast<long>(kk - 1), row.end());
             out[i] = static_cast<double>(row[kk - 1]);
+        }
+    });
+    return out;
+}
+
+std::vector<std::vector<double>> dissimilarity_matrix::kth_nn_many(std::size_t k_max,
+                                                                   std::size_t threads) const {
+    expects(k_max >= 1, "kth_nn_many: k_max must be at least 1");
+    if (n_ < 2) {
+        return std::vector<std::vector<double>>(k_max);
+    }
+    obs::span sp("dissim.kth_nn_many");
+    sp.count("n", n_);
+    sp.count("k_max", k_max);
+    const std::size_t kk_max = std::min(k_max, n_ - 1);
+    std::vector<std::vector<double>> out(k_max, std::vector<double>(n_, 0.0));
+    // One row scan serves every k: partially sorting the kk_max smallest
+    // neighbours yields each k-th order statistic — the same float values
+    // nth_element finds in kth_nn, so curves are bitwise identical to
+    // k_max individual extractions at a fraction of the scans. Each lane
+    // writes only column i of each curve, so any thread count produces the
+    // same result.
+    util::parallel_for(n_, 64, threads, [&](std::size_t begin, std::size_t end) {
+        std::vector<float> row(n_ - 1);
+        for (std::size_t i = begin; i < end; ++i) {
+            std::size_t w = 0;
+            for (std::size_t j = 0; j < n_; ++j) {
+                if (j != i) {
+                    row[w++] = data_[i * n_ + j];
+                }
+            }
+            std::partial_sort(row.begin(), row.begin() + static_cast<long>(kk_max), row.end());
+            for (std::size_t k = 1; k <= k_max; ++k) {
+                out[k - 1][i] = static_cast<double>(row[std::min(k, n_ - 1) - 1]);
+            }
         }
     });
     return out;

@@ -38,17 +38,25 @@ unique_segments condense(const std::vector<byte_vector>& messages,
                          std::size_t min_length = 2);
 
 /// Dense symmetric matrix of pairwise sliding-Canberra dissimilarities.
+/// Every entry is in [0, 1] (the range guarantee of the sliding-Canberra
+/// measure, canberra.hpp) with an exactly-zero diagonal.
 ///
 /// Construction and k-NN extraction accept a worker-thread count
 /// (0 = hardware concurrency, 1 = the legacy serial path). Both are pure
 /// fan-outs over independent entries — every (i, j) pair is computed by
 /// exactly one lane and written to locations no other lane touches — so
-/// the result is bitwise identical at any thread count.
+/// the result is bitwise identical at any thread count. Pairs are
+/// evaluated through the runtime-dispatched kernel backend (kernel.hpp;
+/// numerics in DESIGN.md §9), which is bitwise identical to the scalar
+/// reference, so the matrix is also independent of the selected backend.
 class dissimilarity_matrix {
 public:
     /// Compute all pairwise dissimilarities on \p threads lanes
-    /// (row-blocked upper-triangle fan-out). Polls \p dl cooperatively
-    /// from every lane.
+    /// (row-blocked upper-triangle fan-out, partners visited in
+    /// length-bucketed order so equal-length pairs take the fast
+    /// equal-length kernel path). Polls \p dl cooperatively from every
+    /// lane. O(n²) kernel calls, each O(m·(n−m+1)) worst case before
+    /// early-exit pruning (DESIGN.md §9); O(n²) floats of storage.
     explicit dissimilarity_matrix(std::span<const byte_vector> values,
                                   const deadline& dl = {}, std::size_t threads = 1);
 
@@ -67,7 +75,17 @@ public:
     /// For every element, the dissimilarity to its k-th nearest neighbour
     /// (k >= 1; k is clamped to n-1). Result has size() entries. Rows are
     /// independent, so \p threads lanes may extract them concurrently.
+    /// O(n²) per call (one full row scan + selection per element).
     std::vector<double> kth_nn(std::size_t k, std::size_t threads = 1) const;
+
+    /// kth_nn for every k in 1..k_max from a single row scan: result[k-1]
+    /// is bitwise identical to kth_nn(k) (the k-th order statistic of a
+    /// row does not depend on how it is selected), but the whole batch
+    /// costs one O(n²) pass instead of k_max of them — the epsilon
+    /// auto-configuration sweep (cluster/autoconf.cpp) is the consumer.
+    /// Empty inner vectors when the matrix has fewer than 2 elements.
+    std::vector<std::vector<double>> kth_nn_many(std::size_t k_max,
+                                                 std::size_t threads = 1) const;
 
     /// All pairwise dissimilarities (i < j), unsorted.
     std::vector<double> upper_triangle() const;
