@@ -1,0 +1,436 @@
+#include "ckpt/format.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "obs/export.hpp"
+#include "util/check.hpp"
+
+namespace ftc::ckpt {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 8 + 4 + 4;        // magic + version + count
+constexpr std::size_t kSectionHeaderSize = 4 + 8 + 8;  // id + size + digest
+
+void put_f64(byte_vector& out, double v) {
+    put_u64_le(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_f32(byte_vector& out, float v) {
+    put_u32_le(out, std::bit_cast<std::uint32_t>(v));
+}
+
+/// Cursor over a payload with overflow-safe bounds checks: every read
+/// validates against the bytes actually present, so a forged count can at
+/// worst raise parse_error, never index out of bounds or balloon memory
+/// (allocations are bounded by the payload size that backs them).
+class reader {
+public:
+    explicit reader(byte_view data) : data_(data) {}
+
+    std::uint8_t u8() { return get_u8(data_, take(1)); }
+    std::uint32_t u32() { return get_u32_le(data_, take(4)); }
+    std::uint64_t u64() { return get_u64_le(data_, take(8)); }
+    double f64() { return std::bit_cast<double>(u64()); }
+    float f32() { return std::bit_cast<float>(u32()); }
+
+    byte_view bytes(std::size_t n) { return get_slice(data_, take(n), n); }
+
+    /// A count of elements each at least \p elem_size bytes on the wire;
+    /// rejects counts the remaining payload cannot possibly hold *before*
+    /// any allocation sized by them.
+    std::size_t count(std::size_t elem_size) {
+        const std::uint64_t n = u64();
+        if (elem_size == 0 || n > remaining() / elem_size) {
+            throw parse_error(message("ckpt: element count ", n, " exceeds remaining payload ",
+                                      remaining(), " bytes"));
+        }
+        return static_cast<std::size_t>(n);
+    }
+
+    std::size_t remaining() const { return data_.size() - offset_; }
+
+    void expect_end() const {
+        if (offset_ != data_.size()) {
+            throw parse_error(message("ckpt: ", remaining(), " trailing bytes in section"));
+        }
+    }
+
+private:
+    std::size_t take(std::size_t n) {
+        if (n > remaining()) {
+            throw parse_error(message("ckpt: truncated section (need ", n, " bytes at offset ",
+                                      offset_, ", have ", remaining(), ")"));
+        }
+        const std::size_t at = offset_;
+        offset_ += n;
+        return at;
+    }
+
+    byte_view data_;
+    std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+options_fingerprint fingerprint(const core::pipeline_options& options,
+                                std::string_view segmenter_name,
+                                std::uint64_t input_digest) {
+    // Canonical serialization of every knob that shapes stage outputs.
+    // Appending new knobs to the END keeps old checkpoints rejectable (the
+    // digest changes) rather than silently misinterpreted.
+    byte_vector canon;
+    put_chars(canon, "ftclust-options-v1");
+    put_u64_le(canon, options.min_segment_length);
+    put_u64_le(canon, std::bit_cast<std::uint64_t>(options.autoconf.kneedle_sensitivity));
+    put_u64_le(canon, std::bit_cast<std::uint64_t>(options.autoconf.smoothing_lambda));
+    put_u64_le(canon, std::bit_cast<std::uint64_t>(options.autoconf.fallback_epsilon));
+    put_u64_le(canon, std::bit_cast<std::uint64_t>(options.refine.eps_rho_threshold));
+    put_u64_le(canon, std::bit_cast<std::uint64_t>(options.refine.neighbor_density_threshold));
+    put_u64_le(canon, std::bit_cast<std::uint64_t>(options.refine.percent_rank_threshold));
+    put_u64_le(canon, std::bit_cast<std::uint64_t>(options.refine.max_merged_fraction));
+    put_u8(canon, options.apply_refinement ? 1 : 0);
+    put_u64_le(canon, std::bit_cast<std::uint64_t>(options.oversize_fraction));
+    put_chars(canon, segmenter_name);
+    return {obs::fnv1a64(canon.data(), canon.size()), input_digest};
+}
+
+byte_vector encode_sections(const std::vector<section>& sections) {
+    byte_vector out;
+    for (char c : kMagic) {
+        put_u8(out, static_cast<std::uint8_t>(c));
+    }
+    put_u32_le(out, kFormatVersion);
+    put_u32_le(out, static_cast<std::uint32_t>(sections.size()));
+    for (const section& s : sections) {
+        put_u32_le(out, s.id);
+        put_u64_le(out, s.payload.size());
+        put_u64_le(out, obs::fnv1a64(s.payload.data(), s.payload.size()));
+        put_bytes(out, s.payload);
+    }
+    return out;
+}
+
+std::vector<section> decode_sections(byte_view file) {
+    if (file.size() < kHeaderSize) {
+        throw parse_error("ckpt: file shorter than header");
+    }
+    if (std::memcmp(file.data(), kMagic, sizeof kMagic) != 0) {
+        throw parse_error("ckpt: bad magic (not a ftclust checkpoint)");
+    }
+    const std::uint32_t version = get_u32_le(file, 8);
+    if (version != kFormatVersion) {
+        throw parse_error(message("ckpt: unsupported format version ", version, " (expected ",
+                                  kFormatVersion, ")"));
+    }
+    const std::uint32_t count = get_u32_le(file, 12);
+    std::vector<section> out;
+    std::size_t offset = kHeaderSize;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        if (file.size() - offset < kSectionHeaderSize) {
+            throw parse_error(message("ckpt: truncated section header ", i));
+        }
+        section s;
+        s.id = get_u32_le(file, offset);
+        const std::uint64_t size = get_u64_le(file, offset + 4);
+        const std::uint64_t digest = get_u64_le(file, offset + 12);
+        offset += kSectionHeaderSize;
+        if (size > file.size() - offset) {
+            throw parse_error(
+                message("ckpt: section ", i, " claims ", size, " payload bytes, file has ",
+                        file.size() - offset, " left"));
+        }
+        const byte_view payload = file.subspan(offset, static_cast<std::size_t>(size));
+        offset += static_cast<std::size_t>(size);
+        if (obs::fnv1a64(payload.data(), payload.size()) != digest) {
+            throw parse_error(message("ckpt: section ", i, " (id ", s.id,
+                                      ") digest mismatch — file damaged"));
+        }
+        s.payload.assign(payload.begin(), payload.end());
+        out.push_back(std::move(s));
+    }
+    if (offset != file.size()) {
+        throw parse_error(message("ckpt: ", file.size() - offset, " trailing bytes after last "
+                                  "section"));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// fingerprint
+// ---------------------------------------------------------------------------
+
+byte_vector encode_fingerprint(const options_fingerprint& fp) {
+    byte_vector out;
+    put_u64_le(out, fp.options_digest);
+    put_u64_le(out, fp.input_digest);
+    return out;
+}
+
+options_fingerprint decode_fingerprint(byte_view payload) {
+    reader r(payload);
+    options_fingerprint fp;
+    fp.options_digest = r.u64();
+    fp.input_digest = r.u64();
+    r.expect_end();
+    return fp;
+}
+
+// ---------------------------------------------------------------------------
+// segments
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void put_segment(byte_vector& out, const segmentation::segment& seg) {
+    put_u64_le(out, seg.message_index);
+    put_u64_le(out, seg.offset);
+    put_u64_le(out, seg.length);
+}
+
+segmentation::segment read_segment(reader& r) {
+    segmentation::segment seg;
+    seg.message_index = static_cast<std::size_t>(r.u64());
+    seg.offset = static_cast<std::size_t>(r.u64());
+    seg.length = static_cast<std::size_t>(r.u64());
+    return seg;
+}
+
+}  // namespace
+
+byte_vector encode_segments(const segments_payload& p) {
+    byte_vector out;
+    put_u64_le(out, p.surviving.size());
+    for (std::size_t idx : p.surviving) {
+        put_u64_le(out, idx);
+    }
+    put_u64_le(out, p.segments.size());
+    for (const std::vector<segmentation::segment>& per_message : p.segments) {
+        put_u64_le(out, per_message.size());
+        for (const segmentation::segment& seg : per_message) {
+            put_segment(out, seg);
+        }
+    }
+    return out;
+}
+
+segments_payload decode_segments(byte_view payload) {
+    reader r(payload);
+    segments_payload p;
+    const std::size_t survivors = r.count(8);
+    p.surviving.reserve(survivors);
+    for (std::size_t i = 0; i < survivors; ++i) {
+        p.surviving.push_back(static_cast<std::size_t>(r.u64()));
+    }
+    const std::size_t messages = r.count(8);
+    p.segments.reserve(messages);
+    for (std::size_t m = 0; m < messages; ++m) {
+        const std::size_t segs = r.count(24);
+        std::vector<segmentation::segment> per_message;
+        per_message.reserve(segs);
+        for (std::size_t s = 0; s < segs; ++s) {
+            per_message.push_back(read_segment(r));
+        }
+        p.segments.push_back(std::move(per_message));
+    }
+    r.expect_end();
+    if (p.segments.size() != p.surviving.size()) {
+        throw parse_error(message("ckpt: segments for ", p.segments.size(),
+                                  " messages but ", p.surviving.size(), " surviving indices"));
+    }
+    return p;
+}
+
+// ---------------------------------------------------------------------------
+// unique
+// ---------------------------------------------------------------------------
+
+byte_vector encode_unique(const dissim::unique_segments& unique) {
+    byte_vector out;
+    put_u64_le(out, unique.values.size());
+    for (const byte_vector& v : unique.values) {
+        put_u64_le(out, v.size());
+        put_bytes(out, v);
+    }
+    for (const std::vector<segmentation::segment>& occs : unique.occurrences) {
+        put_u64_le(out, occs.size());
+        for (const segmentation::segment& seg : occs) {
+            put_segment(out, seg);
+        }
+    }
+    put_u64_le(out, unique.short_segments);
+    return out;
+}
+
+dissim::unique_segments decode_unique(byte_view payload) {
+    reader r(payload);
+    dissim::unique_segments unique;
+    const std::size_t n = r.count(8);
+    unique.values.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t len = r.count(1);
+        const byte_view bytes = r.bytes(len);
+        unique.values.emplace_back(bytes.begin(), bytes.end());
+    }
+    unique.occurrences.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t occs = r.count(24);
+        if (occs == 0) {
+            throw parse_error("ckpt: unique value without occurrences");
+        }
+        std::vector<segmentation::segment> per_value;
+        per_value.reserve(occs);
+        for (std::size_t s = 0; s < occs; ++s) {
+            per_value.push_back(read_segment(r));
+        }
+        unique.occurrences.push_back(std::move(per_value));
+    }
+    unique.short_segments = static_cast<std::size_t>(r.u64());
+    r.expect_end();
+    return unique;
+}
+
+// ---------------------------------------------------------------------------
+// matrix
+// ---------------------------------------------------------------------------
+
+byte_vector encode_matrix(const dissim::dissimilarity_matrix& matrix) {
+    byte_vector out;
+    put_u64_le(out, matrix.size());
+    for (float d : matrix.upper_triangle_f32()) {
+        put_f32(out, d);
+    }
+    return out;
+}
+
+dissim::dissimilarity_matrix decode_matrix(byte_view payload) {
+    reader r(payload);
+    const std::uint64_t n = r.u64();
+    // n*(n-1)/2 f32 entries must follow exactly; checking against the
+    // remaining bytes first keeps a forged n from driving an n*n alloc.
+    if (n < 3 || n > (1u << 24) || n * (n - 1) / 2 > r.remaining() / 4) {
+        throw parse_error(message("ckpt: implausible matrix size ", n));
+    }
+    const std::size_t pairs = static_cast<std::size_t>(n * (n - 1) / 2);
+    std::vector<float> upper;
+    upper.reserve(pairs);
+    for (std::size_t i = 0; i < pairs; ++i) {
+        const float d = r.f32();
+        if (!(d >= 0.0f && d <= 1.0f)) {  // NaN fails both comparisons
+            throw parse_error(message("ckpt: matrix entry ", i, " outside [0, 1]"));
+        }
+        upper.push_back(d);
+    }
+    r.expect_end();
+    return dissim::dissimilarity_matrix::from_upper(upper, static_cast<std::size_t>(n));
+}
+
+// ---------------------------------------------------------------------------
+// knn
+// ---------------------------------------------------------------------------
+
+byte_vector encode_knn(const std::vector<std::vector<double>>& curves) {
+    byte_vector out;
+    put_u64_le(out, curves.size());
+    for (const std::vector<double>& curve : curves) {
+        put_u64_le(out, curve.size());
+        for (double d : curve) {
+            put_f64(out, d);
+        }
+    }
+    return out;
+}
+
+std::vector<std::vector<double>> decode_knn(byte_view payload) {
+    reader r(payload);
+    const std::size_t count = r.count(8);
+    std::vector<std::vector<double>> curves;
+    curves.reserve(count);
+    for (std::size_t c = 0; c < count; ++c) {
+        const std::size_t len = r.count(8);
+        std::vector<double> curve;
+        curve.reserve(len);
+        for (std::size_t i = 0; i < len; ++i) {
+            const double d = r.f64();
+            if (!(d >= 0.0 && d <= 1.0)) {
+                throw parse_error("ckpt: k-NN distance outside [0, 1]");
+            }
+            curve.push_back(d);
+        }
+        curves.push_back(std::move(curve));
+    }
+    r.expect_end();
+    return curves;
+}
+
+// ---------------------------------------------------------------------------
+// clustering
+// ---------------------------------------------------------------------------
+
+byte_vector encode_clustering(const cluster::auto_cluster_result& clustering) {
+    byte_vector out;
+    put_u64_le(out, clustering.labels.labels.size());
+    for (int label : clustering.labels.labels) {
+        put_u32_le(out, static_cast<std::uint32_t>(label));
+    }
+    put_u64_le(out, clustering.labels.cluster_count);
+    put_f64(out, clustering.config.epsilon);
+    put_u64_le(out, clustering.config.min_samples);
+    put_u64_le(out, clustering.config.selected_k);
+    put_u8(out, clustering.config.knee_found ? 1 : 0);
+    put_u64_le(out, clustering.config.knees.size());
+    for (double knee : clustering.config.knees) {
+        put_f64(out, knee);
+    }
+    put_u64_le(out, clustering.reconfigurations);
+    put_u8(out, clustering.reclustered ? 1 : 0);
+    return out;
+}
+
+cluster::auto_cluster_result decode_clustering(byte_view payload) {
+    reader r(payload);
+    cluster::auto_cluster_result out;
+    const std::size_t n = r.count(4);
+    out.labels.labels.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.labels.labels.push_back(static_cast<int>(r.u32()));
+    }
+    out.labels.cluster_count = static_cast<std::size_t>(r.u64());
+    if (out.labels.cluster_count > n) {
+        throw parse_error("ckpt: cluster count exceeds label count");
+    }
+    // Labels index per-cluster arrays downstream (members(), refinement);
+    // a label outside [0, cluster_count) or != kNoise would be an
+    // out-of-bounds write waiting to happen.
+    for (int label : out.labels.labels) {
+        if (label != cluster::kNoise &&
+            (label < 0 || static_cast<std::size_t>(label) >= out.labels.cluster_count)) {
+            throw parse_error(message("ckpt: label ", label, " outside [0, ",
+                                      out.labels.cluster_count, ")"));
+        }
+    }
+    out.config.epsilon = r.f64();
+    if (!(out.config.epsilon >= 0.0 && out.config.epsilon <= 1.0)) {
+        throw parse_error("ckpt: epsilon outside [0, 1]");
+    }
+    out.config.min_samples = static_cast<std::size_t>(r.u64());
+    out.config.selected_k = static_cast<std::size_t>(r.u64());
+    out.config.knee_found = r.u8() != 0;
+    const std::size_t knees = r.count(8);
+    out.config.knees.reserve(knees);
+    for (std::size_t i = 0; i < knees; ++i) {
+        const double knee = r.f64();
+        if (std::isnan(knee)) {
+            throw parse_error("ckpt: NaN knee");
+        }
+        out.config.knees.push_back(knee);
+    }
+    out.reconfigurations = static_cast<std::size_t>(r.u64());
+    out.reclustered = r.u8() != 0;
+    r.expect_end();
+    return out;
+}
+
+}  // namespace ftc::ckpt

@@ -57,8 +57,7 @@ autoconf_result configure_from_knn(const knn_batch_fn& knn_batch, std::size_t n,
         std::max<std::size_t>(2, static_cast<std::size_t>(std::lround(std::log(
                                      static_cast<double>(std::max<std::size_t>(n, 3))))));
 
-    const std::size_t k_max = std::max<std::size_t>(
-        2, static_cast<std::size_t>(std::lround(std::log(static_cast<double>(n)))));
+    const std::size_t k_max = knn_k_max(n);
 
     // Evaluate every candidate k and keep the sharpest-knee curve. The
     // smoothing strength scales with the sample count so that small traces
@@ -124,11 +123,38 @@ autoconf_result configure_from_knn(const knn_batch_fn& knn_batch, std::size_t n,
 
 }  // namespace
 
+std::size_t knn_k_max(std::size_t n) {
+    return std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::lround(std::log(static_cast<double>(n)))));
+}
+
 namespace {
 
-/// All candidate k-NN curves (k = 2..k_max) from one matrix row scan.
+/// True when \p pre is a usable kth_nn_many(k_max) result for an n-element
+/// matrix: at least k_max curves of n entries each.
+bool knn_shape_ok(const std::vector<std::vector<double>>* pre, std::size_t k_max,
+                  std::size_t n) {
+    if (pre == nullptr || pre->size() < k_max) {
+        return false;
+    }
+    for (std::size_t k = 0; k < k_max; ++k) {
+        if ((*pre)[k].size() != n) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// All candidate k-NN curves (k = 2..k_max): copied from the caller's
+/// precomputed batch when shaped right, else one matrix row scan.
 std::vector<std::vector<double>> candidate_curves(const dissim::dissimilarity_matrix& matrix,
-                                                  std::size_t k_max, std::size_t threads) {
+                                                  std::size_t k_max, std::size_t threads,
+                                                  const autoconf_options& options) {
+    if (knn_shape_ok(options.precomputed_knn, k_max, matrix.size())) {
+        obs::counter_add("cluster.knn_reused_total", 1.0);
+        return {options.precomputed_knn->begin() + 1,
+                options.precomputed_knn->begin() + static_cast<long>(k_max)};
+    }
     std::vector<std::vector<double>> all = matrix.kth_nn_many(k_max, threads);
     all.erase(all.begin());  // drop k = 1; candidates start at k = 2
     return all;
@@ -141,7 +167,7 @@ autoconf_result auto_configure(const dissim::dissimilarity_matrix& matrix,
     expects(matrix.size() >= 3, "auto_configure: need at least 3 unique segments");
     return configure_from_knn(
         [&](std::size_t k_max, std::size_t threads) {
-            return candidate_curves(matrix, k_max, threads);
+            return candidate_curves(matrix, k_max, threads, options);
         },
         matrix.size(), options);
 }
@@ -150,7 +176,8 @@ autoconf_result auto_configure_trimmed(const dissim::dissimilarity_matrix& matri
                                        double limit, const autoconf_options& options) {
     expects(matrix.size() >= 3, "auto_configure_trimmed: need at least 3 unique segments");
     auto trimmed_knn = [&](std::size_t k_max, std::size_t threads) {
-        std::vector<std::vector<double>> curves = candidate_curves(matrix, k_max, threads);
+        std::vector<std::vector<double>> curves =
+            candidate_curves(matrix, k_max, threads, options);
         for (std::vector<double>& curve : curves) {
             std::vector<double> kept;
             for (double d : curve) {

@@ -31,7 +31,22 @@ struct autoconf_options {
     /// independently, so the selected epsilon is identical at any setting.
     /// core::analyze overrides this with pipeline_options::threads.
     std::size_t threads = 1;
+    /// Precomputed per-element k-NN curves — the output shape of
+    /// dissim::dissimilarity_matrix::kth_nn_many(knn_k_max(n)): curve
+    /// [k-1] holds every element's k-th-NN dissimilarity, k = 1..k_max.
+    /// When non-null and shaped for the matrix at hand, the sweep copies
+    /// these instead of re-scanning matrix rows; a checkpointed resume
+    /// (ftc::ckpt) and the fresh computation are bitwise the same values
+    /// (kth_nn_many is deterministic), so the selected epsilon is
+    /// unchanged either way. Null, or a shape mismatch, falls back to the
+    /// row scan. Not owned; must outlive the call.
+    const std::vector<std::vector<double>>* precomputed_knn = nullptr;
 };
+
+/// The paper's candidate ceiling k_max = max(2, round(ln n)) — the number
+/// of k-NN curves auto_configure evaluates for an n-element matrix, and
+/// therefore the curve count a checkpoint must carry to be reusable.
+std::size_t knn_k_max(std::size_t n);
 
 /// Diagnostics of one k candidate (exposed for tests and the Fig. 2 bench).
 struct k_candidate {

@@ -19,7 +19,9 @@ resource_budget make_budget(const pipeline_options& options) {
 }
 
 /// Rethrow \p e with a partial-progress report naming the pipeline stage
-/// that was running and how much work had been done by then.
+/// that was running and how much work had been done by then. The dynamic
+/// type is preserved: a stop request must still surface as
+/// ftc::interrupted_error so callers can tell it from a tripped deadline.
 [[noreturn]] void rethrow_with_progress(const budget_exceeded_error& e, const char* stage,
                                         const resource_budget& budget,
                                         std::size_t unique_segments) {
@@ -36,22 +38,40 @@ resource_budget make_budget(const pipeline_options& options) {
     if (unique_segments > 0) {
         partial += message(" with ", unique_segments, " unique segments");
     }
+    if (dynamic_cast<const interrupted_error*>(&e) != nullptr) {
+        throw interrupted_error(e.what(), std::move(partial));
+    }
     throw budget_exceeded_error(e.what(), std::move(partial));
 }
 
-pipeline_result analyze_segments_budgeted(const std::vector<byte_vector>& messages,
-                                          segmentation::message_segments segments,
-                                          const pipeline_options& options,
-                                          resource_budget& budget) {
+pipeline_result analyze_seeded_budgeted(const std::vector<byte_vector>& messages,
+                                        const segmentation::segmenter* segmenter,
+                                        pipeline_seed seed, const pipeline_options& options,
+                                        resource_budget& budget) {
     expects(!messages.empty(), "analyze: empty trace");
     const stopwatch watch;
     const deadline& dl = budget.wall_clock();
+    stage_observer* hook = options.observer;
 
     pipeline_result result;
-    result.segments = std::move(segments);
 
-    const char* stage = "dissimilarity";
+    const char* stage = "segmentation";
     try {
+        // Segmentation: adopt the seeded segmentation, or run the segmenter.
+        if (seed.segments.has_value()) {
+            result.segments = std::move(*seed.segments);
+        } else {
+            expects(segmenter != nullptr,
+                    "analyze_seeded: need a segmenter when no segmentation is seeded");
+            obs::span sp("segmentation");
+            sp.count("messages", messages.size());
+            result.segments = segmenter->run(messages, dl);
+            if (hook != nullptr) {
+                hook->on_segments(messages, result.segments);
+            }
+        }
+
+        stage = "dissimilarity";
         std::size_t total_bytes = 0;
         std::size_t total_segments = 0;
         for (const byte_vector& m : messages) {
@@ -63,9 +83,24 @@ pipeline_result analyze_segments_budgeted(const std::vector<byte_vector>& messag
         budget.charge_bytes(total_bytes, "pipeline");
         budget.charge_segments(total_segments, "pipeline");
 
-        // Dissimilarity stage: unique >=2-byte segments, pairwise matrix.
+        // Dissimilarity stage: unique >=2-byte segments, pairwise matrix,
+        // and (when observed or seeded) the batched k-NN curves the epsilon
+        // sweep consumes — computed once here and handed both to the
+        // observer's snapshot and to auto-configuration below, so a
+        // checkpointed run does the extraction exactly as often as a plain
+        // one.
         const std::size_t threads = util::resolve_threads(options.threads);
-        const dissim::dissimilarity_matrix matrix = [&] {
+        std::optional<dissim::dissimilarity_matrix> matrix_storage;
+        std::vector<std::vector<double>> knn_curves;
+        if (seed.unique.has_value() && seed.matrix.has_value()) {
+            result.unique = std::move(*seed.unique);
+            matrix_storage.emplace(std::move(*seed.matrix));
+            if (seed.knn_curves.has_value()) {
+                knn_curves = std::move(*seed.knn_curves);
+            }
+            obs::gauge_set("pipeline.unique_segments",
+                           static_cast<double>(result.unique.size()));
+        } else {
             obs::span sp("dissimilarity");
             result.unique =
                 dissim::condense(messages, result.segments, options.min_segment_length);
@@ -76,23 +111,38 @@ pipeline_result analyze_segments_budgeted(const std::vector<byte_vector>& messag
             sp.count("pairs", result.unique.size() * (result.unique.size() - 1) / 2);
             obs::gauge_set("pipeline.unique_segments",
                            static_cast<double>(result.unique.size()));
-            return dissim::dissimilarity_matrix(result.unique.values, dl, threads);
-        }();
+            matrix_storage.emplace(result.unique.values, dl, threads);
+            if (hook != nullptr) {
+                knn_curves = matrix_storage->kth_nn_many(
+                    cluster::knn_k_max(result.unique.size()), threads);
+                hook->on_matrix(result.unique, *matrix_storage, knn_curves);
+            }
+        }
+        const dissim::dissimilarity_matrix& matrix = *matrix_storage;
 
         // Auto-configuration + DBSCAN with the oversized-cluster guard.
         // pipeline_options::threads governs the whole run, including the
         // epsilon sweep inside auto-configuration.
         stage = "clustering";
-        {
+        budget.check("pipeline clustering");
+        if (seed.clustering.has_value()) {
+            expects(seed.clustering->labels.labels.size() == result.unique.size(),
+                    "analyze_seeded: seeded clustering does not label the unique segments");
+            result.clustering = std::move(*seed.clustering);
+        } else {
             obs::span sp("clustering");
             cluster::autoconf_options autoconf = options.autoconf;
             autoconf.threads = threads;
+            autoconf.precomputed_knn = knn_curves.empty() ? nullptr : &knn_curves;
             result.clustering =
                 cluster::auto_cluster(matrix, autoconf, options.oversize_fraction);
             if (sp.enabled()) {
                 sp.count("clusters", result.clustering.labels.cluster_count);
                 sp.count("noise", result.clustering.labels.noise_count());
                 sp.count("reconfigurations", result.clustering.reconfigurations);
+            }
+            if (hook != nullptr) {
+                hook->on_clustering(result.clustering);
             }
         }
 
@@ -123,6 +173,12 @@ pipeline_result analyze_segments_budgeted(const std::vector<byte_vector>& messag
             sp.count("splits", result.refinement.splits.size());
         }
     } catch (const budget_exceeded_error& e) {
+        // Completed stages were announced (and checkpointed) as they
+        // finished; tell the observer which stage the trip lost so it can
+        // mark its manifest interrupted before the run unwinds.
+        if (hook != nullptr) {
+            hook->on_interrupted(stage);
+        }
         rethrow_with_progress(e, stage, budget, result.unique.size());
     }
 
@@ -135,23 +191,22 @@ pipeline_result analyze_segments_budgeted(const std::vector<byte_vector>& messag
 pipeline_result analyze_segments(const std::vector<byte_vector>& messages,
                                  segmentation::message_segments segments,
                                  const pipeline_options& options) {
-    resource_budget budget = make_budget(options);
-    return analyze_segments_budgeted(messages, std::move(segments), options, budget);
+    pipeline_seed seed;
+    seed.segments = std::move(segments);
+    return analyze_seeded(messages, nullptr, std::move(seed), options);
 }
 
 pipeline_result analyze(const std::vector<byte_vector>& messages,
                         const segmentation::segmenter& segmenter,
                         const pipeline_options& options) {
+    return analyze_seeded(messages, &segmenter, {}, options);
+}
+
+pipeline_result analyze_seeded(const std::vector<byte_vector>& messages,
+                               const segmentation::segmenter* segmenter, pipeline_seed seed,
+                               const pipeline_options& options) {
     resource_budget budget = make_budget(options);
-    segmentation::message_segments segments;
-    try {
-        obs::span sp("segmentation");
-        sp.count("messages", messages.size());
-        segments = segmenter.run(messages, budget.wall_clock());
-    } catch (const budget_exceeded_error& e) {
-        rethrow_with_progress(e, "segmentation", budget, 0);
-    }
-    return analyze_segments_budgeted(messages, std::move(segments), options, budget);
+    return analyze_seeded_budgeted(messages, segmenter, std::move(seed), options, budget);
 }
 
 }  // namespace ftc::core

@@ -24,6 +24,58 @@
 
 namespace ftc::core {
 
+/// Stage-boundary observer: the pipeline announces each stage output the
+/// moment it is fully materialized, before the next stage starts. This is
+/// the hook the checkpoint subsystem (ftc::ckpt::checkpoint_manager)
+/// implements to persist crash-resilient snapshots; observers must not
+/// mutate the passed state. on_* fires only for stages the pipeline
+/// actually *computed* — stages restored from a pipeline_seed are not
+/// re-announced (their snapshot already exists).
+class stage_observer {
+public:
+    virtual ~stage_observer() = default;
+
+    /// Segmentation finished: \p segments is a valid segmentation of
+    /// \p messages.
+    virtual void on_segments(const std::vector<byte_vector>& /*messages*/,
+                             const segmentation::message_segments& /*segments*/) {}
+
+    /// Dissimilarity stage finished: condensed unique segments, the full
+    /// pairwise matrix, and the batched k-NN curves
+    /// (kth_nn_many(cluster::knn_k_max(n))) the epsilon sweep consumes.
+    virtual void on_matrix(const dissim::unique_segments& /*unique*/,
+                           const dissim::dissimilarity_matrix& /*matrix*/,
+                           const std::vector<std::vector<double>>& /*knn_curves*/) {}
+
+    /// Auto-configuration + DBSCAN (incl. both guards) finished.
+    virtual void on_clustering(const cluster::auto_cluster_result& /*clustering*/) {}
+
+    /// The run is unwinding on a budget trip or stop request; \p stage is
+    /// the stage that was running. Completed stages were already announced,
+    /// so an observer persisting snapshots only needs to record the fact.
+    virtual void on_interrupted(const char* /*stage*/) {}
+};
+
+/// Precomputed stage outputs a resumed run starts from (produced by
+/// ftc::ckpt::checkpoint_manager::load, or by tests). Each present stage is
+/// used verbatim and its computation skipped; absent stages are computed as
+/// usual. Consistency contract: `matrix` requires `unique` (it indexes its
+/// values), `knn_curves` and `clustering` require `matrix`. Because every
+/// stage is deterministic, a run seeded with any prefix of a previous run's
+/// outputs produces bitwise-identical final results.
+struct pipeline_seed {
+    std::optional<segmentation::message_segments> segments;
+    std::optional<dissim::unique_segments> unique;
+    std::optional<dissim::dissimilarity_matrix> matrix;
+    std::optional<std::vector<std::vector<double>>> knn_curves;
+    std::optional<cluster::auto_cluster_result> clustering;
+
+    bool empty() const {
+        return !segments.has_value() && !unique.has_value() && !matrix.has_value() &&
+               !knn_curves.has_value() && !clustering.has_value();
+    }
+};
+
 /// Options of the full analysis pipeline.
 struct pipeline_options {
     /// Minimum segment length considered for clustering (paper: 2 — one-byte
@@ -53,6 +105,9 @@ struct pipeline_options {
     /// work items, so clustering output is bitwise identical at any
     /// setting (see tests/test_dissim_parallel_determinism.cpp).
     std::size_t threads = 0;
+    /// Stage-boundary observer (checkpointing); nullptr = none. Not owned;
+    /// must outlive the run. Observing a run does not change its result.
+    stage_observer* observer = nullptr;
 };
 
 /// Everything the pipeline produced, stage by stage.
@@ -79,5 +134,14 @@ pipeline_result analyze(const std::vector<byte_vector>& messages,
 pipeline_result analyze_segments(const std::vector<byte_vector>& messages,
                                  segmentation::message_segments segments,
                                  const pipeline_options& options = {});
+
+/// Run the pipeline starting from whatever stage outputs \p seed already
+/// carries (checkpoint resume): present stages are adopted verbatim,
+/// absent ones computed. \p segmenter may be null when seed.segments is
+/// present; otherwise it performs the segmentation stage. analyze and
+/// analyze_segments are thin wrappers over this entry point.
+pipeline_result analyze_seeded(const std::vector<byte_vector>& messages,
+                               const segmentation::segmenter* segmenter, pipeline_seed seed,
+                               const pipeline_options& options = {});
 
 }  // namespace ftc::core

@@ -182,6 +182,39 @@ dissimilarity_matrix dissimilarity_matrix::from_dense(std::span<const double> de
     return m;
 }
 
+dissimilarity_matrix dissimilarity_matrix::from_upper(std::span<const float> upper,
+                                                      std::size_t n) {
+    expects(upper.size() == n * (n - (n > 0 ? 1 : 0)) / 2,
+            "from_upper: need exactly n*(n-1)/2 entries");
+    dissimilarity_matrix m;
+    m.n_ = n;
+    m.data_.assign(n * n, 0.0f);
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j, ++r) {
+            const float d = upper[r];
+            // The sliding-Canberra range guarantee; a checkpoint restoring
+            // values outside it is damaged in a way the digest cannot see
+            // (e.g. forged), and NaNs would poison DBSCAN comparisons.
+            expects(d >= 0.0f && d <= 1.0f, "from_upper: entry outside [0, 1]");
+            m.data_[i * n + j] = d;
+            m.data_[j * n + i] = d;
+        }
+    }
+    return m;
+}
+
+std::vector<float> dissimilarity_matrix::upper_triangle_f32() const {
+    std::vector<float> out;
+    out.reserve(n_ * (n_ - (n_ > 0 ? 1 : 0)) / 2);
+    for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t j = i + 1; j < n_; ++j) {
+            out.push_back(data_[i * n_ + j]);
+        }
+    }
+    return out;
+}
+
 std::vector<double> dissimilarity_matrix::kth_nn(std::size_t k, std::size_t threads) const {
     expects(k >= 1, "kth_nn: k must be at least 1");
     if (n_ < 2) {

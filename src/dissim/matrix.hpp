@@ -65,6 +65,18 @@ public:
     /// the input is square, symmetric and zero on the diagonal.
     static dissimilarity_matrix from_dense(std::span<const double> dense, std::size_t n);
 
+    /// Rebuild from an upper-triangle float dump in (i, j > i) row order —
+    /// the checkpoint wire form (ftc::ckpt). The exact float bit patterns
+    /// are restored into both triangles with a zero diagonal, so a matrix
+    /// round-tripped through upper_triangle_f32()/from_upper is bitwise
+    /// identical to the original. Throws unless \p upper holds exactly
+    /// n*(n-1)/2 entries, each finite and in [0, 1].
+    static dissimilarity_matrix from_upper(std::span<const float> upper, std::size_t n);
+
+    /// The upper triangle (i < j, row order) as raw floats — the lossless
+    /// counterpart of upper_triangle() used by checkpoint serialization.
+    std::vector<float> upper_triangle_f32() const;
+
     std::size_t size() const { return n_; }
 
     /// Dissimilarity between values i and j (0 on the diagonal).

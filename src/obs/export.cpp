@@ -291,6 +291,22 @@ std::string to_json(const run_manifest& m) {
     w.key("threads");
     w.value(static_cast<std::uint64_t>(m.threads));
 
+    w.key("checkpoint");
+    if (m.checkpoint_dir.empty()) {
+        w.null();
+    } else {
+        w.begin_object();
+        w.key("dir");
+        w.value(std::string_view{m.checkpoint_dir});
+        w.key("restored_stages");
+        w.begin_array();
+        for (const std::string& stage : m.restored_stages) {
+            w.value(std::string_view{stage});
+        }
+        w.end_array();
+        w.end_object();
+    }
+
     w.key("stages");
     w.begin_array();
     for (const manifest_stage& stage : m.stages) {

@@ -97,7 +97,12 @@ struct run_manifest {
     double epsilon = 0.0;
     std::size_t min_samples = 0;
 
-    std::string status = "ok";  ///< "ok" | "budget-exceeded" | "error"
+    std::string status = "ok";  ///< "ok" | "budget-exceeded" | "interrupted" | "error"
+
+    /// Checkpoint directory of this run (empty = checkpointing off) and the
+    /// stages that were restored from it instead of recomputed.
+    std::string checkpoint_dir;
+    std::vector<std::string> restored_stages;
 };
 
 /// Serialize the manifest as a JSON object.

@@ -238,4 +238,42 @@ void corrupt_pcap_file(const std::filesystem::path& in_path,
     }
 }
 
+byte_vector flip_random_bits(byte_view bytes, std::size_t flips, std::uint64_t seed) {
+    expects(!bytes.empty() || flips == 0, "flip_random_bits: nothing to flip");
+    byte_vector out(bytes.begin(), bytes.end());
+    rng gen(seed);
+    for (std::size_t i = 0; i < flips; ++i) {
+        const std::size_t byte_at =
+            static_cast<std::size_t>(gen.uniform(0, out.size() - 1));
+        const std::uint8_t bit = static_cast<std::uint8_t>(1u << gen.uniform(0, 7));
+        out[byte_at] ^= bit;
+    }
+    return out;
+}
+
+void flip_random_bits_in_file(const std::filesystem::path& path, std::size_t flips,
+                              std::uint64_t seed) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+        throw error(message("corrupter: cannot open for reading: ", path.string()));
+    }
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    byte_vector bytes(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+    if (!in) {
+        throw error(message("corrupter: read failed: ", path.string()));
+    }
+    const byte_vector damaged = flip_random_bits(bytes, flips, seed);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        throw error(message("corrupter: cannot open for writing: ", path.string()));
+    }
+    out.write(reinterpret_cast<const char*>(damaged.data()),
+              static_cast<std::streamsize>(damaged.size()));
+    if (!out) {
+        throw error(message("corrupter: write failed: ", path.string()));
+    }
+}
+
 }  // namespace ftc::testing

@@ -73,4 +73,16 @@ void corrupt_pcap_file(const std::filesystem::path& in_path,
                        const std::filesystem::path& out_path,
                        const corruption_options& options, corruption_log* log = nullptr);
 
+/// Format-agnostic damage: return a copy of \p bytes with \p flips single
+/// bits flipped at seeded-random positions (positions may repeat; flipping
+/// the same bit twice restores it, which real damage also does). Used to
+/// mangle checkpoint files, whose per-section digests must detect any flip.
+/// Throws ftc::precondition_error for empty input when flips > 0.
+byte_vector flip_random_bits(byte_view bytes, std::size_t flips, std::uint64_t seed);
+
+/// In-place file variant of flip_random_bits (not atomic — damage is the
+/// point).
+void flip_random_bits_in_file(const std::filesystem::path& path, std::size_t flips,
+                              std::uint64_t seed);
+
 }  // namespace ftc::testing

@@ -73,9 +73,16 @@ public:
         }
     }
 
-    /// Cooperative deadline poll; throws with a progress report when the
-    /// wall-clock budget has elapsed.
+    /// Cooperative poll; throws interrupted_error (with the same progress
+    /// report) on a pending stop request, else budget_exceeded_error when
+    /// the wall-clock budget has elapsed. Interrupt first: an interrupted
+    /// run must report "interrupted", not a coincidentally-expired deadline.
     void check(std::string_view what) const {
+        if (interrupt_requested()) {
+            obs::counter_add("budget.interrupted_total", 1.0);
+            throw interrupted_error(std::string{what} + ": interrupted by stop request",
+                                    progress());
+        }
         if (wall_clock_.expired()) {
             throw_exceeded(what, "wall-clock deadline (" +
                                      format_seconds(limits_.deadline_seconds) + "s) exceeded");

@@ -36,6 +36,8 @@ std::string_view category_name(category cat) {
             return "segmentation";
         case category::resource:
             return "resource";
+        case category::checkpoint:
+            return "checkpoint";
     }
     return "unknown";
 }
@@ -97,8 +99,9 @@ std::string error_sink::summary() const {
     std::size_t warnings = 0;
     std::size_t notes = 0;
     // Quarantine counts per category, in enum order for stable output.
-    constexpr category kCats[] = {category::file_header, category::record, category::decap,
-                                  category::segmentation, category::resource};
+    constexpr category kCats[] = {category::file_header, category::record,
+                                  category::decap,       category::segmentation,
+                                  category::resource,    category::checkpoint};
     std::size_t dropped[std::size(kCats)] = {};
     for (const diagnostic& d : entries_) {
         if (d.sev == severity::warning) {

@@ -32,6 +32,7 @@ enum class category {
     decap,         ///< Ethernet/IPv4/UDP/TCP decapsulation
     segmentation,  ///< per-message segmentation failure
     resource,      ///< resource-budget events (partial progress)
+    checkpoint,    ///< checkpoint file/section validation (ftc::ckpt)
 };
 
 /// How bad a diagnostic is.

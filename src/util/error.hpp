@@ -58,4 +58,15 @@ private:
     std::string partial_report_;
 };
 
+/// The process was asked to stop (SIGINT/SIGTERM via ftc::request_interrupt,
+/// util/interrupt.hpp) and a cooperative cancellation point unwound the run.
+/// Derives from budget_exceeded_error deliberately: an interruption follows
+/// the exact same partial-progress/checkpoint path as a tripped deadline, so
+/// every existing budget catch site handles it; callers that must tell the
+/// two apart (the CLI's exit code) catch this type first.
+class interrupted_error : public budget_exceeded_error {
+public:
+    using budget_exceeded_error::budget_exceeded_error;
+};
+
 }  // namespace ftc

@@ -1,0 +1,70 @@
+/// \file interrupt.hpp
+/// Process-wide cooperative stop flag for signal-driven graceful shutdown.
+///
+/// A long analysis run must survive SIGINT/SIGTERM gracefully: finish the
+/// statement it is on, flush a final checkpoint (ftc::ckpt) and exit with a
+/// partial-progress report instead of dying mid-write. Signal handlers are
+/// allowed to do almost nothing, so the contract here is flag-only:
+///
+///  - the CLI's handler calls request_interrupt(sig) — a single relaxed
+///    store on a lock-free atomic, which is async-signal-safe;
+///  - every cooperative cancellation point the pipeline already has
+///    (ftc::deadline::check, ftc::resource_budget::check) consults
+///    interrupt_requested() and throws ftc::interrupted_error on the main
+///    or worker thread, where unwinding, checkpointing and I/O are safe.
+///
+/// The flag is process-global by design: it models "this process was told
+/// to stop", not a per-run condition. Tests that raise it must clear it
+/// (scoped_interrupt_clear) so later tests in the binary are unaffected.
+#pragma once
+
+#include <atomic>
+
+namespace ftc {
+
+namespace detail {
+// int (not bool): the value remembers WHICH signal asked us to stop, so the
+// CLI can exit with the conventional 128+signo code. 0 means "not
+// interrupted"; -1 a programmatic request with no signal attached.
+inline std::atomic<int> g_interrupt_signal{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handlers may only touch lock-free atomics");
+}  // namespace detail
+
+/// Ask the process to stop at the next cooperative cancellation point.
+/// Async-signal-safe; \p signal_number is remembered for interrupt_signal()
+/// (pass nothing for a programmatic, signal-less request).
+inline void request_interrupt(int signal_number = -1) noexcept {
+    detail::g_interrupt_signal.store(signal_number == 0 ? -1 : signal_number,
+                                     std::memory_order_relaxed);
+}
+
+/// True once request_interrupt() was called and the flag not yet cleared.
+inline bool interrupt_requested() noexcept {
+    return detail::g_interrupt_signal.load(std::memory_order_relaxed) != 0;
+}
+
+/// The signal number that requested the stop, or 0 when none (not
+/// interrupted, or a programmatic request).
+inline int interrupt_signal() noexcept {
+    const int s = detail::g_interrupt_signal.load(std::memory_order_relaxed);
+    return s > 0 ? s : 0;
+}
+
+/// Re-arm the process (tests; a CLI would exit instead).
+inline void clear_interrupt() noexcept {
+    detail::g_interrupt_signal.store(0, std::memory_order_relaxed);
+}
+
+/// RAII guard for tests that raise the flag: clears it on scope exit so an
+/// early ASSERT cannot leak an interrupted state into the next test.
+class scoped_interrupt_clear {
+public:
+    scoped_interrupt_clear() = default;
+    ~scoped_interrupt_clear() { clear_interrupt(); }
+
+    scoped_interrupt_clear(const scoped_interrupt_clear&) = delete;
+    scoped_interrupt_clear& operator=(const scoped_interrupt_clear&) = delete;
+};
+
+}  // namespace ftc

@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "util/error.hpp"
+#include "util/interrupt.hpp"
 
 namespace ftc {
 
@@ -36,24 +37,32 @@ private:
 };
 
 /// Cooperative wall-clock budget. A default-constructed deadline never
-/// expires; a bounded one throws from check() once the budget is exceeded.
+/// expires on its own; a bounded one throws from check() once the budget is
+/// exceeded. Every deadline — bounded or not — also honours the process
+/// interrupt flag (util/interrupt.hpp), so the cancellation points that
+/// already poll a deadline double as graceful-shutdown points for free.
 class deadline {
 public:
-    /// Unlimited deadline.
+    /// Unlimited deadline (still interruptible).
     deadline() = default;
 
     /// Deadline expiring \p seconds from now.
     explicit deadline(double seconds) : budget_seconds_(seconds) {}
 
-    /// True once the budget has elapsed (always false when unlimited).
+    /// True once the budget has elapsed or the process was interrupted.
     bool expired() const {
-        return budget_seconds_.has_value() && watch_.elapsed_seconds() > *budget_seconds_;
+        return interrupt_requested() ||
+               (budget_seconds_.has_value() && watch_.elapsed_seconds() > *budget_seconds_);
     }
 
-    /// Throw ftc::budget_exceeded_error if expired. \p what names the
-    /// operation for the error message.
+    /// Throw ftc::interrupted_error on a pending interrupt, else
+    /// ftc::budget_exceeded_error if the time budget elapsed. \p what names
+    /// the operation for the error message.
     void check(std::string_view what) const {
-        if (expired()) {
+        if (interrupt_requested()) {
+            throw interrupted_error(std::string{what} + ": interrupted by stop request");
+        }
+        if (budget_seconds_.has_value() && watch_.elapsed_seconds() > *budget_seconds_) {
             throw budget_exceeded_error(std::string{what} + ": exceeded runtime budget");
         }
     }

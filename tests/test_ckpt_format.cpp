@@ -1,0 +1,246 @@
+// Unit tests of the checkpoint wire format (ckpt/format.hpp): lossless
+// round trips, digest verification, and rejection of damaged input.
+#include "ckpt/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+
+#include "protocols/registry.hpp"
+#include "segmentation/segment.hpp"
+#include "util/check.hpp"
+
+namespace ftc::ckpt {
+namespace {
+
+segments_payload sample_segments() {
+    segments_payload p;
+    p.surviving = {0, 2, 3};
+    p.segments = {
+        {{0, 0, 4}, {0, 4, 2}},
+        {{1, 0, 3}, {1, 3, 3}},
+        {{2, 0, 6}},
+    };
+    return p;
+}
+
+dissim::unique_segments sample_unique() {
+    dissim::unique_segments u;
+    u.values = {{1, 2, 3}, {4, 5}, {6, 7, 8, 9}};
+    u.occurrences = {
+        {{0, 0, 3}},
+        {{0, 3, 2}, {1, 0, 2}},
+        {{2, 0, 4}},
+    };
+    u.short_segments = 5;
+    return u;
+}
+
+dissim::dissimilarity_matrix sample_matrix() {
+    const std::vector<double> dense = {
+        0.0, 0.25, 0.5,   //
+        0.25, 0.0, 0.125,  //
+        0.5, 0.125, 0.0,
+    };
+    return dissim::dissimilarity_matrix::from_dense(dense, 3);
+}
+
+cluster::auto_cluster_result sample_clustering() {
+    cluster::auto_cluster_result c;
+    c.labels.labels = {0, 0, 1, cluster::kNoise, 1};
+    c.labels.cluster_count = 2;
+    c.config.epsilon = 0.0421875;
+    c.config.min_samples = 3;
+    c.config.selected_k = 4;
+    c.config.knee_found = true;
+    c.config.knees = {0.0421875, 0.125};
+    c.reconfigurations = 1;
+    c.reclustered = true;
+    return c;
+}
+
+TEST(CkptFormat, SectionContainerRoundTrips) {
+    std::vector<section> in;
+    in.push_back({1, {1, 2, 3}});
+    in.push_back({4, {}});
+    in.push_back({6, {255}});
+    const byte_vector file = encode_sections(in);
+    const std::vector<section> out = decode_sections(file);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].id, 1u);
+    EXPECT_EQ(out[0].payload, (byte_vector{1, 2, 3}));
+    EXPECT_EQ(out[1].id, 4u);
+    EXPECT_TRUE(out[1].payload.empty());
+    EXPECT_EQ(out[2].payload, byte_vector{255});
+}
+
+TEST(CkptFormat, EveryPayloadBitFlipIsDetected) {
+    // The per-section digest must catch a single flipped bit anywhere in
+    // any payload byte.
+    std::vector<section> in;
+    in.push_back({2, {10, 20, 30, 40, 50}});
+    const byte_vector file = encode_sections(in);
+    const std::size_t payload_start = file.size() - 5;
+    for (std::size_t byte_at = payload_start; byte_at < file.size(); ++byte_at) {
+        for (int bit = 0; bit < 8; ++bit) {
+            byte_vector damaged = file;
+            damaged[byte_at] ^= static_cast<std::uint8_t>(1 << bit);
+            EXPECT_THROW(decode_sections(damaged), parse_error)
+                << "flip at byte " << byte_at << " bit " << bit;
+        }
+    }
+}
+
+TEST(CkptFormat, RejectsBadMagicVersionAndTruncation) {
+    const byte_vector file = encode_sections({{1, {9, 9, 9}}});
+
+    byte_vector bad_magic = file;
+    bad_magic[0] ^= 0xff;
+    EXPECT_THROW(decode_sections(bad_magic), parse_error);
+
+    byte_vector bad_version = file;
+    bad_version[8] = 99;
+    EXPECT_THROW(decode_sections(bad_version), parse_error);
+
+    for (std::size_t cut = 0; cut < file.size(); ++cut) {
+        const byte_view truncated{file.data(), cut};
+        EXPECT_THROW(decode_sections(truncated), parse_error) << "cut at " << cut;
+    }
+
+    byte_vector trailing = file;
+    trailing.push_back(0);
+    EXPECT_THROW(decode_sections(trailing), parse_error);
+}
+
+TEST(CkptFormat, FingerprintRoundTripsAndRejectsShortPayload) {
+    const options_fingerprint fp{0x1122334455667788ull, 0x99aabbccddeeff00ull};
+    EXPECT_EQ(decode_fingerprint(encode_fingerprint(fp)), fp);
+    EXPECT_THROW(decode_fingerprint(byte_view{encode_fingerprint(fp).data(), 15}),
+                 parse_error);
+}
+
+TEST(CkptFormat, FingerprintIgnoresSpeedKnobsButNotResultKnobs) {
+    core::pipeline_options a;
+    core::pipeline_options b = a;
+    b.threads = 7;
+    b.budget_seconds = 1.0;
+    b.max_segments = 100;
+    b.max_bytes = 1000;
+    // Speed/limit knobs do not change what a run computes -> same identity.
+    EXPECT_EQ(fingerprint(a, "NEMESYS", 1), fingerprint(b, "NEMESYS", 1));
+
+    core::pipeline_options c = a;
+    c.min_segment_length = 3;
+    EXPECT_NE(fingerprint(a, "NEMESYS", 1), fingerprint(c, "NEMESYS", 1));
+
+    core::pipeline_options d = a;
+    d.oversize_fraction = 0.5;
+    EXPECT_NE(fingerprint(a, "NEMESYS", 1), fingerprint(d, "NEMESYS", 1));
+
+    EXPECT_NE(fingerprint(a, "NEMESYS", 1), fingerprint(a, "CSP", 1));
+    EXPECT_NE(fingerprint(a, "NEMESYS", 1), fingerprint(a, "NEMESYS", 2));
+}
+
+TEST(CkptFormat, SegmentsRoundTrip) {
+    const segments_payload in = sample_segments();
+    const segments_payload out = decode_segments(encode_segments(in));
+    EXPECT_EQ(out.surviving, in.surviving);
+    EXPECT_EQ(out.segments, in.segments);
+}
+
+TEST(CkptFormat, SegmentsRejectSurvivorCountMismatch) {
+    segments_payload p = sample_segments();
+    p.surviving.pop_back();
+    EXPECT_THROW(decode_segments(encode_segments(p)), parse_error);
+}
+
+TEST(CkptFormat, UniqueRoundTrip) {
+    const dissim::unique_segments in = sample_unique();
+    const dissim::unique_segments out = decode_unique(encode_unique(in));
+    EXPECT_EQ(out.values, in.values);
+    EXPECT_EQ(out.occurrences, in.occurrences);
+    EXPECT_EQ(out.short_segments, in.short_segments);
+}
+
+TEST(CkptFormat, MatrixRoundTripIsBitwise) {
+    const dissim::dissimilarity_matrix in = sample_matrix();
+    const dissim::dissimilarity_matrix out = decode_matrix(encode_matrix(in));
+    ASSERT_EQ(out.size(), in.size());
+    ASSERT_EQ(out.data().size(), in.data().size());
+    EXPECT_EQ(std::memcmp(out.data().data(), in.data().data(),
+                          in.data().size() * sizeof(float)),
+              0);
+}
+
+TEST(CkptFormat, MatrixRejectsOutOfRangeAndNaN) {
+    byte_vector payload = encode_matrix(sample_matrix());
+    // Overwrite the first f32 entry (after the u64 size) with 2.0f.
+    const float big = 2.0f;
+    std::memcpy(payload.data() + 8, &big, sizeof big);
+    EXPECT_THROW(decode_matrix(payload), parse_error);
+
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    std::memcpy(payload.data() + 8, &nan, sizeof nan);
+    EXPECT_THROW(decode_matrix(payload), parse_error);
+}
+
+TEST(CkptFormat, MatrixRejectsForgedSize) {
+    byte_vector payload = encode_matrix(sample_matrix());
+    payload[0] = 0xff;  // claims a huge n without the bytes to back it
+    payload[1] = 0xff;
+    EXPECT_THROW(decode_matrix(payload), parse_error);
+}
+
+TEST(CkptFormat, KnnRoundTripIsBitwise) {
+    const std::vector<std::vector<double>> in = {
+        {0.0, 0.1, 0.25},
+        {0.5, 0.50000000001, 1.0},
+    };
+    EXPECT_EQ(decode_knn(encode_knn(in)), in);
+}
+
+TEST(CkptFormat, ClusteringRoundTrip) {
+    const cluster::auto_cluster_result in = sample_clustering();
+    const cluster::auto_cluster_result out = decode_clustering(encode_clustering(in));
+    EXPECT_EQ(out.labels.labels, in.labels.labels);
+    EXPECT_EQ(out.labels.cluster_count, in.labels.cluster_count);
+    EXPECT_EQ(out.config.epsilon, in.config.epsilon);
+    EXPECT_EQ(out.config.min_samples, in.config.min_samples);
+    EXPECT_EQ(out.config.selected_k, in.config.selected_k);
+    EXPECT_EQ(out.config.knee_found, in.config.knee_found);
+    EXPECT_EQ(out.config.knees, in.config.knees);
+    EXPECT_EQ(out.reconfigurations, in.reconfigurations);
+    EXPECT_EQ(out.reclustered, in.reclustered);
+}
+
+TEST(CkptFormat, ClusteringRejectsOutOfRangeLabels) {
+    cluster::auto_cluster_result c = sample_clustering();
+    c.labels.labels[0] = 5;  // >= cluster_count
+    EXPECT_THROW(decode_clustering(encode_clustering(c)), parse_error);
+    c.labels.labels[0] = -2;  // not kNoise, not a cluster id
+    EXPECT_THROW(decode_clustering(encode_clustering(c)), parse_error);
+}
+
+TEST(CkptFormat, RealMatrixRoundTripsLosslessly) {
+    // A matrix computed from a real synthesized trace, not a toy: the wire
+    // form must preserve every float bit pattern the kernel produced.
+    const protocols::trace t = protocols::generate_trace("DNS", 40, 3);
+    const auto messages = segmentation::message_bytes(t);
+    const auto segs = segmentation::segments_from_annotations(t);
+    const dissim::unique_segments unique = dissim::condense(messages, segs);
+    const dissim::dissimilarity_matrix matrix(unique.values);
+
+    const dissim::dissimilarity_matrix back = decode_matrix(encode_matrix(matrix));
+    ASSERT_EQ(back.size(), matrix.size());
+    EXPECT_EQ(std::memcmp(back.data().data(), matrix.data().data(),
+                          matrix.data().size() * sizeof(float)),
+              0);
+
+    const dissim::unique_segments unique_back = decode_unique(encode_unique(unique));
+    EXPECT_EQ(unique_back.values, unique.values);
+    EXPECT_EQ(unique_back.occurrences, unique.occurrences);
+}
+
+}  // namespace
+}  // namespace ftc::ckpt

@@ -1,0 +1,165 @@
+// Tests of graceful interruption: the resource-budget deadline or a stop
+// request tripping mid-pipeline must leave a consistent partial-progress
+// report, an interrupted checkpoint manifest, and obs counters that all
+// tell the same story — then resume must complete bitwise identically.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "ckpt/manager.hpp"
+#include "core/pipeline.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "protocols/registry.hpp"
+#include "util/budget.hpp"
+#include "util/check.hpp"
+#include "util/interrupt.hpp"
+
+namespace ftc {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct scenario {
+    std::vector<byte_vector> messages;
+    segmentation::message_segments segments;
+};
+
+scenario make_scenario() {
+    // Large enough that the dissimilarity matrix dominates the runtime, so
+    // a nano-deadline reliably trips inside that stage's parallel fan-out.
+    const protocols::trace t = protocols::generate_trace("DHCP", 120, 11);
+    return {segmentation::message_bytes(t), segmentation::segments_from_annotations(t)};
+}
+
+std::string slurp(const fs::path& path) {
+    std::ifstream in(path);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// Extract "segments N" / "bytes N" numbers from a partial report.
+std::uint64_t report_number(const std::string& report, const std::string& key) {
+    const std::size_t at = report.find(key + " ");
+    if (at == std::string::npos) {
+        return ~0ull;
+    }
+    return std::stoull(report.substr(at + key.size() + 1));
+}
+
+TEST(CkptInterrupt, DeadlineMidMatrixParallelReportsConsistentProgress) {
+    const scenario s = make_scenario();
+    const fs::path dir = fs::temp_directory_path() / "ftc_ckpt_interrupt_deadline";
+    fs::remove_all(dir);
+
+    obs::scoped_recorder recorder;
+    ckpt::checkpoint_manager manager(dir, {1, 2});
+    manager.on_segments(s.messages, s.segments);
+
+    core::pipeline_options opt;
+    opt.budget_seconds = 1e-6;  // trips during the matrix fan-out
+    opt.threads = 0;            // parallel mode: lanes rethrow via the pool
+    opt.observer = &manager;
+    core::pipeline_seed seed;
+    seed.segments = s.segments;
+
+    std::size_t total_segments = 0;
+    for (const auto& per_message : s.segments) {
+        total_segments += per_message.size();
+    }
+    std::size_t total_bytes = 0;
+    for (const auto& m : s.messages) {
+        total_bytes += m.size();
+    }
+
+    try {
+        core::analyze_seeded(s.messages, nullptr, std::move(seed), opt);
+        FAIL() << "expected budget_exceeded_error";
+    } catch (const budget_exceeded_error& e) {
+        // The report's numbers and the obs counters come from the same
+        // charge events — they must agree exactly.
+        const std::string report = e.partial_report();
+        EXPECT_EQ(report_number(report, "segments"), total_segments) << report;
+        EXPECT_EQ(report_number(report, "bytes"), total_bytes) << report;
+        EXPECT_NE(report.find("reached stage dissimilarity"), std::string::npos) << report;
+
+        const obs::metrics_snapshot m = recorder.rec().metrics().snapshot();
+        EXPECT_EQ(m.counters.at("budget.segments"), static_cast<double>(total_segments));
+        EXPECT_EQ(m.counters.at("budget.bytes"), static_cast<double>(total_bytes));
+        // The unique-segment gauge was published before the matrix started
+        // and again by the unwinding path; both agree with the report.
+        if (report.find("unique segments") != std::string::npos) {
+            EXPECT_EQ(m.gauges.at("pipeline.unique_segments"),
+                      static_cast<double>(report_number(report, "with")));
+        }
+    }
+
+    // The interrupted manifest recorded the stage the trip lost; the
+    // segmentation snapshot (completed before the trip) is still there.
+    const std::string manifest = slurp(dir / ckpt::checkpoint_manager::kManifestFile);
+    EXPECT_NE(manifest.find("\"status\":\"interrupted\""), std::string::npos) << manifest;
+    EXPECT_NE(manifest.find("\"stage\":\"dissimilarity\""), std::string::npos) << manifest;
+    EXPECT_TRUE(fs::exists(dir / ckpt::checkpoint_manager::kSegmentsFile));
+    EXPECT_FALSE(fs::exists(dir / ckpt::checkpoint_manager::kMatrixFile));
+    fs::remove_all(dir);
+}
+
+TEST(CkptInterrupt, StopRequestRaisesInterruptedErrorAndResumeCompletes) {
+    const scenario s = make_scenario();
+    const fs::path dir = fs::temp_directory_path() / "ftc_ckpt_interrupt_stop";
+    fs::remove_all(dir);
+
+    const core::pipeline_result plain = core::analyze_segments(s.messages, s.segments, {});
+
+    // Interrupted checkpointed run: the stop request surfaces as
+    // interrupted_error (not a budget trip) from the first check point.
+    {
+        scoped_interrupt_clear guard;
+        ckpt::checkpoint_manager manager(dir, {1, 2});
+        manager.on_segments(s.messages, s.segments);
+        core::pipeline_options opt;
+        opt.observer = &manager;
+        core::pipeline_seed seed;
+        seed.segments = s.segments;
+        request_interrupt(15);
+        EXPECT_THROW(core::analyze_seeded(s.messages, nullptr, std::move(seed), opt),
+                     interrupted_error);
+        const std::string manifest = slurp(dir / ckpt::checkpoint_manager::kManifestFile);
+        EXPECT_NE(manifest.find("\"status\":\"interrupted\""), std::string::npos)
+            << manifest;
+    }
+
+    // Flag cleared: resume from the surviving snapshots and finish; the
+    // result matches the never-interrupted run exactly.
+    {
+        ckpt::checkpoint_manager manager(dir, {1, 2});
+        diag::error_sink sink(diag::policy::lenient);
+        ckpt::restored_state restored = manager.load(s.messages, sink);
+        ASSERT_TRUE(restored.has_segments());
+        core::pipeline_options opt;
+        opt.observer = &manager;
+        const core::pipeline_result resumed = core::analyze_seeded(
+            restored.messages, nullptr, std::move(restored.seed), opt);
+        manager.mark_complete();
+        EXPECT_EQ(plain.final_labels.labels, resumed.final_labels.labels);
+        EXPECT_EQ(plain.final_labels.cluster_count, resumed.final_labels.cluster_count);
+        EXPECT_EQ(plain.clustering.config.epsilon, resumed.clustering.config.epsilon);
+        const std::string manifest = slurp(dir / ckpt::checkpoint_manager::kManifestFile);
+        EXPECT_NE(manifest.find("\"status\":\"complete\""), std::string::npos) << manifest;
+    }
+    fs::remove_all(dir);
+}
+
+TEST(CkptInterrupt, InterruptCounterPublishedOnStopRequest) {
+    scoped_interrupt_clear guard;
+    obs::scoped_recorder recorder;
+    resource_budget budget;
+    request_interrupt();
+    EXPECT_THROW(budget.check("stage"), interrupted_error);
+    const obs::metrics_snapshot m = recorder.rec().metrics().snapshot();
+    EXPECT_EQ(m.counters.at("budget.interrupted_total"), 1.0);
+}
+
+}  // namespace
+}  // namespace ftc

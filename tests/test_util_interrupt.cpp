@@ -1,0 +1,104 @@
+// Unit tests for the cooperative stop flag (util/interrupt.hpp) and its
+// wiring into deadline/resource_budget cancellation points.
+#include "util/interrupt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/budget.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ftc {
+namespace {
+
+TEST(Interrupt, FlagLifecycle) {
+    scoped_interrupt_clear guard;
+    EXPECT_FALSE(interrupt_requested());
+    EXPECT_EQ(interrupt_signal(), 0);
+
+    request_interrupt(15);  // SIGTERM
+    EXPECT_TRUE(interrupt_requested());
+    EXPECT_EQ(interrupt_signal(), 15);
+
+    clear_interrupt();
+    EXPECT_FALSE(interrupt_requested());
+    EXPECT_EQ(interrupt_signal(), 0);
+}
+
+TEST(Interrupt, ProgrammaticRequestHasNoSignal) {
+    scoped_interrupt_clear guard;
+    request_interrupt();
+    EXPECT_TRUE(interrupt_requested());
+    EXPECT_EQ(interrupt_signal(), 0);
+}
+
+TEST(Interrupt, SignalZeroStillRegistersAsRequest) {
+    scoped_interrupt_clear guard;
+    request_interrupt(0);  // 0 would alias "not interrupted"; mapped to -1
+    EXPECT_TRUE(interrupt_requested());
+    EXPECT_EQ(interrupt_signal(), 0);
+}
+
+TEST(Interrupt, DeadlineCheckThrowsInterruptedError) {
+    scoped_interrupt_clear guard;
+    const deadline unlimited;  // no wall-clock budget at all
+    EXPECT_NO_THROW(unlimited.check("stage"));
+    request_interrupt(2);  // SIGINT
+    EXPECT_TRUE(unlimited.expired());
+    try {
+        unlimited.check("stage");
+        FAIL() << "expected interrupted_error";
+    } catch (const interrupted_error& e) {
+        EXPECT_NE(std::string{e.what()}.find("interrupted"), std::string::npos);
+    }
+}
+
+TEST(Interrupt, InterruptedErrorIsABudgetExceededError) {
+    // Every existing catch(budget_exceeded_error) site must also handle a
+    // stop request — that is what makes the cancellation points free.
+    scoped_interrupt_clear guard;
+    request_interrupt();
+    const deadline unlimited;
+    EXPECT_THROW(unlimited.check("stage"), budget_exceeded_error);
+}
+
+TEST(Interrupt, BudgetCheckThrowsInterruptedWithProgress) {
+    scoped_interrupt_clear guard;
+    resource_budget budget;
+    budget.charge_segments(7, "stage");
+    budget.charge_bytes(1234, "stage");
+    request_interrupt(15);
+    try {
+        budget.check("pipeline");
+        FAIL() << "expected interrupted_error";
+    } catch (const interrupted_error& e) {
+        EXPECT_NE(std::string{e.what()}.find("interrupted by stop request"),
+                  std::string::npos);
+        EXPECT_NE(e.partial_report().find("segments 7"), std::string::npos);
+        EXPECT_NE(e.partial_report().find("bytes 1234"), std::string::npos);
+    }
+}
+
+TEST(Interrupt, InterruptWinsOverExpiredDeadline) {
+    // An interrupted run must report "interrupted", not whichever deadline
+    // happened to lapse at the same moment.
+    scoped_interrupt_clear guard;
+    resource_limits limits;
+    limits.deadline_seconds = 1e-9;
+    resource_budget budget(limits);
+    request_interrupt();
+    EXPECT_THROW(budget.check("pipeline"), interrupted_error);
+}
+
+TEST(Interrupt, ScopedClearRearms) {
+    {
+        scoped_interrupt_clear guard;
+        request_interrupt(9);
+        EXPECT_TRUE(interrupt_requested());
+    }
+    EXPECT_FALSE(interrupt_requested());
+}
+
+}  // namespace
+}  // namespace ftc

@@ -25,7 +25,22 @@
 ///       run.json: options, input digest, stage timings, quarantine
 ///       summary, peak RSS, final cluster metrics) turns observability on;
 ///       without them instrumentation stays a no-op and clustering output
-///       is bitwise identical either way.
+///       is bitwise identical either way. --report-out writes the analyst
+///       report to a file as well as stdout. All output files are written
+///       atomically (tmp + fsync + rename).
+///
+///       --checkpoint DIR persists each completed stage into DIR
+///       (segments.ckpt, matrix.ckpt, clustering.ckpt, manifest.json;
+///       format in src/ckpt/format.hpp) so a crashed, killed or
+///       budget-tripped run can continue where it stopped: --resume
+///       restores every snapshot that validates against the current
+///       options and input, recomputes the rest, and — every stage being
+///       bitwise deterministic — produces output identical to an
+///       uninterrupted run. SIGINT/SIGTERM request a graceful stop: the
+///       run unwinds at the next cancellation point, writes a final
+///       status=interrupted checkpoint manifest plus any requested
+///       observability outputs, and exits with 128+signo. A second signal
+///       kills the process the default way.
 ///
 ///   ftclust generate <protocol> <messages> <out.pcap> [--seed N]
 ///       Synthesize a deduplicated trace of one of the built-in protocols
@@ -39,6 +54,7 @@
 ///       Generate a trace with ground truth and report clustering quality
 ///       (precision, recall, F1/4, coverage) for the chosen segmentation
 ///       ("true" = ground-truth fields).
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +63,7 @@
 #include <string>
 #include <string_view>
 
+#include "ckpt/manager.hpp"
 #include "core/metrics.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
@@ -58,8 +75,10 @@
 #include "protocols/registry.hpp"
 #include "segmentation/segment.hpp"
 #include "testing/corrupter.hpp"
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/diag.hpp"
+#include "util/interrupt.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -73,7 +92,8 @@ int usage() {
         "                   [--budget SECONDS] [--deadline-ms N] [--max-segments N]\n"
         "                   [--max-bytes N] [--strict|--lenient] [--threads N]\n"
         "                   [--semantics] [--trace-out FILE] [--metrics-out FILE]\n"
-        "                   [--manifest-out FILE]\n"
+        "                   [--manifest-out FILE] [--report-out FILE]\n"
+        "                   [--checkpoint DIR] [--resume]\n"
         "  ftclust run      (alias for analyze)\n"
         "  ftclust generate <protocol> <messages> <out.pcap> [--seed N]\n"
         "  ftclust corrupt  <in.pcap> <out.pcap> [--fraction F] [--seed N]\n"
@@ -117,12 +137,38 @@ byte_vector read_input_bytes(const std::string& path) {
     return bytes;
 }
 
+/// All exporter outputs go through the atomic writer: a reader (or a
+/// crashed run) sees either the previous complete file or the new one,
+/// never a torn write. An unwritable target throws ftc::error, which main()
+/// turns into a non-zero exit with the diagnostic on stderr.
 void write_text_file(const char* path, const std::string& text) {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out.write(text.data(), static_cast<std::streamsize>(text.size()));
-    if (!out) {
-        throw ftc::error(std::string{"cannot write "} + path);
+    util::atomic_write_file(std::filesystem::path{path}, std::string_view{text});
+}
+
+/// First SIGINT/SIGTERM requests a graceful stop: one lock-free atomic
+/// store, the only thing an async-signal-safe handler may do here. Every
+/// cooperative cancellation point in the pipeline (deadline::check) then
+/// raises ftc::interrupted_error, which unwinds through the normal
+/// budget-exceeded paths — final checkpoint manifest, observability
+/// outputs, partial-progress report. A second signal restores the default
+/// disposition and re-raises, so a hung run can always be killed.
+extern "C" void stop_signal_handler(int signal_number) {
+    if (interrupt_requested()) {
+        std::signal(signal_number, SIG_DFL);
+        std::raise(signal_number);
+        return;
     }
+    request_interrupt(signal_number);
+}
+
+/// Idempotent: handlers are installed once per process.
+void install_stop_handlers() {
+    static const bool installed = [] {
+        std::signal(SIGINT, stop_signal_handler);
+        std::signal(SIGTERM, stop_signal_handler);
+        return true;
+    }();
+    (void)installed;
 }
 
 int cmd_analyze(const char* cmd_name, int argc, char** argv) {
@@ -142,6 +188,14 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
     const char* trace_out = flag_value(argc, argv, "--trace-out", nullptr);
     const char* metrics_out = flag_value(argc, argv, "--metrics-out", nullptr);
     const char* manifest_out = flag_value(argc, argv, "--manifest-out", nullptr);
+    const char* report_out = flag_value(argc, argv, "--report-out", nullptr);
+    const char* checkpoint_dir = flag_value(argc, argv, "--checkpoint", nullptr);
+    const bool resume = has_flag(argc, argv, "--resume");
+    if (resume && checkpoint_dir == nullptr) {
+        std::fputs("--resume requires --checkpoint DIR\n", stderr);
+        return usage();
+    }
+    install_stop_handlers();
     // Any observability output installs the recorder; otherwise every hook
     // in the pipeline stays a single null-pointer check.
     std::optional<obs::scoped_recorder> recorder;
@@ -166,6 +220,17 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
         static_cast<std::size_t>(std::atoll(flag_value(argc, argv, "--max-bytes", "0")));
     opt.threads =
         static_cast<std::size_t>(std::atoll(flag_value(argc, argv, "--threads", "0")));
+
+    // Checkpointing hooks the pipeline's stage boundaries; the fingerprint
+    // binds every snapshot to these options and this input.
+    std::optional<ckpt::checkpoint_manager> manager;
+    std::vector<std::string> restored_stages;
+    if (checkpoint_dir != nullptr) {
+        manager.emplace(checkpoint_dir,
+                        ckpt::fingerprint(opt, segmenter_name,
+                                          obs::fnv1a64(raw.data(), raw.size())));
+        opt.observer = &*manager;
+    }
 
     // Everything a machine needs to reproduce or compare this run. The
     // quarantine table is read back from the obs registry (diag publishes
@@ -221,6 +286,10 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
             static_cast<double>(recorder->rec().now_ns()) / 1e9;
         m.messages = message_count;
         m.status = status;
+        if (checkpoint_dir != nullptr) {
+            m.checkpoint_dir = checkpoint_dir;
+            m.restored_stages = restored_stages;
+        }
         if (result != nullptr) {
             m.unique_segments = result->unique.size();
             m.clusters = result->final_labels.cluster_count;
@@ -241,47 +310,100 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
 
     const auto segmenter = segmentation::make_segmenter(segmenter_name);
 
+    // Messages surviving ingestion + segmentation quarantine — whether
+    // restored from the checkpoint or produced by a fresh segmentation.
+    std::vector<byte_vector> segmented_messages;
+
+    // Resume: adopt every checkpoint snapshot that validates against the
+    // current fingerprint; a damaged or mismatched file is quarantined
+    // (category checkpoint) and only its stage recomputed.
+    core::pipeline_seed seed;
+    if (manager.has_value() && resume) {
+        ckpt::restored_state restored = manager->load(messages, sink);
+        restored_stages = restored.stages;
+        seed = std::move(restored.seed);
+        if (restored.has_segments()) {
+            segmented_messages = std::move(restored.messages);
+            manager->set_surviving(std::move(restored.surviving));
+        }
+        if (!restored_stages.empty()) {
+            std::string joined;
+            for (const std::string& s : restored_stages) {
+                joined += joined.empty() ? s : ", " + s;
+            }
+            std::printf("resumed from %s: restored %s\n", checkpoint_dir, joined.c_str());
+        }
+    }
+
     // Lenient mode quarantines unsegmentable messages instead of aborting.
     const deadline dl = budget > 0 ? deadline(budget) : deadline();
-    segmentation::lenient_segmentation segmented;
     core::pipeline_result result;
     try {
-        try {
-            segmented = segmentation::segment_lenient(*segmenter, messages, dl, sink);
-        } catch (const budget_exceeded_error& e) {
-            if (!e.partial_report().empty()) {
-                throw;
+        if (!seed.segments.has_value()) {
+            segmentation::lenient_segmentation segmented;
+            try {
+                segmented = segmentation::segment_lenient(*segmenter, messages, dl, sink);
+            } catch (const budget_exceeded_error& e) {
+                if (!e.partial_report().empty()) {
+                    throw;
+                }
+                // Segmenters raise bare deadline errors; attach the progress
+                // the exit handler expects so a bounded run still reports
+                // where it got — preserving the stop-request type.
+                const std::string partial =
+                    message("messages ", messages.size(), "; reached stage segmentation");
+                if (dynamic_cast<const interrupted_error*>(&e) != nullptr) {
+                    throw interrupted_error(e.what(), partial);
+                }
+                throw budget_exceeded_error(e.what(), partial);
             }
-            // Segmenters raise bare deadline errors; attach the progress the
-            // exit handler expects so a bounded run still reports where it got.
-            throw budget_exceeded_error(
-                e.what(),
-                message("messages ", messages.size(), "; reached stage segmentation"));
+            segmented_messages = std::move(segmented.messages);
+            if (manager.has_value()) {
+                // The pipeline only announces stages it computes, and
+                // segmentation happened here in the CLI — snapshot it before
+                // the expensive stages start.
+                manager->set_surviving(segmented.surviving);
+                manager->on_segments(segmented_messages, segmented.segments);
+            }
+            seed.segments = std::move(segmented.segments);
         }
-        result = core::analyze_segments(segmented.messages, std::move(segmented.segments), opt);
-    } catch (const budget_exceeded_error&) {
-        // A bounded run that trips its budget still leaves its trace,
-        // metrics and a manifest behind — that is when they matter most.
-        write_outputs(nullptr, messages.size(), "budget-exceeded");
+        result = core::analyze_seeded(segmented_messages, nullptr, std::move(seed), opt);
+    } catch (const budget_exceeded_error& e) {
+        // A bounded or interrupted run still leaves its trace, metrics and
+        // a manifest behind — that is when they matter most. The final
+        // checkpoint manifest (status=interrupted) was already written by
+        // the manager's on_interrupted hook.
+        const bool stopped = dynamic_cast<const interrupted_error*>(&e) != nullptr;
+        if (stopped && manager.has_value() && !seed.segments.has_value()) {
+            manager->on_interrupted("segmentation");
+        }
+        write_outputs(nullptr, messages.size(), stopped ? "interrupted" : "budget-exceeded");
         throw;
+    }
+    if (manager.has_value()) {
+        manager->mark_complete();
     }
     std::printf("%s segmentation -> %zu unique segments -> %zu pseudo data types "
                 "(eps %.3f, min_samples %zu, %.1fs)\n",
                 segmenter_name.c_str(), result.unique.size(),
                 result.final_labels.cluster_count, result.clustering.config.epsilon,
                 result.clustering.config.min_samples, result.elapsed_seconds);
-    write_outputs(&result, segmented.messages.size(), "ok");
+    write_outputs(&result, segmented_messages.size(), "ok");
     const std::string quarantine = core::render_quarantine(sink);
     if (!quarantine.empty()) {
         std::fputs(quarantine.c_str(), stdout);
     }
+    const std::string report = core::render_report(core::summarize_clusters(result));
+    if (report_out != nullptr) {
+        write_text_file(report_out, report);
+    }
     std::fputs("\n", stdout);
-    std::fputs(core::render_report(core::summarize_clusters(result)).c_str(), stdout);
+    std::fputs(report.c_str(), stdout);
 
     if (has_flag(argc, argv, "--semantics")) {
         std::printf("\ndeduced semantics:\n%s",
                     core::render_semantics(
-                        core::deduce_semantics(segmented.messages, result))
+                        core::deduce_semantics(segmented_messages, result))
                         .c_str());
     }
     return 0;
@@ -381,6 +503,15 @@ int main(int argc, char** argv) {
             return cmd_evaluate(argc - 2, argv + 2);
         }
         return usage();
+    } catch (const ftc::interrupted_error& e) {
+        std::fprintf(stderr, "interrupted: %s\n", e.what());
+        if (!e.partial_report().empty()) {
+            std::fprintf(stderr, "partial progress: %s\n", e.partial_report().c_str());
+        }
+        // Conventional 128+signo, so scripts can tell SIGINT from SIGTERM;
+        // programmatic stop requests (no signal) share the budget exit code.
+        const int sig = ftc::interrupt_signal();
+        return sig > 0 ? 128 + sig : 3;
     } catch (const ftc::budget_exceeded_error& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         if (!e.partial_report().empty()) {
