@@ -18,6 +18,7 @@
 
 #include "core/metrics.hpp"
 #include "core/pipeline.hpp"
+#include "mem/mem.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "protocols/registry.hpp"
@@ -49,6 +50,13 @@ struct run_result {
     double epsilon = 0.0;
     core::clustering_quality quality;
     double elapsed_seconds = 0.0;
+    /// Peak ftc::mem tracked heap during the run (bytes): the footprint a
+    /// --max-memory budget would be compared against, tracked per row so
+    /// memory regressions show up in BENCH_*.json diffs like time ones do.
+    std::uint64_t peak_bytes = 0;
+    /// Concrete segments per unique value (total / unique, 0 when unknown):
+    /// the compression the memory-pressure dedup rung would achieve.
+    double dedup_ratio = 0.0;
     /// Per-stage timings from ftc::obs (execution order), so the bench
     /// tables carry a breakdown of *where* each run spent its budget.
     std::vector<obs::manifest_stage> stages;
@@ -80,6 +88,7 @@ inline run_result score_pipeline(const protocols::trace& truth,
     // Record stage timings for this run; a failed run keeps the stages it
     // completed before the budget tripped.
     obs::scoped_recorder recorder;
+    mem::reset_peak();
     try {
         core::pipeline_options opt;
         opt.budget_seconds = budget;
@@ -87,6 +96,10 @@ inline run_result score_pipeline(const protocols::trace& truth,
             core::analyze_segments(messages, std::move(segments), opt);
         out.unique_fields = r.unique.size();
         out.epsilon = r.clustering.config.epsilon;
+        if (r.unique.size() > 0) {
+            out.dedup_ratio = static_cast<double>(r.unique.total_occurrences()) /
+                              static_cast<double>(r.unique.size());
+        }
         const core::typed_segments typed = core::assign_types(truth, r.unique);
         out.quality = core::evaluate_clustering(r.final_labels, typed, truth.total_bytes());
         out.elapsed_seconds = r.elapsed_seconds;
@@ -97,6 +110,7 @@ inline run_result score_pipeline(const protocols::trace& truth,
         out.failed = true;
         out.failure_reason = e.what();
     }
+    out.peak_bytes = mem::peak_bytes();
     out.stages = obs::collect_stages(recorder.rec().trace());
     return out;
 }
@@ -195,6 +209,10 @@ public:
             w.value(r.quality.coverage);
             w.key("elapsed_seconds");
             w.value(r.elapsed_seconds);
+            w.key("peak_bytes");
+            w.value(r.peak_bytes);
+            w.key("dedup_ratio");
+            w.value(r.dedup_ratio);
             w.key("stages");
             w.begin_array();
             for (const obs::manifest_stage& s : r.stages) {

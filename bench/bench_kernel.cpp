@@ -21,6 +21,7 @@
 #include "bench_common.hpp"
 #include "dissim/kernel.hpp"
 #include "dissim/matrix.hpp"
+#include "mem/mem.hpp"
 #include "obs/export.hpp"
 #include "protocols/registry.hpp"
 #include "segmentation/segment.hpp"
@@ -130,6 +131,7 @@ struct workload_result {
     std::size_t unique_segments = 0;
     std::uint64_t pairs = 0;
     std::uint64_t pair_bytes = 0;  ///< sum over pairs of both segment lengths
+    std::uint64_t peak_bytes = 0;  ///< peak ftc::mem tracked heap for the workload
     std::vector<backend_run> backends;
 };
 
@@ -137,6 +139,7 @@ workload_result run_workload(const std::string& protocol, std::size_t messages) 
     workload_result out;
     out.protocol = protocol;
     out.messages = messages;
+    mem::reset_peak();
 
     const protocols::trace trace =
         protocols::generate_trace(protocol, messages, bench::kBenchSeed);
@@ -187,6 +190,7 @@ workload_result run_workload(const std::string& protocol, std::size_t messages) 
         run.speedup_vs_scalar = scalar_seconds / run.seconds;
         out.backends.push_back(run);
     }
+    out.peak_bytes = mem::peak_bytes();
     return out;
 }
 
@@ -215,6 +219,8 @@ bool write_json(const std::vector<workload_result>& workloads) {
         w.value(wl.pairs);
         w.key("pair_bytes");
         w.value(wl.pair_bytes);
+        w.key("peak_bytes");
+        w.value(wl.peak_bytes);
         w.key("backends");
         w.begin_array();
         for (const backend_run& run : wl.backends) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "mem/mem.hpp"
 #include "obs/export.hpp"
 #include "util/check.hpp"
 
@@ -249,15 +250,26 @@ segments_payload decode_segments(byte_view payload) {
 
 byte_vector encode_unique(const dissim::unique_segments& unique) {
     byte_vector out;
+    // Leading form byte (v2): 0 = full occurrence lists, 1 = the weighted
+    // (memory-degraded) form carrying only per-value multiplicities. The
+    // degraded form must round-trip as degraded — resuming it as "full with
+    // empty occurrences" would silently break every position consumer.
+    put_u8(out, unique.occurrences_elided ? 1 : 0);
     put_u64_le(out, unique.values.size());
     for (const byte_vector& v : unique.values) {
         put_u64_le(out, v.size());
         put_bytes(out, v);
     }
-    for (const std::vector<segmentation::segment>& occs : unique.occurrences) {
-        put_u64_le(out, occs.size());
-        for (const segmentation::segment& seg : occs) {
-            put_segment(out, seg);
+    if (unique.occurrences_elided) {
+        for (const std::uint32_t m : unique.multiplicities) {
+            put_u32_le(out, m);
+        }
+    } else {
+        for (const std::vector<segmentation::segment>& occs : unique.occurrences) {
+            put_u64_le(out, occs.size());
+            for (const segmentation::segment& seg : occs) {
+                put_segment(out, seg);
+            }
         }
     }
     put_u64_le(out, unique.short_segments);
@@ -267,28 +279,52 @@ byte_vector encode_unique(const dissim::unique_segments& unique) {
 dissim::unique_segments decode_unique(byte_view payload) {
     reader r(payload);
     dissim::unique_segments unique;
+    const std::uint8_t form = r.u8();
+    if (form > 1) {
+        throw parse_error(message("ckpt: unknown unique-segment form ", form));
+    }
+    unique.occurrences_elided = form == 1;
     const std::size_t n = r.count(8);
     unique.values.reserve(n);
+    std::uint64_t value_bytes = 0;
     for (std::size_t i = 0; i < n; ++i) {
         const std::size_t len = r.count(1);
         const byte_view bytes = r.bytes(len);
         unique.values.emplace_back(bytes.begin(), bytes.end());
+        value_bytes += len;
     }
-    unique.occurrences.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        const std::size_t occs = r.count(24);
-        if (occs == 0) {
-            throw parse_error("ckpt: unique value without occurrences");
+    std::uint64_t occ_bytes = 0;
+    if (unique.occurrences_elided) {
+        unique.multiplicities.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint32_t m = r.u32();
+            if (m == 0) {
+                throw parse_error("ckpt: unique value with zero multiplicity");
+            }
+            unique.multiplicities.push_back(m);
         }
-        std::vector<segmentation::segment> per_value;
-        per_value.reserve(occs);
-        for (std::size_t s = 0; s < occs; ++s) {
-            per_value.push_back(read_segment(r));
+        occ_bytes = static_cast<std::uint64_t>(n) * sizeof(std::uint32_t);
+    } else {
+        unique.occurrences.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t occs = r.count(24);
+            if (occs == 0) {
+                throw parse_error("ckpt: unique value without occurrences");
+            }
+            std::vector<segmentation::segment> per_value;
+            per_value.reserve(occs);
+            for (std::size_t s = 0; s < occs; ++s) {
+                per_value.push_back(read_segment(r));
+                occ_bytes += sizeof(segmentation::segment);
+            }
+            unique.occurrences.push_back(std::move(per_value));
         }
-        unique.occurrences.push_back(std::move(per_value));
     }
     unique.short_segments = static_cast<std::size_t>(r.u64());
     r.expect_end();
+    // A restored snapshot occupies the same storage a computed one would;
+    // charge it so a resumed run's memory accounting matches a fresh run's.
+    unique.footprint = mem::charge(value_bytes + occ_bytes, "ckpt.unique");
     return unique;
 }
 
@@ -324,7 +360,86 @@ dissim::dissimilarity_matrix decode_matrix(byte_view payload) {
         upper.push_back(d);
     }
     r.expect_end();
-    return dissim::dissimilarity_matrix::from_upper(upper, static_cast<std::size_t>(n));
+    // Restore into whichever layout the active memory governor can afford:
+    // the cell values are identical either way (layout is a footprint knob,
+    // dissim/matrix.hpp), so this only decides whether the resume that
+    // needed --max-memory the first time still fits the second time.
+    const dissim::layout storage =
+        mem::would_exceed(n * n * sizeof(float)) ? dissim::layout::triangular
+                                                 : dissim::layout::dense;
+    return dissim::dissimilarity_matrix::from_upper(upper, static_cast<std::size_t>(n),
+                                                    storage);
+}
+
+// ---------------------------------------------------------------------------
+// matrix tiles (spilled triangular builds)
+// ---------------------------------------------------------------------------
+
+byte_vector encode_matrix_tile(const matrix_tile_payload& tile) {
+    byte_vector out;
+    put_u64_le(out, tile.row_begin);
+    put_u64_le(out, tile.row_end);
+    put_u64_le(out, tile.n);
+    put_u64_le(out, tile.cells.size());
+    for (const float d : tile.cells) {
+        put_f32(out, d);
+    }
+    return out;
+}
+
+matrix_tile_payload decode_matrix_tile(byte_view payload) {
+    reader r(payload);
+    matrix_tile_payload tile;
+    tile.row_begin = r.u64();
+    tile.row_end = r.u64();
+    tile.n = r.u64();
+    if (tile.n < 3 || tile.n > (1u << 24) || tile.row_begin >= tile.row_end ||
+        tile.row_end > tile.n) {
+        throw parse_error(message("ckpt: implausible tile rows [", tile.row_begin, ", ",
+                                  tile.row_end, ") of ", tile.n));
+    }
+    // Row r of the upper triangle holds n-1-r cells; the count must match
+    // the row range exactly, or the reassembled triangle would shear.
+    std::uint64_t expected = 0;
+    for (std::uint64_t row = tile.row_begin; row < tile.row_end; ++row) {
+        expected += tile.n - 1 - row;
+    }
+    const std::size_t cells = r.count(4);
+    if (cells != expected) {
+        throw parse_error(message("ckpt: tile holds ", cells, " cells, rows [",
+                                  tile.row_begin, ", ", tile.row_end, ") need ", expected));
+    }
+    tile.cells.reserve(cells);
+    for (std::size_t i = 0; i < cells; ++i) {
+        const float d = r.f32();
+        if (!(d >= 0.0f && d <= 1.0f)) {
+            throw parse_error(message("ckpt: tile cell ", i, " outside [0, 1]"));
+        }
+        tile.cells.push_back(d);
+    }
+    r.expect_end();
+    return tile;
+}
+
+byte_vector encode_matrix_tiled(const matrix_tiled_marker& marker) {
+    byte_vector out;
+    put_u64_le(out, marker.n);
+    put_u64_le(out, marker.tile_count);
+    return out;
+}
+
+matrix_tiled_marker decode_matrix_tiled(byte_view payload) {
+    reader r(payload);
+    matrix_tiled_marker marker;
+    marker.n = r.u64();
+    marker.tile_count = r.u64();
+    r.expect_end();
+    if (marker.n < 3 || marker.n > (1u << 24) || marker.tile_count == 0 ||
+        marker.tile_count > marker.n) {
+        throw parse_error(message("ckpt: implausible tiled-matrix marker (n ", marker.n,
+                                  ", ", marker.tile_count, " tiles)"));
+    }
+    return marker;
 }
 
 // ---------------------------------------------------------------------------

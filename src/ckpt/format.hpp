@@ -41,16 +41,22 @@ namespace ftc::ckpt {
 inline constexpr char kMagic[8] = {'F', 'T', 'C', 'K', 'P', 'T', '0', '1'};
 
 /// Bumped on any incompatible layout change; loaders reject other versions.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: unique payload gains a leading form byte (full occurrences vs.
+/// memory-degraded multiplicities), and a tiled triangular matrix build may
+/// replace the matrix section with a matrix_tiled marker plus one
+/// matrix_tile_<k>.ckpt file per spilled tile.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Section type tags.
 enum class section_id : std::uint32_t {
-    fingerprint = 1,  ///< options + input digests (first section, mandatory)
-    segments = 2,     ///< surviving indices + message segmentation
-    unique = 3,       ///< condensed unique segments
-    matrix = 4,       ///< dissimilarity matrix upper triangle (f32)
-    knn = 5,          ///< batched k-NN curves for the epsilon sweep
-    clustering = 6,   ///< auto-configuration + DBSCAN outcome
+    fingerprint = 1,   ///< options + input digests (first section, mandatory)
+    segments = 2,      ///< surviving indices + message segmentation
+    unique = 3,        ///< condensed unique segments
+    matrix = 4,        ///< dissimilarity matrix upper triangle (f32)
+    knn = 5,           ///< batched k-NN curves for the epsilon sweep
+    clustering = 6,    ///< auto-configuration + DBSCAN outcome
+    matrix_tile = 7,   ///< one spilled tile of a tiled triangular build
+    matrix_tiled = 8,  ///< marker: matrix lives in matrix_tile_<k>.ckpt files
 };
 
 /// One decoded section: tag plus raw (digest-verified) payload.
@@ -110,9 +116,36 @@ byte_vector encode_unique(const dissim::unique_segments& unique);
 dissim::unique_segments decode_unique(byte_view payload);
 
 /// Matrix travels as its upper triangle in f32 (the storage precision), so
-/// the restored matrix is bitwise identical to the saved one.
+/// the restored matrix is bitwise identical to the saved one — whatever
+/// layout either side used. The decoder picks the in-memory layout by
+/// projecting the dense footprint against the active ftc::mem governor:
+/// a resume under the same memory pressure that forced the triangular
+/// build restores into the triangular layout again.
 byte_vector encode_matrix(const dissim::dissimilarity_matrix& matrix);
 dissim::dissimilarity_matrix decode_matrix(byte_view payload);
+
+/// One spilled tile of a tiled triangular matrix build: upper-triangle rows
+/// [row_begin, row_end) of an n-element matrix as a contiguous cell run
+/// (dissim::tile_sink semantics).
+struct matrix_tile_payload {
+    std::uint64_t row_begin = 0;
+    std::uint64_t row_end = 0;
+    std::uint64_t n = 0;
+    std::vector<float> cells;
+};
+
+byte_vector encode_matrix_tile(const matrix_tile_payload& tile);
+matrix_tile_payload decode_matrix_tile(byte_view payload);
+
+/// Marker replacing the matrix section when tiles were spilled: the matrix
+/// is reassembled from `tile_count` matrix_tile_<k>.ckpt files.
+struct matrix_tiled_marker {
+    std::uint64_t n = 0;
+    std::uint64_t tile_count = 0;
+};
+
+byte_vector encode_matrix_tiled(const matrix_tiled_marker& marker);
+matrix_tiled_marker decode_matrix_tiled(byte_view payload);
 
 byte_vector encode_knn(const std::vector<std::vector<double>>& curves);
 std::vector<std::vector<double>> decode_knn(byte_view payload);

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "mem/mem.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "util/atomic_file.hpp"
@@ -82,6 +83,11 @@ void checkpoint_manager::write_sections(const char* filename, std::vector<sectio
                     section{static_cast<std::uint32_t>(section_id::fingerprint),
                             encode_fingerprint(fp_)});
     const byte_vector file = encode_sections(sections);
+    // The serialized image is a real, sometimes matrix-sized buffer; charge
+    // it so the governor (and the fault injector) see checkpoint writes as
+    // the allocation spike they are. Scoped: released as soon as the write
+    // lands.
+    const mem::charge file_charge(file.size(), "ckpt.write");
     util::atomic_write_file(dir_ / filename, byte_view{file});
     obs::counter_add("ckpt.files_written_total", 1.0);
     obs::counter_add("ckpt.bytes_written_total", static_cast<double>(file.size()));
@@ -126,6 +132,21 @@ void checkpoint_manager::on_segments(const std::vector<byte_vector>& messages,
     write_manifest("in-progress", last_stage_.c_str());
 }
 
+void checkpoint_manager::on_matrix_tile(std::size_t row_begin, std::size_t row_end,
+                                        std::size_t n, std::span<const float> cells) {
+    obs::span sp("ckpt.save.matrix_tile");
+    matrix_tile_payload tile;
+    tile.row_begin = row_begin;
+    tile.row_end = row_end;
+    tile.n = n;
+    tile.cells.assign(cells.begin(), cells.end());
+    write_sections(tile_file(tiles_spilled_).c_str(),
+                   {{static_cast<std::uint32_t>(section_id::matrix_tile),
+                     encode_matrix_tile(tile)}});
+    ++tiles_spilled_;
+    obs::counter_add("ckpt.tiles_spilled_total", 1.0);
+}
+
 void checkpoint_manager::on_matrix(const dissim::unique_segments& unique,
                                    const dissim::dissimilarity_matrix& matrix,
                                    const std::vector<std::vector<double>>& knn_curves) {
@@ -133,8 +154,21 @@ void checkpoint_manager::on_matrix(const dissim::unique_segments& unique,
     std::vector<section> sections;
     sections.push_back(
         {static_cast<std::uint32_t>(section_id::unique), encode_unique(unique)});
-    sections.push_back(
-        {static_cast<std::uint32_t>(section_id::matrix), encode_matrix(matrix)});
+    if (tiles_spilled_ > 0) {
+        // Every cell already sits in the spilled tile files (written
+        // atomically as each tile completed); re-serializing the whole
+        // triangle here would momentarily double the matrix footprint —
+        // exactly what a memory-pressured run cannot afford. The marker
+        // tells load() where the cells live.
+        matrix_tiled_marker marker;
+        marker.n = matrix.size();
+        marker.tile_count = tiles_spilled_;
+        sections.push_back({static_cast<std::uint32_t>(section_id::matrix_tiled),
+                            encode_matrix_tiled(marker)});
+    } else {
+        sections.push_back(
+            {static_cast<std::uint32_t>(section_id::matrix), encode_matrix(matrix)});
+    }
     if (!knn_curves.empty()) {
         sections.push_back(
             {static_cast<std::uint32_t>(section_id::knn), encode_knn(knn_curves)});
@@ -150,6 +184,45 @@ void checkpoint_manager::on_clustering(const cluster::auto_cluster_result& clust
                                       encode_clustering(clustering)}});
     last_stage_ = "clustering";
     write_manifest("in-progress", last_stage_.c_str());
+}
+
+dissim::dissimilarity_matrix checkpoint_manager::load_tiled_matrix(
+    const matrix_tiled_marker& marker) {
+    obs::span sp("ckpt.load.tiles");
+    sp.count("tiles", marker.tile_count);
+    // Tiles must chain seamlessly over [0, n): each file carries its row
+    // range, and any gap, overlap, or missing file fails the whole matrix
+    // (the caller quarantines and recomputes — a half-trusted matrix is
+    // worse than none). Cells concatenate into the triangular layout
+    // directly: a run resuming a tiled spill is by definition under the
+    // memory pressure that chose that layout.
+    std::vector<float> cells;
+    std::uint64_t next_row = 0;
+    for (std::uint64_t k = 0; k < marker.tile_count; ++k) {
+        const auto file = read_file(dir_ / tile_file(static_cast<std::size_t>(k)));
+        if (!file.has_value()) {
+            throw parse_error(message("ckpt: spilled tile file ", tile_file(k), " missing"));
+        }
+        std::vector<section> sections = checked_sections(*file, fp_);
+        const section* tile_section = find_section(sections, section_id::matrix_tile);
+        if (tile_section == nullptr) {
+            throw parse_error(message("ckpt: ", tile_file(k), " has no tile section"));
+        }
+        matrix_tile_payload tile = decode_matrix_tile(tile_section->payload);
+        if (tile.n != marker.n || tile.row_begin != next_row) {
+            throw parse_error(message("ckpt: tile ", k, " covers rows [", tile.row_begin,
+                                      ", ", tile.row_end, ") of ", tile.n, ", expected rows "
+                                      "from ", next_row, " of ", marker.n));
+        }
+        next_row = tile.row_end;
+        cells.insert(cells.end(), tile.cells.begin(), tile.cells.end());
+    }
+    if (next_row != marker.n) {
+        throw parse_error(message("ckpt: spilled tiles stop at row ", next_row, " of ",
+                                  marker.n));
+    }
+    return dissim::dissimilarity_matrix::from_upper(
+        cells, static_cast<std::size_t>(marker.n), dissim::layout::triangular);
 }
 
 void checkpoint_manager::on_interrupted(const char* stage) {
@@ -218,11 +291,14 @@ restored_state checkpoint_manager::load(const std::vector<byte_vector>& all_mess
             std::vector<section> sections = checked_sections(*file, fp_);
             const section* uniq = find_section(sections, section_id::unique);
             const section* mat = find_section(sections, section_id::matrix);
-            if (uniq == nullptr || mat == nullptr) {
+            const section* tiled = find_section(sections, section_id::matrix_tiled);
+            if (uniq == nullptr || (mat == nullptr && tiled == nullptr)) {
                 throw parse_error("ckpt: unique/matrix section missing");
             }
             dissim::unique_segments unique = decode_unique(uniq->payload);
-            dissim::dissimilarity_matrix matrix = decode_matrix(mat->payload);
+            dissim::dissimilarity_matrix matrix =
+                mat != nullptr ? decode_matrix(mat->payload)
+                               : load_tiled_matrix(decode_matrix_tiled(tiled->payload));
             if (matrix.size() != unique.size()) {
                 throw parse_error(message("ckpt: matrix of ", matrix.size(), " rows for ",
                                           unique.size(), " unique segments"));

@@ -80,6 +80,19 @@ public:
     void on_clustering(const cluster::auto_cluster_result& clustering) override;
     void on_interrupted(const char* stage) override;
 
+    /// Memory-pressured triangular builds spill each completed tile into
+    /// its own matrix_tile_<k>.ckpt the moment it is final — bounding both
+    /// crash-lost work and the serialization buffer on_matrix would
+    /// otherwise need for the whole triangle at once.
+    bool wants_matrix_tiles() const override { return true; }
+    void on_matrix_tile(std::size_t row_begin, std::size_t row_end, std::size_t n,
+                        std::span<const float> cells) override;
+
+    /// Name of the k-th spilled tile file within the checkpoint directory.
+    static std::string tile_file(std::size_t k) {
+        return "matrix_tile_" + std::to_string(k) + ".ckpt";
+    }
+
     /// Mark the run finished (manifest status "complete").
     void mark_complete();
 
@@ -93,11 +106,13 @@ public:
 private:
     void write_sections(const char* filename, std::vector<section> sections);
     void write_manifest(const char* status, const char* stage);
+    dissim::dissimilarity_matrix load_tiled_matrix(const matrix_tiled_marker& marker);
 
     std::filesystem::path dir_;
     options_fingerprint fp_;
     std::vector<std::size_t> surviving_;
     std::string last_stage_ = "none";
+    std::size_t tiles_spilled_ = 0;  ///< tiles written for the current matrix
 };
 
 }  // namespace ftc::ckpt

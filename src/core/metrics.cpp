@@ -27,6 +27,14 @@ std::uint64_t pairs_of(std::uint64_t n) { return n * (n - 1) / 2; }
 typed_segments assign_types(const protocols::trace& truth, dissim::unique_segments unique) {
     typed_segments out;
     out.unique = std::move(unique);
+    // Type votes are cast per occurrence position against the annotated
+    // fields of the carrying message — the weighted (occurrence-elided)
+    // form cannot be scored. Evaluation runs against synthesized ground
+    // truth, which is never large enough to trip the dedup rung, so this is
+    // a contract statement, not a reachable limitation.
+    expects(!out.unique.occurrences_elided,
+            "assign_types: ground-truth scoring needs full occurrence lists "
+            "(rerun without the memory-degraded dedup rung)");
     out.types.reserve(out.unique.size());
     for (const std::vector<segmentation::segment>& occs : out.unique.occurrences) {
         std::array<std::size_t, field_type_count> votes{};
@@ -135,10 +143,12 @@ clustering_quality evaluate_clustering(const cluster::cluster_labels& labels,
     std::uint64_t analyzed = 0;
     std::uint64_t clustered = 0;
     for (std::size_t i = 0; i < n; ++i) {
-        std::uint64_t bytes = 0;
-        for (const segmentation::segment& seg : segments.unique.occurrences[i]) {
-            bytes += seg.length;
-        }
+        // Every occurrence of value i spans exactly values[i].size() bytes
+        // (the value IS those bytes), so the sum collapses to a product —
+        // and stays computable from multiplicities alone.
+        const std::uint64_t bytes =
+            static_cast<std::uint64_t>(segments.unique.occurrence_count(i)) *
+            segments.unique.values[i].size();
         analyzed += bytes;
         if (labels.labels[i] != cluster::kNoise) {
             clustered += bytes;

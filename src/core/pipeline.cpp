@@ -1,5 +1,8 @@
 #include "core/pipeline.hpp"
 
+#include <optional>
+
+#include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "util/budget.hpp"
 #include "util/check.hpp"
@@ -15,6 +18,7 @@ resource_budget make_budget(const pipeline_options& options) {
     limits.deadline_seconds = options.budget_seconds;
     limits.max_segments = options.max_segments;
     limits.max_bytes = options.max_bytes;
+    limits.max_memory = options.max_memory;
     return resource_budget(limits);
 }
 
@@ -41,6 +45,12 @@ resource_budget make_budget(const pipeline_options& options) {
     if (dynamic_cast<const interrupted_error*>(&e) != nullptr) {
         throw interrupted_error(e.what(), std::move(partial));
     }
+    // Memory pressure keeps its own type too: the CLI maps it to the
+    // memory-exceeded manifest status, and callers retrying with a larger
+    // --max-memory need to tell it from a tripped deadline.
+    if (dynamic_cast<const memory_budget_exceeded_error*>(&e) != nullptr) {
+        throw memory_budget_exceeded_error(e.what(), std::move(partial));
+    }
     throw budget_exceeded_error(e.what(), std::move(partial));
 }
 
@@ -52,6 +62,16 @@ pipeline_result analyze_seeded_budgeted(const std::vector<byte_vector>& messages
     const stopwatch watch;
     const deadline& dl = budget.wall_clock();
     stage_observer* hook = options.observer;
+
+    // The max_memory axis is enforced by a governor, not by charge calls on
+    // the budget object: tracked allocations happen deep inside stages and
+    // libraries, and the governor catches all of them. An already-active
+    // governor (installed by the CLI, or a nesting caller) wins — the
+    // innermost scope is the one the analyst configured most recently.
+    std::optional<mem::governor> governor;
+    if (options.max_memory > 0 && mem::governor::active() == nullptr) {
+        governor.emplace(options.max_memory);
+    }
 
     pipeline_result result;
 
@@ -102,21 +122,78 @@ pipeline_result analyze_seeded_budgeted(const std::vector<byte_vector>& messages
                            static_cast<double>(result.unique.size()));
         } else {
             obs::span sp("dissimilarity");
+            // Degradation rung 1 — weighted condensation. The full form
+            // materializes one segment struct per concrete segment; project
+            // that storage against the governor and, when it would not fit,
+            // keep only per-value multiplicities. values (and therefore the
+            // matrix and the clustering) are bitwise identical either way.
+            const std::uint64_t occurrence_bytes =
+                static_cast<std::uint64_t>(total_segments) * sizeof(segmentation::segment);
+            const bool elide = mem::would_exceed(occurrence_bytes);
             result.unique =
-                dissim::condense(messages, result.segments, options.min_segment_length);
+                elide ? dissim::condense_weighted(messages, result.segments,
+                                                  options.min_segment_length)
+                      : dissim::condense(messages, result.segments,
+                                         options.min_segment_length);
             expects(result.unique.size() >= 3,
                     "analyze: fewer than 3 unique segments; trace too uniform to cluster");
             sp.count("segments", total_segments);
             sp.count("unique_segments", result.unique.size());
             sp.count("pairs", result.unique.size() * (result.unique.size() - 1) / 2);
+            sp.count("occurrences_elided", elide ? 1 : 0);
             obs::gauge_set("pipeline.unique_segments",
                            static_cast<double>(result.unique.size()));
-            matrix_storage.emplace(result.unique.values, dl, threads);
+
+            // Degradation rung 2 — triangular tiled matrix. When the dense
+            // n*n layout would cross the budget, store the upper triangle
+            // only (identical cells, half the bytes) and, under an observer
+            // that spills tiles, bound crash-lost work to one tile. If even
+            // the triangle cannot fit, its tracked allocation raises
+            // memory_budget_exceeded_error — rung 3, the typed exit.
+            const std::size_t n = result.unique.size();
+            dissim::build_options bopts;
+            bopts.threads = threads;
+            if (mem::would_exceed(static_cast<std::uint64_t>(n) * n * sizeof(float))) {
+                bopts.storage = dissim::layout::triangular;
+                obs::counter_add("mem.degrade.triangular_total", 1.0);
+                if (hook != nullptr && hook->wants_matrix_tiles()) {
+                    // ~4 MiB of cells per tile: big enough that spill I/O
+                    // stays a rounding error, small enough that a crash
+                    // loses minutes, not hours. The spill path charges each
+                    // serialized tile against the budget too, so cap the
+                    // tile at half the headroom left once the triangle
+                    // itself is allocated — a tile the budget cannot absorb
+                    // would turn the degradation rung into the very failure
+                    // it exists to avoid. Deterministic in n and the limit.
+                    std::uint64_t tile_bytes = 4u << 20;
+                    if (const mem::governor* g = mem::governor::active();
+                        g != nullptr && g->limit() > 0) {
+                        const std::uint64_t after_triangle =
+                            mem::current_bytes() +
+                            static_cast<std::uint64_t>(n) * (n - 1) / 2 * sizeof(float);
+                        const std::uint64_t headroom =
+                            g->limit() > after_triangle ? g->limit() - after_triangle : 0;
+                        tile_bytes = std::clamp<std::uint64_t>(headroom / 2, 4096, tile_bytes);
+                    }
+                    bopts.tile_rows = std::max<std::size_t>(
+                        1, static_cast<std::size_t>(tile_bytes) / sizeof(float) /
+                               std::max<std::size_t>(1, n));
+                    bopts.on_tile = [hook](std::size_t row_begin, std::size_t row_end,
+                                           std::size_t nn, std::span<const float> cells) {
+                        hook->on_matrix_tile(row_begin, row_end, nn, cells);
+                    };
+                }
+            }
+            if (elide) {
+                obs::counter_add("mem.degrade.dedup_total", 1.0);
+            }
+            matrix_storage.emplace(result.unique.values, bopts, dl);
             if (hook != nullptr) {
                 knn_curves = matrix_storage->kth_nn_many(
                     cluster::knn_k_max(result.unique.size()), threads);
                 hook->on_matrix(result.unique, *matrix_storage, knn_curves);
             }
+            mem::publish_gauges();
         }
         const dissim::dissimilarity_matrix& matrix = *matrix_storage;
 
@@ -155,8 +232,8 @@ pipeline_result analyze_seeded_budgeted(const std::vector<byte_vector>& messages
             if (options.apply_refinement) {
                 std::vector<std::size_t> occurrence_counts;
                 occurrence_counts.reserve(result.unique.size());
-                for (const auto& occs : result.unique.occurrences) {
-                    occurrence_counts.push_back(occs.size());
+                for (std::size_t i = 0; i < result.unique.size(); ++i) {
+                    occurrence_counts.push_back(result.unique.occurrence_count(i));
                 }
                 cluster::refine_options refine_opts = options.refine;
                 if (result.clustering.reclustered && refine_opts.max_merged_fraction <= 0.0) {
@@ -179,9 +256,11 @@ pipeline_result analyze_seeded_budgeted(const std::vector<byte_vector>& messages
         if (hook != nullptr) {
             hook->on_interrupted(stage);
         }
+        mem::publish_gauges();
         rethrow_with_progress(e, stage, budget, result.unique.size());
     }
 
+    mem::publish_gauges();
     result.elapsed_seconds = watch.elapsed_seconds();
     return result;
 }

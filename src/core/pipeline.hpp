@@ -47,6 +47,20 @@ public:
                            const dissim::dissimilarity_matrix& /*matrix*/,
                            const std::vector<std::vector<double>>& /*knn_curves*/) {}
 
+    /// Opt into per-tile matrix announcements: when true and the matrix is
+    /// built in the memory-lean triangular layout, the pipeline tiles the
+    /// construction and fires on_matrix_tile for every completed tile, so
+    /// an observer can spill finished cells incrementally instead of
+    /// buffering the whole triangle again at on_matrix time.
+    virtual bool wants_matrix_tiles() const { return false; }
+
+    /// One completed tile of a tiled triangular build: upper-triangle rows
+    /// [row_begin, row_end) as a contiguous, final cell run (see
+    /// dissim::tile_sink). Fires before on_matrix; tiles cover the triangle
+    /// exactly, in row order.
+    virtual void on_matrix_tile(std::size_t /*row_begin*/, std::size_t /*row_end*/,
+                                std::size_t /*n*/, std::span<const float> /*cells*/) {}
+
     /// Auto-configuration + DBSCAN (incl. both guards) finished.
     virtual void on_clustering(const cluster::auto_cluster_result& /*clustering*/) {}
 
@@ -99,6 +113,17 @@ struct pipeline_options {
     std::size_t max_segments = 0;
     /// Cap on total message payload bytes; 0 = unlimited.
     std::size_t max_bytes = 0;
+    /// Cap on the tracked heap footprint in bytes; 0 = unlimited. Enforced
+    /// by installing a ftc::mem::governor for the run (unless the caller
+    /// already installed one — the innermost governor wins). Under
+    /// projected pressure the pipeline degrades instead of dying: weighted
+    /// condensation (occurrence lists elided, counts kept), then the
+    /// triangular tiled matrix layout — both provably result-identical —
+    /// and only when even the degraded footprint cannot fit does the run
+    /// end in ftc::memory_budget_exceeded_error with a partial-progress
+    /// report (DESIGN.md §11). A limit never changes clustering output,
+    /// only how (or whether) the run reaches it.
+    std::size_t max_memory = 0;
     /// Worker threads for the dissimilarity-matrix, k-NN and epsilon-sweep
     /// hot paths: 0 = one lane per hardware thread, 1 = the exact legacy
     /// serial path. The parallel stages are pure fan-outs over independent

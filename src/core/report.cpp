@@ -44,7 +44,7 @@ std::vector<cluster_summary> summarize_clusters(const pipeline_result& result) {
         std::size_t width = 0;
         for (const std::size_t idx : members[c]) {
             const byte_vector& value = result.unique.values[idx];
-            s.occurrences += result.unique.occurrences[idx].size();
+            s.occurrences += result.unique.occurrence_count(idx);
             s.min_length = std::min(s.min_length, value.size());
             s.max_length = std::max(s.max_length, value.size());
             if (width == 0) {

@@ -98,7 +98,7 @@ std::vector<semantic_tag> deduce_semantics(const std::vector<byte_vector>& messa
         }
         std::size_t occurrences = 0;
         for (const std::size_t idx : members) {
-            occurrences += result.unique.occurrences[idx].size();
+            occurrences += result.unique.occurrence_count(idx);
         }
         if (occurrences < options.min_occurrences) {
             continue;
@@ -112,6 +112,13 @@ std::vector<semantic_tag> deduce_semantics(const std::vector<byte_vector>& messa
             tag.confidence = 1.0;
             tag.detail = message("one value in ", occurrences, " occurrences");
             tags.push_back(std::move(tag));
+            continue;
+        }
+
+        // The remaining rules read *where* each value occurred (message
+        // index per occurrence); a memory-degraded run kept only counts,
+        // so they gracefully sit out — a reduced but valid deduction set.
+        if (result.unique.occurrences_elided) {
             continue;
         }
 

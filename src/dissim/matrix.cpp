@@ -11,6 +11,29 @@
 
 namespace ftc::dissim {
 
+namespace {
+
+/// Storage behind one unique_segments instance, for its mem::charge: the
+/// value byte payloads plus per-value container headers, plus either the
+/// occurrence structs (full form) or the multiplicity words (weighted).
+std::uint64_t unique_footprint_bytes(const unique_segments& u) {
+    std::uint64_t bytes = 0;
+    for (const byte_vector& v : u.values) {
+        bytes += v.size() + sizeof(byte_vector);
+    }
+    if (u.occurrences_elided) {
+        bytes += u.multiplicities.size() * sizeof(std::uint32_t);
+    } else {
+        for (const auto& occs : u.occurrences) {
+            bytes += occs.size() * sizeof(segmentation::segment) +
+                     sizeof(std::vector<segmentation::segment>);
+        }
+    }
+    return bytes;
+}
+
+}  // namespace
+
 unique_segments condense(const std::vector<byte_vector>& messages,
                          const segmentation::message_segments& segs,
                          std::size_t min_length) {
@@ -32,6 +55,79 @@ unique_segments condense(const std::vector<byte_vector>& messages,
             out.occurrences[it->second].push_back(seg);
         }
     }
+    out.footprint = mem::charge(unique_footprint_bytes(out), "dissim.unique");
+    return out;
+}
+
+unique_segments condense_weighted(const std::vector<byte_vector>& messages,
+                                  const segmentation::message_segments& segs,
+                                  std::size_t min_length) {
+    unique_segments out;
+    out.occurrences_elided = true;
+
+    // Open-addressed digest index over out.values: slots hold value indices,
+    // probed linearly from the FNV-1a64 digest of the bytes, byte-compared
+    // on hit (digests dedup candidates, bytes decide). Indices are assigned
+    // at first sight of a value — the same rule condense() applies — so
+    // out.values is identical to the full form's, entry for entry.
+    constexpr std::uint32_t kEmpty = 0xffffffffu;
+    std::vector<std::uint32_t> slots(64, kEmpty);
+
+    const auto digest_of = [](byte_view bytes) {
+        std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis
+        for (const std::uint8_t b : bytes) {
+            h = (h ^ b) * 1099511628211ull;  // FNV-1a 64 prime
+        }
+        return h;
+    };
+
+    const auto rehash = [&] {
+        std::vector<std::uint32_t> grown(slots.size() * 2, kEmpty);
+        const std::size_t mask = grown.size() - 1;
+        for (const std::uint32_t idx : slots) {
+            if (idx == kEmpty) {
+                continue;
+            }
+            std::size_t at = digest_of(byte_view{out.values[idx]}) & mask;
+            while (grown[at] != kEmpty) {
+                at = (at + 1) & mask;
+            }
+            grown[at] = idx;
+        }
+        slots.swap(grown);
+    };
+
+    for (const std::vector<segmentation::segment>& per_message : segs) {
+        for (const segmentation::segment& seg : per_message) {
+            if (seg.length < min_length) {
+                ++out.short_segments;
+                continue;
+            }
+            const byte_view bytes = segmentation::segment_bytes(messages, seg);
+            if (2 * (out.values.size() + 1) > slots.size()) {
+                rehash();
+            }
+            const std::size_t mask = slots.size() - 1;
+            std::size_t at = digest_of(bytes) & mask;
+            while (true) {
+                const std::uint32_t idx = slots[at];
+                if (idx == kEmpty) {
+                    slots[at] = static_cast<std::uint32_t>(out.values.size());
+                    out.values.emplace_back(bytes.begin(), bytes.end());
+                    out.multiplicities.push_back(1);
+                    break;
+                }
+                if (out.values[idx].size() == bytes.size() &&
+                    std::equal(bytes.begin(), bytes.end(), out.values[idx].begin())) {
+                    ++out.multiplicities[idx];
+                    break;
+                }
+                at = (at + 1) & mask;
+            }
+        }
+    }
+    obs::counter_add("mem.dedup_condensations_total", 1.0);
+    out.footprint = mem::charge(unique_footprint_bytes(out), "dissim.unique.weighted");
     return out;
 }
 
@@ -50,15 +146,94 @@ void publish_kernel_stats(const kernel::stats& st) {
                      static_cast<double>(st.windows_pruned));
 }
 
+/// Per-row pending kernel batches: partners accumulate per path (equal /
+/// sliding length) and flush through the batch entry points. Each pair's
+/// value is bitwise the single-call kernel result, so batch composition
+/// only changes how the independent computations overlap in the pipeline.
+struct row_batcher {
+    static_assert(kernel::kEqualBatch == kernel::kSlideBatch);
+
+    struct pending_batch {
+        std::size_t cells[kernel::kEqualBatch];  // flat storage index
+        byte_view views[kernel::kEqualBatch];
+        double out[kernel::kEqualBatch];
+        std::size_t count = 0;
+    };
+
+    byte_view a;
+    float* data = nullptr;
+    kernel::stats* stp = nullptr;
+    pending_batch equal_pend;
+    pending_batch slide_pend;
+
+    void flush(pending_batch& pend) {
+        if (pend.count == 0) {
+            return;
+        }
+        if (&pend == &equal_pend) {
+            kernel::equal_dissimilarity_batch(a, pend.views, pend.count, pend.out, stp);
+        } else {
+            kernel::sliding_dissimilarity_batch(a, pend.views, pend.count, pend.out, stp);
+        }
+        for (std::size_t k = 0; k < pend.count; ++k) {
+            data[pend.cells[k]] = static_cast<float>(pend.out[k]);
+        }
+        pend.count = 0;
+    }
+
+    void add(byte_view b, std::size_t cell) {
+        pending_batch& pend = a.size() == b.size() ? equal_pend : slide_pend;
+        pend.cells[pend.count] = cell;
+        pend.views[pend.count] = b;
+        if (++pend.count == kernel::kEqualBatch) {
+            flush(pend);
+        }
+    }
+
+    void finish_row() {
+        flush(equal_pend);
+        flush(slide_pend);
+    }
+};
+
+}  // namespace
+
+namespace {
+
+build_options dense_options(std::size_t threads) {
+    build_options opts;
+    opts.threads = threads;
+    return opts;
+}
+
 }  // namespace
 
 dissimilarity_matrix::dissimilarity_matrix(std::span<const byte_vector> values,
                                            const deadline& dl, std::size_t threads)
-    : n_(values.size()), data_(values.size() * values.size(), 0.0f) {
+    : dissimilarity_matrix(values, dense_options(threads), dl) {}
+
+dissimilarity_matrix::dissimilarity_matrix(std::span<const byte_vector> values,
+                                           const build_options& opts, const deadline& dl)
+    : n_(values.size()), layout_(opts.storage) {
     obs::span sp("dissim.matrix");
     sp.count("n", n_);
     sp.count("pairs", n_ * (n_ - (n_ > 0 ? 1 : 0)) / 2);
     sp.count("kernel_backend", static_cast<std::uint64_t>(kernel::active()));
+    sp.count("triangular", layout_ == layout::triangular ? 1 : 0);
+    // The footprint-dominant allocation of the whole pipeline: tracked, so
+    // an active memory governor turns "this matrix cannot fit" into
+    // ftc::memory_budget_exceeded_error here instead of an OOM kill later.
+    if (layout_ == layout::dense) {
+        data_.assign(n_ * n_, 0.0f);
+        build_dense(values, dl, opts.threads);
+    } else {
+        data_.assign(n_ * (n_ - (n_ > 0 ? 1 : 0)) / 2, 0.0f);
+        build_triangular(values, opts, dl);
+    }
+}
+
+void dissimilarity_matrix::build_dense(std::span<const byte_vector> values,
+                                       const deadline& dl, std::size_t threads) {
     // Length-bucketed visit order: rows walk their partners grouped by
     // segment length (stable within a group), so equal-length pairs hit the
     // branch-predictable fast path back to back and sliding pairs of one
@@ -83,68 +258,23 @@ dissimilarity_matrix::dissimilarity_matrix(std::span<const byte_vector> values,
     const std::size_t grain = std::max<std::size_t>(1, n_ / (8 * lanes));
     util::parallel_for(n_, grain, lanes, [&](std::size_t begin, std::size_t end) {
         kernel::stats st;
-        kernel::stats* stp = obs::current() != nullptr ? &st : nullptr;
-        // Partners are collected per row and computed a batch at a time —
-        // equal-length pairs through equal_dissimilarity_batch, the rest
-        // through sliding_dissimilarity_batch. Each pair's value is bitwise
-        // the single-call result, so batching only changes how the
-        // independent computations overlap in the pipeline.
-        static_assert(kernel::kEqualBatch == kernel::kSlideBatch);
-        struct pending_batch {
-            std::size_t cells[kernel::kEqualBatch];  // upper-triangle index
-            byte_view views[kernel::kEqualBatch];
-            double out[kernel::kEqualBatch];
-            std::size_t count = 0;
-        };
-        pending_batch equal_pend;
-        pending_batch slide_pend;
+        row_batcher batch;
+        batch.data = data_.data();
+        batch.stp = obs::current() != nullptr ? &st : nullptr;
         for (std::size_t p = begin; p < end; ++p) {
             if ((p - begin) % 32 == 0) {
                 dl.check("dissimilarity matrix");
             }
             const std::uint32_t i = order[p];
-            const byte_view a{values[i]};
-            const auto flush_equal = [&] {
-                if (equal_pend.count == 0) {
-                    return;
-                }
-                kernel::equal_dissimilarity_batch(a, equal_pend.views, equal_pend.count,
-                                                  equal_pend.out, stp);
-                for (std::size_t k = 0; k < equal_pend.count; ++k) {
-                    data_[equal_pend.cells[k]] = static_cast<float>(equal_pend.out[k]);
-                }
-                equal_pend.count = 0;
-            };
-            const auto flush_slide = [&] {
-                if (slide_pend.count == 0) {
-                    return;
-                }
-                kernel::sliding_dissimilarity_batch(a, slide_pend.views, slide_pend.count,
-                                                    slide_pend.out, stp);
-                for (std::size_t k = 0; k < slide_pend.count; ++k) {
-                    data_[slide_pend.cells[k]] = static_cast<float>(slide_pend.out[k]);
-                }
-                slide_pend.count = 0;
-            };
+            batch.a = byte_view{values[i]};
             for (std::size_t q = p + 1; q < n_; ++q) {
                 const std::uint32_t j = order[q];
-                const byte_view b{values[j]};
-                const std::size_t cell = i < j ? i * n_ + j : j * n_ + i;
-                pending_batch& pend = a.size() == b.size() ? equal_pend : slide_pend;
-                pend.cells[pend.count] = cell;
-                pend.views[pend.count] = b;
-                if (++pend.count == kernel::kEqualBatch) {
-                    if (&pend == &equal_pend) {
-                        flush_equal();
-                    } else {
-                        flush_slide();
-                    }
-                }
+                batch.add(byte_view{values[j]},
+                          i < j ? i * n_ + j : static_cast<std::size_t>(j) * n_ + i);
             }
-            flush_equal();
-            flush_slide();
+            batch.finish_row();
         }
-        if (stp != nullptr) {
+        if (batch.stp != nullptr) {
             publish_kernel_stats(st);
         }
     });
@@ -166,6 +296,53 @@ dissimilarity_matrix::dissimilarity_matrix(std::span<const byte_vector> values,
     }
 }
 
+void dissimilarity_matrix::build_triangular(std::span<const byte_vector> values,
+                                            const build_options& opts, const deadline& dl) {
+    // Plain row order, tile by tile: tile cells are one contiguous run of
+    // the upper triangle, so a completed tile can be spilled (opts.on_tile)
+    // as final bytes the moment its last row lands. Rows inside a tile fan
+    // out across lanes; each row's cells have exactly one writer. Per-pair
+    // values are the single-call kernel results, so this build is bitwise
+    // identical to the dense build cell for cell — only layout and the
+    // batch composition differ, and neither affects any value.
+    const std::size_t lanes = util::resolve_threads(opts.threads);
+    const std::size_t tile_rows = opts.tile_rows == 0 ? (n_ > 0 ? n_ : 1) : opts.tile_rows;
+    for (std::size_t row_begin = 0; row_begin < n_; row_begin += tile_rows) {
+        const std::size_t row_end = std::min(row_begin + tile_rows, n_);
+        const std::size_t grain =
+            std::max<std::size_t>(1, (row_end - row_begin) / (8 * lanes));
+        util::parallel_for(row_end - row_begin, grain, lanes,
+                           [&](std::size_t begin, std::size_t end) {
+            kernel::stats st;
+            row_batcher batch;
+            batch.data = data_.data();
+            batch.stp = obs::current() != nullptr ? &st : nullptr;
+            for (std::size_t r = begin; r < end; ++r) {
+                const std::size_t i = row_begin + r;
+                if (r % 32 == 0) {
+                    dl.check("dissimilarity matrix");
+                }
+                batch.a = byte_view{values[i]};
+                const std::size_t base = tri_offset(i);
+                for (std::size_t j = i + 1; j < n_; ++j) {
+                    batch.add(byte_view{values[j]}, base + (j - i - 1));
+                }
+                batch.finish_row();
+            }
+            if (batch.stp != nullptr) {
+                publish_kernel_stats(st);
+            }
+        });
+        dl.check("dissimilarity matrix tile");
+        if (opts.on_tile) {
+            const std::size_t begin = tri_offset(row_begin);
+            const std::size_t end = tri_offset(row_end);
+            opts.on_tile(row_begin, row_end, n_,
+                         std::span<const float>(data_.data() + begin, end - begin));
+        }
+    }
+}
+
 dissimilarity_matrix dissimilarity_matrix::from_dense(std::span<const double> dense,
                                                       std::size_t n) {
     expects(dense.size() == n * n, "from_dense: matrix must be n*n");
@@ -183,28 +360,37 @@ dissimilarity_matrix dissimilarity_matrix::from_dense(std::span<const double> de
 }
 
 dissimilarity_matrix dissimilarity_matrix::from_upper(std::span<const float> upper,
-                                                      std::size_t n) {
+                                                      std::size_t n, layout storage) {
     expects(upper.size() == n * (n - (n > 0 ? 1 : 0)) / 2,
             "from_upper: need exactly n*(n-1)/2 entries");
     dissimilarity_matrix m;
     m.n_ = n;
+    m.layout_ = storage;
+    for (const float d : upper) {
+        // The sliding-Canberra range guarantee; a checkpoint restoring
+        // values outside it is damaged in a way the digest cannot see
+        // (e.g. forged), and NaNs would poison DBSCAN comparisons.
+        expects(d >= 0.0f && d <= 1.0f, "from_upper: entry outside [0, 1]");
+    }
+    if (storage == layout::triangular) {
+        m.data_.assign(upper.begin(), upper.end());
+        return m;
+    }
     m.data_.assign(n * n, 0.0f);
     std::size_t r = 0;
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = i + 1; j < n; ++j, ++r) {
-            const float d = upper[r];
-            // The sliding-Canberra range guarantee; a checkpoint restoring
-            // values outside it is damaged in a way the digest cannot see
-            // (e.g. forged), and NaNs would poison DBSCAN comparisons.
-            expects(d >= 0.0f && d <= 1.0f, "from_upper: entry outside [0, 1]");
-            m.data_[i * n + j] = d;
-            m.data_[j * n + i] = d;
+            m.data_[i * n + j] = upper[r];
+            m.data_[j * n + i] = upper[r];
         }
     }
     return m;
 }
 
 std::vector<float> dissimilarity_matrix::upper_triangle_f32() const {
+    if (layout_ == layout::triangular) {
+        return std::vector<float>(data_.begin(), data_.end());
+    }
     std::vector<float> out;
     out.reserve(n_ * (n_ - (n_ > 0 ? 1 : 0)) / 2);
     for (std::size_t i = 0; i < n_; ++i) {
@@ -213,6 +399,33 @@ std::vector<float> dissimilarity_matrix::upper_triangle_f32() const {
         }
     }
     return out;
+}
+
+std::span<const float> dissimilarity_matrix::data() const {
+    expects(layout_ == layout::dense,
+            "data: raw row-major storage exists only in the dense layout");
+    return {data_.data(), data_.size()};
+}
+
+void dissimilarity_matrix::gather_row(std::size_t i, float* out) const {
+    std::size_t w = 0;
+    if (layout_ == layout::dense) {
+        for (std::size_t j = 0; j < n_; ++j) {
+            if (j != i) {
+                out[w++] = data_[i * n_ + j];
+            }
+        }
+        return;
+    }
+    // Column i of rows above (one strided pick per row), then the
+    // contiguous tail of row i.
+    for (std::size_t j = 0; j < i; ++j) {
+        out[w++] = data_[tri_cell(j, i)];
+    }
+    const std::size_t base = tri_offset(i);
+    for (std::size_t j = i + 1; j < n_; ++j) {
+        out[w++] = data_[base + (j - i - 1)];
+    }
 }
 
 std::vector<double> dissimilarity_matrix::kth_nn(std::size_t k, std::size_t threads) const {
@@ -230,12 +443,7 @@ std::vector<double> dissimilarity_matrix::kth_nn(std::size_t k, std::size_t thre
     util::parallel_for(n_, 64, threads, [&](std::size_t begin, std::size_t end) {
         std::vector<float> row(n_ - 1);
         for (std::size_t i = begin; i < end; ++i) {
-            std::size_t w = 0;
-            for (std::size_t j = 0; j < n_; ++j) {
-                if (j != i) {
-                    row[w++] = data_[i * n_ + j];
-                }
-            }
+            gather_row(i, row.data());
             std::nth_element(row.begin(), row.begin() + static_cast<long>(kk - 1), row.end());
             out[i] = static_cast<double>(row[kk - 1]);
         }
@@ -253,6 +461,11 @@ std::vector<std::vector<double>> dissimilarity_matrix::kth_nn_many(std::size_t k
     sp.count("n", n_);
     sp.count("k_max", k_max);
     const std::size_t kk_max = std::min(k_max, n_ - 1);
+    // The curve batch is the second-largest buffer of the dissimilarity
+    // stage (k_max curves of n doubles); charge it so the governor sees the
+    // spike while it exists.
+    const mem::charge curves_charge(
+        static_cast<std::uint64_t>(k_max) * n_ * sizeof(double), "dissim.knn_curves");
     std::vector<std::vector<double>> out(k_max, std::vector<double>(n_, 0.0));
     // One row scan serves every k: partially sorting the kk_max smallest
     // neighbours yields each k-th order statistic — the same float values
@@ -263,12 +476,7 @@ std::vector<std::vector<double>> dissimilarity_matrix::kth_nn_many(std::size_t k
     util::parallel_for(n_, 64, threads, [&](std::size_t begin, std::size_t end) {
         std::vector<float> row(n_ - 1);
         for (std::size_t i = begin; i < end; ++i) {
-            std::size_t w = 0;
-            for (std::size_t j = 0; j < n_; ++j) {
-                if (j != i) {
-                    row[w++] = data_[i * n_ + j];
-                }
-            }
+            gather_row(i, row.data());
             std::partial_sort(row.begin(), row.begin() + static_cast<long>(kk_max), row.end());
             for (std::size_t k = 1; k <= k_max; ++k) {
                 out[k - 1][i] = static_cast<double>(row[std::min(k, n_ - 1) - 1]);
@@ -280,7 +488,13 @@ std::vector<std::vector<double>> dissimilarity_matrix::kth_nn_many(std::size_t k
 
 std::vector<double> dissimilarity_matrix::upper_triangle() const {
     std::vector<double> out;
-    out.reserve(n_ * (n_ - 1) / 2);
+    out.reserve(n_ * (n_ - (n_ > 0 ? 1 : 0)) / 2);
+    if (layout_ == layout::triangular) {
+        for (const float d : data_) {
+            out.push_back(static_cast<double>(d));
+        }
+        return out;
+    }
     for (std::size_t i = 0; i < n_; ++i) {
         for (std::size_t j = i + 1; j < n_; ++j) {
             out.push_back(static_cast<double>(data_[i * n_ + j]));

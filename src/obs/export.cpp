@@ -345,6 +345,8 @@ std::string to_json(const run_manifest& m) {
     w.begin_object();
     w.key("peak_rss_bytes");
     w.value(m.peak_rss_bytes);
+    w.key("peak_tracked_bytes");
+    w.value(m.peak_tracked_bytes);
     w.key("elapsed_seconds");
     w.value(m.elapsed_seconds);
     w.end_object();

@@ -88,6 +88,10 @@ struct run_manifest {
     std::vector<std::pair<std::string, std::uint64_t>> quarantine_by_category;
 
     std::uint64_t peak_rss_bytes = 0;
+    /// High-water mark of the ftc::mem tracked heap (the governed subset of
+    /// peak_rss_bytes): what --max-memory is compared against, so an
+    /// analyst sizing a retry reads the needed budget straight from here.
+    std::uint64_t peak_tracked_bytes = 0;
     double elapsed_seconds = 0.0;
 
     std::size_t messages = 0;
@@ -97,7 +101,8 @@ struct run_manifest {
     double epsilon = 0.0;
     std::size_t min_samples = 0;
 
-    std::string status = "ok";  ///< "ok" | "budget-exceeded" | "interrupted" | "error"
+    /// "ok" | "budget-exceeded" | "memory-exceeded" | "interrupted" | "error"
+    std::string status = "ok";
 
     /// Checkpoint directory of this run (empty = checkpointing off) and the
     /// stages that were restored from it instead of recomputed.

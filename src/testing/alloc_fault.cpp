@@ -1,0 +1,24 @@
+#include "testing/alloc_fault.hpp"
+
+#include <cstdlib>
+
+#include "util/parse.hpp"
+
+namespace ftc::testing {
+
+bool arm_alloc_faults_from_env() {
+    mem::fault_plan plan;
+    if (const char* nth = std::getenv("FTC_ALLOC_FAIL_NTH")) {
+        plan.fail_nth = util::parse_u64(nth, "FTC_ALLOC_FAIL_NTH");
+    }
+    if (const char* above = std::getenv("FTC_ALLOC_FAIL_ABOVE_BYTES")) {
+        plan.fail_above_bytes = util::parse_size_bytes(above, "FTC_ALLOC_FAIL_ABOVE_BYTES");
+    }
+    if (!plan.armed()) {
+        return false;
+    }
+    mem::set_fault_plan(plan);
+    return true;
+}
+
+}  // namespace ftc::testing

@@ -1,0 +1,76 @@
+/// \file alloc_fault.hpp
+/// Deterministic allocation-fault injection (the ftc::testing front end of
+/// the ftc::mem fault plan).
+///
+/// The memory-governance contract says every pipeline stage either
+/// completes, degrades, or exits with a typed error when an allocation
+/// fails — no crash, no leak, no torn output file. That contract is only
+/// worth stating if it can be *driven*: this injector makes the Nth tracked
+/// allocation (or every tracked allocation past a byte high-water mark)
+/// throw ftc::memory_budget_exceeded_error at exactly the site a real
+/// out-of-budget condition would, so a test can sweep N across a run and
+/// prove the unwinding path from every tracked allocation site
+/// (tests/test_mem_faults.cpp). Determinism: tracked sites are coarse,
+/// coordinator-thread container allocations, so the same run hits the same
+/// ordinals in the same order at any thread count.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/mem.hpp"
+
+namespace ftc::testing {
+
+/// RAII installer of a mem::fault_plan; restores the previous plan (usually
+/// none) on destruction so a throwing test cannot poison its neighbours.
+class alloc_fault_injector {
+public:
+    /// Fail the \p nth tracked allocation from now (1-based).
+    static alloc_fault_injector fail_nth(std::uint64_t nth) {
+        mem::fault_plan plan;
+        plan.fail_nth = nth;
+        return alloc_fault_injector(plan);
+    }
+
+    /// Fail every tracked allocation that would push the tracked footprint
+    /// above \p bytes — a simulated hard heap ceiling.
+    static alloc_fault_injector fail_above(std::uint64_t bytes) {
+        mem::fault_plan plan;
+        plan.fail_above_bytes = bytes;
+        return alloc_fault_injector(plan);
+    }
+
+    explicit alloc_fault_injector(const mem::fault_plan& plan)
+        : previous_(mem::get_fault_plan()) {
+        mem::set_fault_plan(plan);
+    }
+
+    alloc_fault_injector(alloc_fault_injector&& other) noexcept
+        : previous_(other.previous_), armed_(other.armed_) {
+        other.armed_ = false;
+    }
+
+    alloc_fault_injector(const alloc_fault_injector&) = delete;
+    alloc_fault_injector& operator=(const alloc_fault_injector&) = delete;
+    alloc_fault_injector& operator=(alloc_fault_injector&&) = delete;
+
+    ~alloc_fault_injector() {
+        if (armed_) {
+            mem::set_fault_plan(previous_);
+        }
+    }
+
+private:
+    mem::fault_plan previous_;
+    bool armed_ = true;
+};
+
+/// Arm a process-wide fault plan from the environment:
+///   FTC_ALLOC_FAIL_NTH=N          fail the Nth tracked allocation
+///   FTC_ALLOC_FAIL_ABOVE_BYTES=B  fail tracked allocations past B bytes
+/// Returns true when a plan was armed. The CLI calls this at startup so CI
+/// can smoke-test the full binary's unwinding path without a special build.
+/// Values must parse strictly (util/parse.hpp); a malformed value throws.
+bool arm_alloc_faults_from_env();
+
+}  // namespace ftc::testing

@@ -25,7 +25,11 @@ namespace {
 
 #ifdef FTC_ATOMIC_FILE_POSIX
 
-/// Full write with EINTR/short-write handling.
+/// Full write with EINTR/short-write handling: a signal landing mid-write
+/// (the graceful-shutdown SIGINT path makes that routine, not exotic) must
+/// restart the interrupted syscall, and a short write must continue from
+/// where it stopped — failing the whole atomic write over either would turn
+/// a survivable interruption into a lost exporter file.
 bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
     std::size_t done = 0;
     while (done < size) {
@@ -41,6 +45,29 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
     return true;
 }
 
+/// open(2) restarted on EINTR (it is interruptible on some filesystems and
+/// is not covered by SA_RESTART semantics everywhere).
+int open_retry(const char* path, int flags, mode_t mode) {
+    for (;;) {
+        const int fd = ::open(path, flags, mode);
+        if (fd >= 0 || errno != EINTR) {
+            return fd;
+        }
+    }
+}
+
+/// fsync(2) restarted on EINTR. Note close(2) is deliberately NOT retried:
+/// POSIX leaves the fd state unspecified after EINTR from close, and
+/// retrying can double-close an fd another thread just received.
+int fsync_retry(int fd) {
+    for (;;) {
+        const int rc = ::fsync(fd);
+        if (rc == 0 || errno != EINTR) {
+            return rc;
+        }
+    }
+}
+
 /// fsync the directory holding \p path so the rename is itself durable.
 /// Best-effort: some filesystems reject directory fsync; the data fsync
 /// already happened, so a failure here is not worth failing the run over.
@@ -49,9 +76,9 @@ void sync_parent_dir(const std::filesystem::path& path) {
     if (dir.empty()) {
         dir = ".";
     }
-    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    const int fd = open_retry(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0);
     if (fd >= 0) {
-        ::fsync(fd);
+        fsync_retry(fd);
         ::close(fd);
     }
 }
@@ -64,7 +91,7 @@ void atomic_write_file(const std::filesystem::path& path, byte_view bytes) {
     std::filesystem::path tmp = path;
     tmp += ".tmp";
 #ifdef FTC_ATOMIC_FILE_POSIX
-    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    const int fd = open_retry(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
     if (fd < 0) {
         raise_io("open", tmp, errno);
     }
@@ -74,7 +101,7 @@ void atomic_write_file(const std::filesystem::path& path, byte_view bytes) {
         ::unlink(tmp.c_str());
         raise_io("write", tmp, err);
     }
-    if (::fsync(fd) != 0) {
+    if (fsync_retry(fd) != 0) {
         const int err = errno;
         ::close(fd);
         ::unlink(tmp.c_str());

@@ -15,6 +15,7 @@
 #include <string>
 #include <string_view>
 
+#include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "util/stopwatch.hpp"
 
@@ -25,6 +26,14 @@ struct resource_limits {
     double deadline_seconds = 0.0;  ///< wall-clock budget
     std::size_t max_segments = 0;   ///< cap on segments produced
     std::size_t max_bytes = 0;      ///< cap on message payload bytes
+    /// Cap on the tracked heap footprint (ftc::mem). Unlike the other axes
+    /// the budget object does not enforce this one itself: the pipeline
+    /// installs a mem::governor carrying it, so every tracked allocation —
+    /// wherever it happens — is a checkpoint, and projection checks drive
+    /// the degradation ladder before the limit is ever actually hit
+    /// (DESIGN.md §11). It lives here so one struct names the whole
+    /// resource envelope of a run.
+    std::size_t max_memory = 0;
 };
 
 /// Tracks consumption against resource_limits. Checks are cooperative:
@@ -90,9 +99,23 @@ public:
     }
 
     /// "segments N, bytes M, elapsed T" — the partial_report() payload.
+    /// When a memory governor is active the tracked-heap footprint joins
+    /// the report: memory pressure is then a budget axis like any other,
+    /// and the analyst deciding how much --max-memory a retry needs reads
+    /// the answer straight out of the failure message.
     std::string progress() const {
-        return "segments " + std::to_string(segments_) + ", bytes " + std::to_string(bytes_) +
-               ", elapsed " + format_seconds(watch_.elapsed_seconds()) + "s";
+        std::string out = "segments " + std::to_string(segments_) + ", bytes " +
+                          std::to_string(bytes_) + ", elapsed " +
+                          format_seconds(watch_.elapsed_seconds()) + "s";
+        if (const mem::governor* g = mem::governor::active()) {
+            out += ", tracked mem " + std::to_string(mem::current_bytes()) + " (peak " +
+                   std::to_string(mem::peak_bytes());
+            if (g->limit() > 0) {
+                out += ", limit " + std::to_string(g->limit());
+            }
+            out += ")";
+        }
+        return out;
     }
 
 private:

@@ -58,6 +58,20 @@ private:
     std::string partial_report_;
 };
 
+/// A run's tracked memory footprint crossed the configured --max-memory
+/// budget (ftc::mem, src/mem/mem.hpp) and no further degradation rung was
+/// available. Derives from budget_exceeded_error for the same reason
+/// interrupted_error does: the partial-progress/checkpoint unwinding path is
+/// shared, so every existing budget catch site handles memory pressure too;
+/// callers that must tell it apart (the CLI's manifest status) catch this
+/// type first. Raised both on *projected* pressure (a stage's footprint
+/// estimate cannot fit even degraded) and on *actual* pressure (a tracked
+/// allocation would cross the limit, or an injected allocation fault fired).
+class memory_budget_exceeded_error : public budget_exceeded_error {
+public:
+    using budget_exceeded_error::budget_exceeded_error;
+};
+
 /// The process was asked to stop (SIGINT/SIGTERM via ftc::request_interrupt,
 /// util/interrupt.hpp) and a cooperative cancellation point unwound the run.
 /// Derives from budget_exceeded_error deliberately: an interruption follows

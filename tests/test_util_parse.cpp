@@ -1,0 +1,92 @@
+// Unit tests for strict CLI numeric parsing (util/parse.hpp): every helper
+// must accept exactly one well-formed number spanning the whole string and
+// reject the silent-garbage cases atoi/atof let through.
+#include "util/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ftc::util {
+namespace {
+
+TEST(ParseU64, AcceptsPlainIntegers) {
+    EXPECT_EQ(parse_u64("0", "f"), 0u);
+    EXPECT_EQ(parse_u64("42", "f"), 42u);
+    EXPECT_EQ(parse_u64("18446744073709551615", "f"),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64, RejectsEmptyAndSigns) {
+    EXPECT_THROW(parse_u64("", "f"), error);
+    EXPECT_THROW(parse_u64("-1", "f"), error);
+    EXPECT_THROW(parse_u64("+1", "f"), error);
+}
+
+TEST(ParseU64, RejectsTrailingGarbage) {
+    EXPECT_THROW(parse_u64("100x", "f"), error);
+    EXPECT_THROW(parse_u64("10 ", "f"), error);
+    EXPECT_THROW(parse_u64(" 10", "f"), error);
+    EXPECT_THROW(parse_u64("1.5", "f"), error);
+    EXPECT_THROW(parse_u64("0x10", "f"), error);
+}
+
+TEST(ParseU64, RejectsOverflow) {
+    EXPECT_THROW(parse_u64("18446744073709551616", "f"), error);
+    EXPECT_THROW(parse_u64("99999999999999999999999", "f"), error);
+}
+
+TEST(ParseU64, DiagnosticNamesTheFlag) {
+    try {
+        parse_u64("12q", "--max-segments");
+        FAIL() << "expected ftc::error";
+    } catch (const error& e) {
+        EXPECT_NE(std::string(e.what()).find("--max-segments"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("12q"), std::string::npos);
+    }
+}
+
+TEST(ParseDouble, AcceptsDecimals) {
+    EXPECT_DOUBLE_EQ(parse_double("0", "f"), 0.0);
+    EXPECT_DOUBLE_EQ(parse_double("1.5", "f"), 1.5);
+    EXPECT_DOUBLE_EQ(parse_double("120", "f"), 120.0);
+    EXPECT_DOUBLE_EQ(parse_double("2e3", "f"), 2000.0);
+}
+
+TEST(ParseDouble, RejectsGarbageNegativeAndNonFinite) {
+    EXPECT_THROW(parse_double("", "f"), error);
+    EXPECT_THROW(parse_double("abc", "f"), error);
+    EXPECT_THROW(parse_double("1.5s", "f"), error);
+    EXPECT_THROW(parse_double("-1", "f"), error);
+    EXPECT_THROW(parse_double("inf", "f"), error);
+    EXPECT_THROW(parse_double("nan", "f"), error);
+    EXPECT_THROW(parse_double("1e999", "f"), error);
+}
+
+TEST(ParseSizeBytes, AcceptsSuffixes) {
+    EXPECT_EQ(parse_size_bytes("0", "f"), 0u);
+    EXPECT_EQ(parse_size_bytes("512", "f"), 512u);
+    EXPECT_EQ(parse_size_bytes("512b", "f"), 512u);
+    EXPECT_EQ(parse_size_bytes("1K", "f"), 1024u);
+    EXPECT_EQ(parse_size_bytes("64M", "f"), 64ull << 20);
+    EXPECT_EQ(parse_size_bytes("2GiB", "f"), 2ull << 30);
+    EXPECT_EQ(parse_size_bytes("512kb", "f"), 512ull << 10);
+    EXPECT_EQ(parse_size_bytes("1T", "f"), 1ull << 40);
+}
+
+TEST(ParseSizeBytes, RejectsBadSuffixesAndOverflow) {
+    EXPECT_THROW(parse_size_bytes("", "f"), error);
+    EXPECT_THROW(parse_size_bytes("64Q", "f"), error);
+    EXPECT_THROW(parse_size_bytes("64 M", "f"), error);
+    EXPECT_THROW(parse_size_bytes("-64M", "f"), error);
+    EXPECT_THROW(parse_size_bytes("M", "f"), error);
+    // 2^54 KiB = 2^64 bytes: one past the top.
+    EXPECT_THROW(parse_size_bytes("18014398509481984K", "f"), error);
+    EXPECT_NO_THROW(parse_size_bytes("18014398509481983K", "f"));
+}
+
+}  // namespace
+}  // namespace ftc::util

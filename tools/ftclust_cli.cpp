@@ -16,7 +16,13 @@
 ///       first one; --strict (the default) keeps the legacy fail-fast
 ///       behavior. --deadline-ms / --max-segments / --max-bytes bound the
 ///       run; exceeding a bound exits with code 3 and a partial-progress
-///       report. --threads bounds the worker count of the
+///       report. --max-memory caps the tracked heap footprint (suffixes
+///       K/M/G/T accepted): under pressure the pipeline first dedups
+///       segment occurrence lists, then switches the dissimilarity matrix
+///       to a tiled triangular layout, and only when even the degraded
+///       footprint cannot fit exits with code 3, a partial-progress report
+///       and manifest status "memory-exceeded".
+///       --threads bounds the worker count of the
 ///       dissimilarity/auto-configuration stages (0 = all hardware
 ///       threads, 1 = serial); the result is identical either way.
 ///       `ftclust run` is an alias for `analyze`. Any of --trace-out
@@ -68,17 +74,20 @@
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/semantics.hpp"
+#include "mem/mem.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "pcap/decap.hpp"
 #include "pcap/pcap.hpp"
 #include "protocols/registry.hpp"
 #include "segmentation/segment.hpp"
+#include "testing/alloc_fault.hpp"
 #include "testing/corrupter.hpp"
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/diag.hpp"
 #include "util/interrupt.hpp"
+#include "util/parse.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -90,7 +99,8 @@ int usage() {
         "usage:\n"
         "  ftclust analyze  <capture.pcap> [--segmenter NEMESYS|CSP|Netzob]\n"
         "                   [--budget SECONDS] [--deadline-ms N] [--max-segments N]\n"
-        "                   [--max-bytes N] [--strict|--lenient] [--threads N]\n"
+        "                   [--max-bytes N] [--max-memory BYTES[K|M|G]]\n"
+        "                   [--strict|--lenient] [--threads N]\n"
         "                   [--semantics] [--trace-out FILE] [--metrics-out FILE]\n"
         "                   [--manifest-out FILE] [--report-out FILE]\n"
         "                   [--checkpoint DIR] [--resume]\n"
@@ -177,8 +187,9 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
     }
     const std::string path = argv[0];
     const std::string segmenter_name = flag_value(argc, argv, "--segmenter", "NEMESYS");
-    double budget = std::atof(flag_value(argc, argv, "--budget", "120"));
-    const double deadline_ms = std::atof(flag_value(argc, argv, "--deadline-ms", "0"));
+    double budget = util::parse_double(flag_value(argc, argv, "--budget", "120"), "--budget");
+    const double deadline_ms =
+        util::parse_double(flag_value(argc, argv, "--deadline-ms", "0"), "--deadline-ms");
     if (deadline_ms > 0) {
         budget = deadline_ms / 1000.0;
     }
@@ -214,12 +225,23 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
 
     core::pipeline_options opt;
     opt.budget_seconds = budget;
-    opt.max_segments =
-        static_cast<std::size_t>(std::atoll(flag_value(argc, argv, "--max-segments", "0")));
-    opt.max_bytes =
-        static_cast<std::size_t>(std::atoll(flag_value(argc, argv, "--max-bytes", "0")));
-    opt.threads =
-        static_cast<std::size_t>(std::atoll(flag_value(argc, argv, "--threads", "0")));
+    opt.max_segments = static_cast<std::size_t>(
+        util::parse_u64(flag_value(argc, argv, "--max-segments", "0"), "--max-segments"));
+    opt.max_bytes = static_cast<std::size_t>(
+        util::parse_size_bytes(flag_value(argc, argv, "--max-bytes", "0"), "--max-bytes"));
+    opt.max_memory = static_cast<std::size_t>(util::parse_size_bytes(
+        flag_value(argc, argv, "--max-memory", "0"), "--max-memory"));
+    opt.threads = static_cast<std::size_t>(
+        util::parse_u64(flag_value(argc, argv, "--threads", "0"), "--threads"));
+
+    // Install the memory governor here rather than leaving it to the
+    // pipeline: checkpoint loading below allocates matrix-sized buffers,
+    // and the resume-time layout choice (dense vs. triangular) projects
+    // against the active governor — both must run governed.
+    std::optional<mem::governor> governor;
+    if (opt.max_memory > 0) {
+        governor.emplace(opt.max_memory);
+    }
 
     // Checkpointing hooks the pipeline's stage boundaries; the fingerprint
     // binds every snapshot to these options and this input.
@@ -260,6 +282,7 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
             {"budget_seconds", std::to_string(budget)},
             {"max_segments", std::to_string(opt.max_segments)},
             {"max_bytes", std::to_string(opt.max_bytes)},
+            {"max_memory", std::to_string(opt.max_memory)},
             {"mode", lenient ? "lenient" : "strict"},
             {"threads", std::to_string(opt.threads)},
         };
@@ -282,6 +305,7 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
             }
         }
         m.peak_rss_bytes = obs::peak_rss_bytes();
+        m.peak_tracked_bytes = mem::peak_bytes();
         m.elapsed_seconds =
             static_cast<double>(recorder->rec().now_ns()) / 1e9;
         m.messages = message_count;
@@ -374,10 +398,14 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
         // checkpoint manifest (status=interrupted) was already written by
         // the manager's on_interrupted hook.
         const bool stopped = dynamic_cast<const interrupted_error*>(&e) != nullptr;
+        const bool memory =
+            dynamic_cast<const memory_budget_exceeded_error*>(&e) != nullptr;
         if (stopped && manager.has_value() && !seed.segments.has_value()) {
             manager->on_interrupted("segmentation");
         }
-        write_outputs(nullptr, messages.size(), stopped ? "interrupted" : "budget-exceeded");
+        write_outputs(nullptr, messages.size(),
+                      stopped ? "interrupted"
+                              : (memory ? "memory-exceeded" : "budget-exceeded"));
         throw;
     }
     if (manager.has_value()) {
@@ -414,9 +442,9 @@ int cmd_corrupt(int argc, char** argv) {
         return usage();
     }
     testing::corruption_options opt;
-    opt.fault_fraction = std::atof(flag_value(argc, argv, "--fraction", "0.1"));
-    opt.seed = static_cast<std::uint64_t>(
-        std::atoll(flag_value(argc, argv, "--seed", "1")));
+    opt.fault_fraction =
+        util::parse_double(flag_value(argc, argv, "--fraction", "0.1"), "--fraction");
+    opt.seed = util::parse_u64(flag_value(argc, argv, "--seed", "1"), "--seed");
     testing::corruption_log log;
     testing::corrupt_pcap_file(argv[0], argv[1], opt, &log);
     std::printf("injected %zu faults (%zu bit flips, %zu snapped, %zu corrupt lengths) "
@@ -432,10 +460,9 @@ int cmd_generate(int argc, char** argv) {
         return usage();
     }
     const std::string protocol = argv[0];
-    const auto count = static_cast<std::size_t>(std::atoll(argv[1]));
+    const auto count = static_cast<std::size_t>(util::parse_u64(argv[1], "<messages>"));
     const std::string out_path = argv[2];
-    const auto seed = static_cast<std::uint64_t>(
-        std::atoll(flag_value(argc, argv, "--seed", "1")));
+    const auto seed = util::parse_u64(flag_value(argc, argv, "--seed", "1"), "--seed");
 
     const protocols::trace trace = protocols::generate_trace(protocol, count, seed);
     pcap::write_file(out_path, protocols::trace_to_capture(trace));
@@ -449,18 +476,17 @@ int cmd_evaluate(int argc, char** argv) {
         return usage();
     }
     const std::string protocol = argv[0];
-    const auto count = static_cast<std::size_t>(std::atoll(argv[1]));
+    const auto count = static_cast<std::size_t>(util::parse_u64(argv[1], "<messages>"));
     const std::string segmenter_name = flag_value(argc, argv, "--segmenter", "true");
-    const auto seed = static_cast<std::uint64_t>(
-        std::atoll(flag_value(argc, argv, "--seed", "1")));
+    const auto seed = util::parse_u64(flag_value(argc, argv, "--seed", "1"), "--seed");
 
     const protocols::trace truth = protocols::generate_trace(protocol, count, seed);
     const auto messages = segmentation::message_bytes(truth);
 
     core::pipeline_options opt;
     opt.budget_seconds = 120;
-    opt.threads =
-        static_cast<std::size_t>(std::atoll(flag_value(argc, argv, "--threads", "0")));
+    opt.threads = static_cast<std::size_t>(
+        util::parse_u64(flag_value(argc, argv, "--threads", "0"), "--threads"));
     core::pipeline_result result = [&] {
         if (segmenter_name == "true") {
             return core::analyze_segments(messages,
@@ -489,6 +515,9 @@ int main(int argc, char** argv) {
         return usage();
     }
     try {
+        // Deterministic allocation-fault injection for robustness testing:
+        // inert unless FTC_ALLOC_FAIL_NTH / FTC_ALLOC_FAIL_ABOVE_BYTES is set.
+        ftc::testing::arm_alloc_faults_from_env();
         const std::string cmd = argv[1];
         if (cmd == "analyze" || cmd == "run") {
             return cmd_analyze(cmd.c_str(), argc - 2, argv + 2);
