@@ -18,12 +18,15 @@
 
 #include "core/metrics.hpp"
 #include "core/pipeline.hpp"
+#include "dissim/kernel.hpp"
 #include "mem/mem.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "protocols/registry.hpp"
 #include "segmentation/segment.hpp"
+#include "util/build_info.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ftc::bench {
 
@@ -176,6 +179,27 @@ public:
         w.begin_object();
         w.key("bench");
         w.value(name_);
+        // Run provenance: tools/bench_compare aligns and annotates bench
+        // history with these (which commit, host and backend produced the
+        // numbers) — without them a regression report cannot say what
+        // changed between two files.
+        w.key("meta");
+        w.begin_object();
+        w.key("git_sha");
+        w.value(util::build_git_sha());
+        w.key("version");
+        w.value(util::build_version_string());
+        w.key("build_type");
+        w.value(util::build_type());
+        w.key("timestamp");
+        w.value(util::iso8601_utc_now());
+        w.key("hostname");
+        w.value(util::run_hostname());
+        w.key("threads");
+        w.value(static_cast<std::uint64_t>(util::hardware_threads()));
+        w.key("kernel_backend");
+        w.value(dissim::kernel::backend_name(dissim::kernel::active()));
+        w.end_object();
         w.key("seed");
         w.value(static_cast<std::uint64_t>(kBenchSeed));
         w.key("budget_seconds");

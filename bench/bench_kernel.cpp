@@ -199,6 +199,23 @@ bool write_json(const std::vector<workload_result>& workloads) {
     w.begin_object();
     w.key("bench");
     w.value("kernel");
+    w.key("meta");
+    w.begin_object();
+    w.key("git_sha");
+    w.value(util::build_git_sha());
+    w.key("version");
+    w.value(util::build_version_string());
+    w.key("build_type");
+    w.value(util::build_type());
+    w.key("timestamp");
+    w.value(util::iso8601_utc_now());
+    w.key("hostname");
+    w.value(util::run_hostname());
+    w.key("threads");
+    w.value(static_cast<std::uint64_t>(util::hardware_threads()));
+    w.key("kernel_backend");
+    w.value(dissim::kernel::backend_name(dissim::kernel::active()));
+    w.end_object();
     w.key("seed");
     w.value(static_cast<std::uint64_t>(bench::kBenchSeed));
     w.key("simd_compiled");

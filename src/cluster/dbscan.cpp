@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "obs/obs.hpp"
+#include "obs/progress.hpp"
 #include "util/check.hpp"
 
 namespace ftc::cluster {
@@ -49,7 +50,9 @@ cluster_labels dbscan(const dissim::dissimilarity_matrix& matrix, const dbscan_p
     };
 
     int next_cluster = 0;
+    obs::progress_stage("cluster.dbscan", n);
     for (std::size_t i = 0; i < n; ++i) {
+        obs::progress_add(1);
         if (visited[i]) {
             continue;
         }

@@ -6,6 +6,7 @@
 
 #include "dissim/kernel.hpp"
 #include "obs/obs.hpp"
+#include "obs/progress.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -256,6 +257,7 @@ void dissimilarity_matrix::build_dense(std::span<const byte_vector> values,
     // — late rows are much cheaper than early ones.
     const std::size_t lanes = util::resolve_threads(threads);
     const std::size_t grain = std::max<std::size_t>(1, n_ / (8 * lanes));
+    obs::progress_stage("dissim.matrix", n_);
     util::parallel_for(n_, grain, lanes, [&](std::size_t begin, std::size_t end) {
         kernel::stats st;
         row_batcher batch;
@@ -273,6 +275,7 @@ void dissimilarity_matrix::build_dense(std::span<const byte_vector> values,
                           i < j ? i * n_ + j : static_cast<std::size_t>(j) * n_ + i);
             }
             batch.finish_row();
+            obs::progress_add(1);
         }
         if (batch.stp != nullptr) {
             publish_kernel_stats(st);
@@ -307,6 +310,7 @@ void dissimilarity_matrix::build_triangular(std::span<const byte_vector> values,
     // batch composition differ, and neither affects any value.
     const std::size_t lanes = util::resolve_threads(opts.threads);
     const std::size_t tile_rows = opts.tile_rows == 0 ? (n_ > 0 ? n_ : 1) : opts.tile_rows;
+    obs::progress_stage("dissim.matrix", n_);
     for (std::size_t row_begin = 0; row_begin < n_; row_begin += tile_rows) {
         const std::size_t row_end = std::min(row_begin + tile_rows, n_);
         const std::size_t grain =
@@ -328,6 +332,7 @@ void dissimilarity_matrix::build_triangular(std::span<const byte_vector> values,
                     batch.add(byte_view{values[j]}, base + (j - i - 1));
                 }
                 batch.finish_row();
+                obs::progress_add(1);
             }
             if (batch.stp != nullptr) {
                 publish_kernel_stats(st);
@@ -473,6 +478,7 @@ std::vector<std::vector<double>> dissimilarity_matrix::kth_nn_many(std::size_t k
     // k_max individual extractions at a fraction of the scans. Each lane
     // writes only column i of each curve, so any thread count produces the
     // same result.
+    obs::progress_stage("dissim.knn", n_);
     util::parallel_for(n_, 64, threads, [&](std::size_t begin, std::size_t end) {
         std::vector<float> row(n_ - 1);
         for (std::size_t i = begin; i < end; ++i) {
@@ -481,6 +487,7 @@ std::vector<std::vector<double>> dissimilarity_matrix::kth_nn_many(std::size_t k
             for (std::size_t k = 1; k <= k_max; ++k) {
                 out[k - 1][i] = static_cast<double>(row[std::min(k, n_ - 1) - 1]);
             }
+            obs::progress_add(1);
         }
     });
     return out;

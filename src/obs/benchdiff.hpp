@@ -1,0 +1,107 @@
+/// \file benchdiff.hpp
+/// Bench-history comparison: the library behind tools/bench_compare.
+///
+/// Reads two or more BENCH_*.json files (the machine-readable artifact every
+/// bench binary writes, now stamped with a `meta` provenance block), aligns
+/// their runs by label, and classifies per-metric deltas:
+///
+///  - quality metrics (f_score, precision, recall, coverage) regress on any
+///    drop beyond `quality_drop` — they are deterministic for a fixed seed,
+///    so even small drops are real;
+///  - time (elapsed_seconds) and memory (peak_bytes) regress only beyond a
+///    relative noise threshold (default 30%), because wall clock and
+///    allocator high-water marks are machine-dependent;
+///  - a run that is missing from, or newly failing in, the candidate file is
+///    always a regression.
+///
+/// The comparison is pure data-in/data-out so tests can drive it with
+/// literal JSON; tools/bench_compare adds file I/O, rendering and the
+/// process exit code CI gates on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftc::obs {
+
+/// Provenance block of one BENCH_*.json ("unknown" fields when the file
+/// predates the meta stamp).
+struct bench_meta {
+    std::string git_sha = "unknown";
+    std::string timestamp = "unknown";
+    std::string hostname = "unknown";
+    std::string build_type = "unknown";
+    std::string kernel_backend = "unknown";
+    std::uint64_t threads = 0;
+};
+
+/// One scored run row (quality + cost metrics used by the diff).
+struct bench_run {
+    std::string label;
+    bool failed = false;
+    std::string failure_reason;
+    double f_score = 0.0;
+    double precision = 0.0;
+    double recall = 0.0;
+    double coverage = 0.0;
+    double elapsed_seconds = 0.0;
+    double peak_bytes = 0.0;
+};
+
+/// One parsed BENCH_*.json.
+struct bench_file {
+    std::string path;   ///< where it came from (diagnostics)
+    std::string bench;  ///< bench name ("table1", ...)
+    bench_meta meta;
+    std::vector<bench_run> runs;
+};
+
+/// Parse a BENCH_*.json document from memory; throws ftc::error on
+/// malformed JSON or a document that is not a bench report. \p path is
+/// only used to label error messages.
+bench_file parse_bench_report(std::string_view json, std::string path = {});
+
+/// Parse from disk; throws ftc::error on I/O or parse failure.
+bench_file load_bench_report(const std::string& path);
+
+/// Knobs for compare(). Thresholds are relative (0.30 = 30%).
+struct compare_options {
+    double time_threshold = 0.30;  ///< elapsed_seconds noise gate
+    double mem_threshold = 0.30;   ///< peak_bytes noise gate
+    double quality_drop = 0.01;    ///< absolute f/precision/recall/coverage drop
+    bool ignore_time = false;      ///< skip elapsed_seconds entirely (CI)
+    bool ignore_memory = false;    ///< skip peak_bytes entirely
+};
+
+/// One classified delta.
+struct bench_delta {
+    enum class severity { info, improvement, regression };
+    severity level = severity::info;
+    std::string label;    ///< run label ("dns/1000", ...)
+    std::string metric;   ///< "f_score", "elapsed_seconds", "status", ...
+    double baseline = 0.0;
+    double current = 0.0;
+    std::string message;  ///< human one-liner
+};
+
+/// Full comparison of candidate against baseline.
+struct compare_result {
+    std::vector<bench_delta> deltas;  ///< regressions first, then improvements
+    std::size_t regressions = 0;
+    std::size_t improvements = 0;
+
+    bool has_regression() const { return regressions > 0; }
+};
+
+/// Align runs by label and classify every metric delta.
+compare_result compare(const bench_file& baseline, const bench_file& candidate,
+                       const compare_options& options = {});
+
+/// Render a comparison as a human report (header with both meta blocks,
+/// one line per delta, a summary verdict line).
+std::string render_compare(const bench_file& baseline, const bench_file& candidate,
+                           const compare_result& result);
+
+}  // namespace ftc::obs

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <functional>
+#include <map>
+#include <mutex>
 
 namespace ftc::obs {
 
@@ -208,20 +211,136 @@ std::string to_chrome_trace(const trace_snapshot& trace) {
     return w.take();
 }
 
+namespace {
+
+/// Registered help strings, keyed by the dotted ftc metric name. Guarded by
+/// its own mutex (registrations are rare; exports take one lock per metric).
+struct help_registry {
+    std::mutex mutex;
+    std::map<std::string, std::string, std::less<>> entries;
+};
+
+help_registry& helps() {
+    static help_registry reg;
+    static const bool seeded = [] {
+        // Built-in inventory: every metric the pipeline emits today. Kept
+        // here (not at the emit sites) so the exposition is complete even
+        // for metrics whose code path did not run this process.
+        const std::pair<const char*, const char*> seed[] = {
+            {"budget.segments", "Segments charged against the resource budget"},
+            {"budget.bytes", "Bytes charged against the resource budget"},
+            {"budget.exceeded_total", "Runs aborted by the resource budget"},
+            {"budget.interrupted_total", "Runs aborted by SIGINT/SIGTERM"},
+            {"ckpt.bytes_written_total", "Bytes written into checkpoint files"},
+            {"ckpt.files_written_total", "Checkpoint section files written"},
+            {"ckpt.interrupted_total", "Checkpoint saves cut short by an interrupt"},
+            {"ckpt.sections_rejected_total", "Checkpoint sections rejected as stale or corrupt"},
+            {"ckpt.stages_restored_total", "Pipeline stages restored from a checkpoint"},
+            {"ckpt.tiles_spilled_total", "Triangular-matrix tiles spilled to the checkpoint"},
+            {"cluster.dbscan_runs_total", "DBSCAN executions including epsilon re-runs"},
+            {"cluster.knn_reused_total", "Epsilon re-runs served from the cached k-NN"},
+            {"cluster.reconfigurations_total", "Auto-reconfigurations of DBSCAN parameters"},
+            {"cluster.refine_merges_total", "Cluster merges during refinement"},
+            {"cluster.refine_splits_total", "Cluster splits during refinement"},
+            {"diag.diagnostics_total", "Ingestion diagnostics recorded"},
+            {"diag.quarantined_total", "Input records quarantined instead of analyzed"},
+            {"diag.quarantined", "Quarantined records by category"},
+            {"dissim.kernel.invocations_total", "Sliding-Canberra kernel invocations"},
+            {"dissim.kernel.equal_fast_path_total", "Kernel calls served by the equal-length fast path"},
+            {"dissim.kernel.windows_total", "Candidate alignment windows considered"},
+            {"dissim.kernel.windows_pruned_total", "Alignment windows skipped by pruning"},
+            {"mem.tracked_bytes", "Live bytes on the ftc::mem tracked heap"},
+            {"mem.tracked_bytes_peak", "High-water mark of the tracked heap"},
+            {"mem.tracked_allocs_total", "Allocations routed through the tracked heap"},
+            {"mem.budget_exceeded_total", "Runs aborted by the memory budget"},
+            {"mem.dedup_condensations_total", "Segment stores condensed under memory pressure"},
+            {"mem.degrade.dedup_total", "Dedup degradation-ladder rungs engaged"},
+            {"mem.degrade.triangular_total", "Triangular-storage rungs engaged under memory pressure"},
+            {"mem.faults_injected_total", "Allocation faults injected by the test harness"},
+            {"pcap.datagrams_total", "Datagrams decapsulated from the input capture"},
+            {"pipeline.unique_segments", "Unique segment values entering dissimilarity"},
+            {"threadpool.block_seconds", "Seconds parallel_for blocks waited for a lane"},
+            {"threadpool.busy_seconds", "Cumulative worker busy time"},
+            {"threadpool.jobs_total", "Blocked ranges executed by the pool"},
+            {"threadpool.queue_depth", "Pending blocked ranges in the pool queue"},
+        };
+        for (const auto& [name, help] : seed) {
+            reg.entries.emplace(name, help);
+        }
+        return true;
+    }();
+    (void)seeded;
+    return reg;
+}
+
+/// Prometheus HELP payload escaping (text exposition format v0.0.4).
+std::string prometheus_help_escape(std::string_view help) {
+    std::string out;
+    for (char c : help) {
+        if (c == '\\') {
+            out += "\\\\";
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+void append_help(std::string& out, const std::string& name, const std::string& p) {
+    const std::string help = metric_help(name);
+    if (!help.empty()) {
+        out += "# HELP " + p + " " + prometheus_help_escape(help) + "\n";
+    }
+}
+
+}  // namespace
+
+void register_metric_help(std::string_view name, std::string_view help) {
+    help_registry& reg = helps();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.entries.insert_or_assign(std::string{name}, std::string{help});
+}
+
+std::string metric_help(std::string_view name) {
+    help_registry& reg = helps();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    if (const auto it = reg.entries.find(name); it != reg.entries.end()) {
+        return it->second;
+    }
+    // Longest registered dotted prefix: "diag.quarantined" answers for
+    // "diag.quarantined.truncated" and any future per-category split.
+    std::string_view prefix = name;
+    while (true) {
+        const std::size_t dot = prefix.rfind('.');
+        if (dot == std::string_view::npos) {
+            return {};
+        }
+        prefix = prefix.substr(0, dot);
+        if (const auto it = reg.entries.find(prefix); it != reg.entries.end()) {
+            return it->second;
+        }
+    }
+}
+
 std::string to_prometheus(const metrics_snapshot& metrics) {
     std::string out;
     for (const auto& [name, value] : metrics.counters) {
         const std::string p = prometheus_name(name);
+        append_help(out, name, p);
         out += "# TYPE " + p + " counter\n";
         out += p + " " + format_double(value) + "\n";
     }
     for (const auto& [name, value] : metrics.gauges) {
         const std::string p = prometheus_name(name);
+        append_help(out, name, p);
         out += "# TYPE " + p + " gauge\n";
         out += p + " " + format_double(value) + "\n";
     }
     for (const auto& [name, hist] : metrics.histograms) {
         const std::string p = prometheus_name(name);
+        append_help(out, name, p);
         out += "# TYPE " + p + " histogram\n";
         std::uint64_t cumulative = 0;
         for (std::size_t b = 0; b < kHistogramBucketCount; ++b) {

@@ -52,7 +52,21 @@ std::string to_chrome_trace(const trace_snapshot& trace);
 
 /// Prometheus-style text exposition: counters, gauges and cumulative-bucket
 /// histograms, metric names prefixed "ftc_" with dots mapped to underscores.
+/// Metrics with registered help text (register_metric_help) get a `# HELP`
+/// line ahead of `# TYPE`; the built-in ftclust metric inventory is
+/// pre-registered.
 std::string to_prometheus(const metrics_snapshot& metrics);
+
+/// Attach a help string to a metric name (the dotted ftc name, e.g.
+/// "dissim.kernel.windows_pruned"). A registration for a dotted prefix
+/// covers dynamically suffixed families too ("diag.quarantined" covers
+/// "diag.quarantined.truncated"). Thread-safe; later registrations replace
+/// earlier ones.
+void register_metric_help(std::string_view name, std::string_view help);
+
+/// The help string for a metric (exact name, then longest registered dotted
+/// prefix); empty when none is registered.
+std::string metric_help(std::string_view name);
 
 /// One top-level pipeline stage in the manifest.
 struct manifest_stage {

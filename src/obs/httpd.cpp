@@ -1,0 +1,172 @@
+#include "obs/httpd.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "obs/export.hpp"
+#include "util/error.hpp"
+#include "util/parse.hpp"
+
+namespace ftc::obs {
+
+listen_address parse_listen_address(const std::string& spec) {
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+        throw ftc::error("metrics-listen: expected HOST:PORT, got '" + spec + "'");
+    }
+    listen_address out;
+    out.host = spec.substr(0, colon);
+    if (out.host == "localhost") {
+        out.host = "127.0.0.1";
+    }
+    const std::uint64_t port = util::parse_u64(spec.c_str() + colon + 1, "metrics-listen port");
+    if (port > 65535) {
+        throw ftc::error("metrics-listen: port " + std::to_string(port) + " out of range");
+    }
+    out.port = static_cast<std::uint16_t>(port);
+    return out;
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+metrics_server::metrics_server(const recorder* rec, const listen_address& address)
+    : rec_(rec) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(address.port);
+    if (inet_pton(AF_INET, address.host.c_str(), &addr.sin_addr) != 1) {
+        throw ftc::error("metrics-listen: not an IPv4 address: '" + address.host + "'");
+    }
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        throw ftc::error(std::string{"metrics-listen: socket: "} + std::strerror(errno));
+    }
+    const int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+        listen(listen_fd_, 8) != 0) {
+        const std::string why = std::strerror(errno);
+        close(listen_fd_);
+        listen_fd_ = -1;
+        throw ftc::error("metrics-listen: cannot listen on " + address.host + ":" +
+                         std::to_string(address.port) + ": " + why);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+        port_ = ntohs(bound.sin_port);
+    }
+    thread_ = std::thread([this] { loop(); });
+}
+
+metrics_server::~metrics_server() {
+    stop();
+}
+
+void metrics_server::stop() noexcept {
+    if (stop_.exchange(true, std::memory_order_acq_rel)) {
+        return;
+    }
+    if (thread_.joinable()) {
+        thread_.join();
+    }
+    if (listen_fd_ >= 0) {
+        close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+void metrics_server::loop() {
+    // poll with a short timeout instead of a bare accept: stop() only flips
+    // an atomic, so the thread notices shutdown within one poll period and
+    // the listening fd is closed strictly after the join — no close/accept
+    // race to reason about.
+    while (!stop_.load(std::memory_order_acquire)) {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        const int ready = poll(&pfd, 1, 200);
+        if (ready <= 0) {
+            continue;  // timeout or EINTR: re-check the stop flag
+        }
+        const int client = accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) {
+            continue;
+        }
+        serve_one(client);
+        close(client);
+    }
+}
+
+void metrics_server::serve_one(int client_fd) {
+    // Drain the request line + headers (bounded; content is irrelevant —
+    // every GET gets the metrics). A scraper that trickles its request
+    // slower than 2 s total is dropped rather than wedging the endpoint.
+    char buf[4096];
+    std::size_t used = 0;
+    for (int rounds = 0; rounds < 10 && used < sizeof buf; ++rounds) {
+        pollfd pfd{};
+        pfd.fd = client_fd;
+        pfd.events = POLLIN;
+        if (poll(&pfd, 1, 200) <= 0) {
+            break;
+        }
+        const ssize_t n = recv(client_fd, buf + used, sizeof buf - used, 0);
+        if (n <= 0) {
+            break;
+        }
+        used += static_cast<std::size_t>(n);
+        if (std::string_view{buf, used}.find("\r\n\r\n") != std::string_view::npos) {
+            break;
+        }
+    }
+
+    std::string body;
+    if (rec_ != nullptr) {
+        body = to_prometheus(rec_->metrics().snapshot());
+    }
+    std::string response = "HTTP/1.0 200 OK\r\n"
+                           "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                           "Content-Length: " +
+                           std::to_string(body.size()) +
+                           "\r\n"
+                           "Connection: close\r\n\r\n" +
+                           body;
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+        const ssize_t n = send(client_fd, response.data() + sent, response.size() - sent,
+#ifdef MSG_NOSIGNAL
+                               MSG_NOSIGNAL
+#else
+                               0
+#endif
+        );
+        if (n <= 0) {
+            return;  // peer went away mid-scrape; nothing to clean up
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+#else  // !unix: no sockets — constructing a server reports the platform gap.
+
+metrics_server::metrics_server(const recorder* rec, const listen_address&) : rec_(rec) {
+    throw ftc::error("metrics-listen: not supported on this platform");
+}
+metrics_server::~metrics_server() = default;
+void metrics_server::stop() noexcept {}
+void metrics_server::loop() {}
+void metrics_server::serve_one(int) {}
+
+#endif
+
+}  // namespace ftc::obs

@@ -1,0 +1,70 @@
+/// \file httpd.hpp
+/// Minimal blocking HTTP responder serving the live Prometheus text
+/// exposition (`--metrics-listen HOST:PORT`) — the first production slice
+/// of the `ftclust serve` daemon the ROADMAP plans.
+///
+/// Scope is deliberately tiny: one listener thread, one request at a time,
+/// HTTP/1.0 with `Connection: close`, every GET answered with
+/// obs::to_prometheus over a fresh registry snapshot. Scrapers (Prometheus,
+/// curl) need nothing more, and the blocking single-lane design keeps the
+/// server's own cost invisible next to the pipeline: a scrape takes one
+/// snapshot — the same read path the exporters already use — and never
+/// touches pipeline state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/obs.hpp"
+
+namespace ftc::obs {
+
+/// Parse "HOST:PORT" (e.g. "127.0.0.1:9464", "0.0.0.0:0"); throws
+/// ftc::error on a malformed address. "localhost" maps to 127.0.0.1.
+struct listen_address {
+    std::string host;
+    std::uint16_t port = 0;
+};
+listen_address parse_listen_address(const std::string& spec);
+
+/// Blocking Prometheus scrape endpoint over one recorder.
+class metrics_server {
+public:
+    /// Binds and starts the listener thread; throws ftc::error when the
+    /// address cannot be bound (the run proceeds without a scrape target
+    /// only if the caller decides so — the CLI treats it as fatal).
+    /// \p rec is not owned and must outlive the server. Port 0 binds an
+    /// ephemeral port; read the real one from port().
+    metrics_server(const recorder* rec, const listen_address& address);
+
+    ~metrics_server();  ///< stop(); never throws
+
+    metrics_server(const metrics_server&) = delete;
+    metrics_server& operator=(const metrics_server&) = delete;
+
+    /// The port actually bound (resolves an ephemeral request).
+    std::uint16_t port() const { return port_; }
+
+    /// Requests answered so far (tests poll this).
+    std::uint64_t requests_served() const {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+    /// Stop accepting, join the listener thread. Idempotent.
+    void stop() noexcept;
+
+private:
+    void loop();
+    void serve_one(int client_fd);
+
+    const recorder* rec_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> requests_{0};
+    std::thread thread_;
+};
+
+}  // namespace ftc::obs

@@ -3,7 +3,7 @@
 #include <cstdio>
 
 #include "obs/obs.hpp"
-
+#include "obs/progress.hpp"
 #include "util/check.hpp"
 
 namespace ftc::pcap {
@@ -184,6 +184,7 @@ std::vector<datagram> extract_datagrams(const capture& cap, const extract_option
                                         diag::error_sink& sink) {
     obs::span sp("pcap.decap");
     sp.count("packets", cap.packets.size());
+    obs::progress_stage("pcap.decap", cap.packets.size());
     std::vector<datagram> out;
     tcp_reassembler reassembler;
 
@@ -194,6 +195,7 @@ std::vector<datagram> extract_datagrams(const capture& cap, const extract_option
     };
 
     for (std::size_t index = 0; index < cap.packets.size(); ++index) {
+        obs::progress_add(1);
         const packet& p = cap.packets[index];
         const byte_view frame{p.data};
         if (cap.link == linktype::user0 || cap.link == linktype::ieee802_11) {

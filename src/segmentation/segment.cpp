@@ -1,6 +1,7 @@
 #include "segmentation/segment.hpp"
 
 #include "obs/obs.hpp"
+#include "obs/progress.hpp"
 #include "segmentation/csp.hpp"
 #include "segmentation/nemesys.hpp"
 #include "segmentation/netzob.hpp"
@@ -78,8 +79,12 @@ lenient_segmentation segment_lenient(const segmenter& seg,
         out.surviving.push_back(m);
     }
 
+    obs::progress_stage("segmentation", out.messages.size());
     try {
         out.segments = seg.run(out.messages, dl);
+        // Batch segmenters report completion wholesale; the per-message
+        // fallback below ticks message by message.
+        obs::progress_add(out.messages.size());
         sp.count("surviving", out.messages.size());
         return out;
     } catch (const budget_exceeded_error&) {
@@ -95,7 +100,9 @@ lenient_segmentation segment_lenient(const segmenter& seg,
 
     // Per-message fallback: quarantine the individual offenders.
     lenient_segmentation retried;
+    obs::progress_stage("segmentation.retry", out.messages.size());
     for (std::size_t i = 0; i < out.messages.size(); ++i) {
+        obs::progress_add(1);
         const std::vector<byte_vector> single{out.messages[i]};
         try {
             message_segments segs = seg.run(single, dl);

@@ -1,0 +1,351 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace ftc::util {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* wanted, json_value::kind got) {
+    static constexpr const char* kNames[] = {"null",   "boolean", "number",
+                                             "string", "array",   "object"};
+    throw ftc::error(std::string{"json: expected "} + wanted + ", value is " +
+                     kNames[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+bool json_value::as_bool() const {
+    if (kind_ != kind::boolean) {
+        kind_error("boolean", kind_);
+    }
+    return bool_;
+}
+
+double json_value::as_number() const {
+    if (kind_ != kind::number) {
+        kind_error("number", kind_);
+    }
+    return number_;
+}
+
+const std::string& json_value::as_string() const {
+    if (kind_ != kind::string) {
+        kind_error("string", kind_);
+    }
+    return string_;
+}
+
+const std::vector<json_value>& json_value::as_array() const {
+    if (kind_ != kind::array) {
+        kind_error("array", kind_);
+    }
+    return array_;
+}
+
+const std::map<std::string, json_value>& json_value::as_object() const {
+    if (kind_ != kind::object) {
+        kind_error("object", kind_);
+    }
+    return object_;
+}
+
+const json_value& json_value::at(std::string_view key) const {
+    const json_value* found = find(key);
+    if (found == nullptr) {
+        throw ftc::error("json: missing object member '" + std::string{key} + "'");
+    }
+    return *found;
+}
+
+const json_value* json_value::find(std::string_view key) const {
+    if (kind_ != kind::object) {
+        return nullptr;
+    }
+    const auto it = object_.find(std::string{key});
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+double json_value::number_or(std::string_view key, double fallback) const {
+    const json_value* v = find(key);
+    return v == nullptr ? fallback : v->as_number();
+}
+
+std::string json_value::string_or(std::string_view key, std::string fallback) const {
+    const json_value* v = find(key);
+    return v == nullptr ? std::move(fallback) : v->as_string();
+}
+
+bool json_value::bool_or(std::string_view key, bool fallback) const {
+    const json_value* v = find(key);
+    return v == nullptr ? fallback : v->as_bool();
+}
+
+/// Recursive-descent parser over a string_view. Depth is bounded to keep a
+/// hostile/corrupt input from overflowing the stack.
+class json_parser {
+public:
+    explicit json_parser(std::string_view text) : text_(text) {}
+
+    json_value parse_document() {
+        json_value v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) {
+            fail("trailing content after document");
+        }
+        return v;
+    }
+
+private:
+    static constexpr int kMaxDepth = 64;
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw ftc::error("json: " + what + " at byte " + std::to_string(pos_));
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+                break;
+            }
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+        }
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (pos_ >= text_.size() || text_[pos_] != c) {
+            fail(std::string{"expected '"} + c + "'");
+        }
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) {
+            return false;
+        }
+        pos_ += word.size();
+        return true;
+    }
+
+    json_value parse_value() {
+        if (++depth_ > kMaxDepth) {
+            fail("nesting deeper than " + std::to_string(kMaxDepth));
+        }
+        skip_ws();
+        json_value v;
+        switch (peek()) {
+            case '{':
+                parse_object(v);
+                break;
+            case '[':
+                parse_array(v);
+                break;
+            case '"':
+                v.kind_ = json_value::kind::string;
+                v.string_ = parse_string();
+                break;
+            case 't':
+                if (!consume_literal("true")) {
+                    fail("bad literal");
+                }
+                v.kind_ = json_value::kind::boolean;
+                v.bool_ = true;
+                break;
+            case 'f':
+                if (!consume_literal("false")) {
+                    fail("bad literal");
+                }
+                v.kind_ = json_value::kind::boolean;
+                v.bool_ = false;
+                break;
+            case 'n':
+                if (!consume_literal("null")) {
+                    fail("bad literal");
+                }
+                break;
+            default:
+                v.kind_ = json_value::kind::number;
+                v.number_ = parse_number();
+                break;
+        }
+        --depth_;
+        return v;
+    }
+
+    void parse_object(json_value& v) {
+        v.kind_ = json_value::kind::object;
+        expect('{');
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            v.object_[std::move(key)] = parse_value();
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+    void parse_array(json_value& v) {
+        v.kind_ = json_value::kind::array;
+        expect('[');
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return;
+        }
+        while (true) {
+            v.array_.push_back(parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return;
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+            }
+            const char c = text_[pos_++];
+            if (c == '"') {
+                return out;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                fail("unterminated escape");
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': append_utf8(parse_hex4(), out); break;
+                default: fail("unknown escape");
+            }
+        }
+    }
+
+    unsigned parse_hex4() {
+        if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+        }
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            code <<= 4;
+            if (c >= '0' && c <= '9') {
+                code |= static_cast<unsigned>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            } else {
+                fail("bad \\u escape digit");
+            }
+        }
+        return code;
+    }
+
+    static void append_utf8(unsigned code, std::string& out) {
+        // BMP-only (the writer never emits surrogate pairs); an unpaired
+        // surrogate encodes as-is, matching json_escape's passthrough.
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
+    double parse_number() {
+        const std::size_t begin = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            ++pos_;
+        }
+        auto digits = [this] {
+            const std::size_t at = pos_;
+            while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+                ++pos_;
+            }
+            return pos_ > at;
+        };
+        if (!digits()) {
+            fail("bad number");
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!digits()) {
+                fail("bad number: no digits after '.'");
+            }
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (!digits()) {
+                fail("bad number: no exponent digits");
+            }
+        }
+        double value = 0.0;
+        const auto [ptr, ec] =
+            std::from_chars(text_.data() + begin, text_.data() + pos_, value);
+        if (ec != std::errc{} || ptr != text_.data() + pos_) {
+            fail("unrepresentable number");
+        }
+        return value;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+json_value parse_json(std::string_view text) {
+    json_parser p(text);
+    return p.parse_document();
+}
+
+}  // namespace ftc::util

@@ -1,0 +1,115 @@
+// The --metrics-listen scrape endpoint: address parsing, an end-to-end
+// HTTP GET over a real socket against an ephemeral port, and clean
+// idempotent shutdown. The registry is poked directly (recorder exists
+// even under FTC_OBS_DISABLE), so the suite runs on every build.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "obs/httpd.hpp"
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+
+namespace ftc::obs {
+namespace {
+
+TEST(ObsHttpd, ParseListenAddress) {
+    const listen_address a = parse_listen_address("127.0.0.1:9464");
+    EXPECT_EQ(a.host, "127.0.0.1");
+    EXPECT_EQ(a.port, 9464);
+    const listen_address local = parse_listen_address("localhost:0");
+    EXPECT_EQ(local.host, "127.0.0.1");
+    EXPECT_EQ(local.port, 0);
+
+    EXPECT_THROW(parse_listen_address("no-port"), ftc::error);
+    EXPECT_THROW(parse_listen_address(":123"), ftc::error);
+    EXPECT_THROW(parse_listen_address("host:"), ftc::error);
+    EXPECT_THROW(parse_listen_address("h:65536"), ftc::error);
+    EXPECT_THROW(parse_listen_address("h:abc"), ftc::error);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// One blocking GET / against 127.0.0.1:port; returns the raw response.
+std::string http_get(std::uint16_t port) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+    const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+    EXPECT_EQ(send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = recv(fd, buf, sizeof buf, 0)) > 0) {
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    close(fd);
+    return response;
+}
+
+TEST(ObsHttpd, ServesPrometheusText) {
+    scoped_recorder recorder;
+    recorder.rec().metrics().add("pcap.datagrams_total", 42.0);
+    metrics_server server(&recorder.rec(), parse_listen_address("127.0.0.1:0"));
+    ASSERT_GT(server.port(), 0);  // ephemeral port resolved
+
+    const std::string response = http_get(server.port());
+    EXPECT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u) << response;
+    EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+    EXPECT_NE(response.find("# TYPE ftc_pcap_datagrams_total counter"),
+              std::string::npos);
+    EXPECT_NE(response.find("# HELP ftc_pcap_datagrams_total"), std::string::npos);
+    EXPECT_NE(response.find("ftc_pcap_datagrams_total 42"), std::string::npos);
+}
+
+TEST(ObsHttpd, ServesLiveUpdatesAcrossRequests) {
+    scoped_recorder recorder;
+    metrics_server server(&recorder.rec(), parse_listen_address("localhost:0"));
+    recorder.rec().metrics().add("cluster.dbscan_runs_total", 1.0);
+    const std::string first = http_get(server.port());
+    EXPECT_NE(first.find("ftc_cluster_dbscan_runs_total 1"), std::string::npos);
+    recorder.rec().metrics().add("cluster.dbscan_runs_total", 2.0);
+    const std::string second = http_get(server.port());
+    EXPECT_NE(second.find("ftc_cluster_dbscan_runs_total 3"), std::string::npos);
+    EXPECT_GE(server.requests_served(), 2u);
+}
+
+TEST(ObsHttpd, StopIsIdempotentAndReleasesPort) {
+    scoped_recorder recorder;
+    metrics_server server(&recorder.rec(), parse_listen_address("127.0.0.1:0"));
+    const std::uint16_t port = server.port();
+    server.stop();
+    server.stop();  // and the destructor makes a third call
+    // The port is free again: a new server can bind it right away.
+    metrics_server again(&recorder.rec(),
+                         listen_address{"127.0.0.1", port});
+    EXPECT_EQ(again.port(), port);
+}
+
+TEST(ObsHttpd, BindFailureThrows) {
+    scoped_recorder recorder;
+    metrics_server holder(&recorder.rec(), parse_listen_address("127.0.0.1:0"));
+    // SO_REUSEADDR does not allow two live listeners on one port.
+    EXPECT_THROW(metrics_server(&recorder.rec(),
+                                listen_address{"127.0.0.1", holder.port()}),
+                 ftc::error);
+    EXPECT_THROW(metrics_server(&recorder.rec(), listen_address{"999.1.1.1", 0}),
+                 ftc::error);
+}
+
+#endif  // unix
+
+}  // namespace
+}  // namespace ftc::obs

@@ -1,0 +1,52 @@
+// Build provenance sanity: these values feed `ftclust version`, the bench
+// meta stamp and the run manifest, so they must always be present and
+// well-formed — even in a build without a git checkout ("unknown").
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "util/build_info.hpp"
+
+namespace ftc::util {
+namespace {
+
+TEST(UtilBuildInfo, FieldsAreNonEmpty) {
+    EXPECT_NE(std::string{build_git_sha()}, "");
+    EXPECT_NE(std::string{build_type()}, "");
+    EXPECT_NE(std::string{build_version()}, "");
+    EXPECT_FALSE(run_hostname().empty());
+}
+
+TEST(UtilBuildInfo, ShaIsHexOrUnknown) {
+    const std::string sha = build_git_sha();
+    if (sha != "unknown") {
+        EXPECT_GE(sha.size(), 7u);
+        for (char c : sha) {
+            EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c))) << sha;
+        }
+    }
+}
+
+TEST(UtilBuildInfo, VersionStringCombinesVersionAndSha) {
+    const std::string v = build_version_string();
+    EXPECT_EQ(v, std::string{build_version()} + "+g" + build_git_sha());
+}
+
+TEST(UtilBuildInfo, Iso8601Shape) {
+    const std::string t = iso8601_utc_now();
+    // "2026-08-09T12:34:56Z"
+    ASSERT_EQ(t.size(), 20u);
+    EXPECT_EQ(t[4], '-');
+    EXPECT_EQ(t[7], '-');
+    EXPECT_EQ(t[10], 'T');
+    EXPECT_EQ(t[13], ':');
+    EXPECT_EQ(t[16], ':');
+    EXPECT_EQ(t[19], 'Z');
+    for (const std::size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u, 11u, 12u, 14u, 15u, 17u, 18u}) {
+        EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(t[i]))) << t;
+    }
+}
+
+}  // namespace
+}  // namespace ftc::util

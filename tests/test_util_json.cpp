@@ -1,0 +1,110 @@
+// util::parse_json is the read side of every JSON artifact this project
+// writes (BENCH_*.json, manifests, telemetry NDJSON); these tests pin the
+// accepted grammar and the loud-failure behavior on malformed input.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace ftc::util {
+namespace {
+
+TEST(UtilJson, ParsesScalars) {
+    EXPECT_TRUE(parse_json("null").is_null());
+    EXPECT_TRUE(parse_json("true").as_bool());
+    EXPECT_FALSE(parse_json("false").as_bool());
+    EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+    EXPECT_DOUBLE_EQ(parse_json("-3.5e2").as_number(), -350.0);
+    EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(UtilJson, ParsesNestedDocument) {
+    const json_value doc = parse_json(
+        R"({"bench":"table1","runs":[{"label":"dns/100","f_score":0.91,"failed":false}],)"
+        R"("empty_obj":{},"empty_arr":[]})");
+    EXPECT_EQ(doc.at("bench").as_string(), "table1");
+    const auto& runs = doc.at("runs").as_array();
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].at("label").as_string(), "dns/100");
+    EXPECT_DOUBLE_EQ(runs[0].at("f_score").as_number(), 0.91);
+    EXPECT_FALSE(runs[0].at("failed").as_bool());
+    EXPECT_TRUE(doc.at("empty_obj").as_object().empty());
+    EXPECT_TRUE(doc.at("empty_arr").as_array().empty());
+}
+
+TEST(UtilJson, StringEscapes) {
+    EXPECT_EQ(parse_json(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+    // BMP \u escape encodes as UTF-8.
+    EXPECT_EQ(parse_json(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+    EXPECT_EQ(parse_json(R"("\u20ac")").as_string(), "\xe2\x82\xac");
+}
+
+TEST(UtilJson, WhitespaceTolerant) {
+    const json_value doc = parse_json("  {\n \"a\" :\t[ 1 , 2 ]\r\n}  ");
+    EXPECT_EQ(doc.at("a").as_array().size(), 2u);
+}
+
+TEST(UtilJson, LookupHelpers) {
+    const json_value doc = parse_json(R"({"n":2,"s":"x","b":true})");
+    EXPECT_DOUBLE_EQ(doc.number_or("n", -1), 2.0);
+    EXPECT_DOUBLE_EQ(doc.number_or("missing", -1), -1.0);
+    EXPECT_EQ(doc.string_or("s", "d"), "x");
+    EXPECT_EQ(doc.string_or("missing", "d"), "d");
+    EXPECT_TRUE(doc.bool_or("b", false));
+    EXPECT_TRUE(doc.bool_or("missing", true));
+    EXPECT_EQ(doc.find("missing"), nullptr);
+    EXPECT_NE(doc.find("n"), nullptr);
+    // A scalar has no members.
+    EXPECT_EQ(parse_json("1").find("x"), nullptr);
+}
+
+TEST(UtilJson, KindMismatchThrows) {
+    const json_value doc = parse_json(R"({"n":2})");
+    EXPECT_THROW(doc.at("n").as_string(), ftc::error);
+    EXPECT_THROW(doc.at("missing"), ftc::error);
+    EXPECT_THROW(doc.as_array(), ftc::error);
+}
+
+TEST(UtilJson, MalformedInputThrowsWithOffset) {
+    const char* bad[] = {
+        "",            // empty
+        "{",           // unterminated object
+        "[1,]",        // trailing comma is not accepted
+        "{\"a\" 1}",   // missing colon
+        "\"abc",       // unterminated string
+        "tru",         // bad literal
+        "01x",         // trailing garbage after number
+        "1 2",         // trailing content
+        "\"\\q\"",     // unknown escape
+        "\"\\u12g4\"", // bad hex digit
+        "\"\x01\"",    // raw control character
+    };
+    for (const char* text : bad) {
+        EXPECT_THROW(parse_json(text), ftc::error) << "input: " << text;
+    }
+    try {
+        parse_json("[1, x]");
+        FAIL() << "expected ftc::error";
+    } catch (const ftc::error& e) {
+        EXPECT_NE(std::string{e.what()}.find("byte"), std::string::npos);
+    }
+}
+
+TEST(UtilJson, DepthBounded) {
+    std::string deep;
+    for (int i = 0; i < 200; ++i) {
+        deep += "[";
+    }
+    EXPECT_THROW(parse_json(deep), ftc::error);
+}
+
+TEST(UtilJson, DuplicateKeysLastWins) {
+    // The writer never emits duplicates; the parser keeps the last, which
+    // is the common lenient choice.
+    EXPECT_DOUBLE_EQ(parse_json(R"({"a":1,"a":2})").at("a").as_number(), 2.0);
+}
+
+}  // namespace
+}  // namespace ftc::util

@@ -1,0 +1,117 @@
+// bench_compare: diff BENCH_*.json files and gate CI on regressions.
+//
+//   bench_compare [options] BASELINE.json CANDIDATE.json [CANDIDATE2.json ...]
+//
+// Every candidate is compared against the baseline (first file). Exit code:
+//   0  no regressions in any candidate
+//   1  parse / I/O error
+//   2  usage error
+//   4  at least one regression (distinct from 1 so CI can tell "the gate
+//      fired" apart from "the gate is broken")
+//
+// Options:
+//   --time-threshold F   relative elapsed_seconds gate (default 0.30)
+//   --mem-threshold F    relative peak_bytes gate (default 0.30)
+//   --quality-drop F     absolute quality-metric tolerance (default 0.01)
+//   --ignore-time        skip elapsed_seconds (CI: quality-only gate)
+//   --ignore-memory      skip peak_bytes
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/benchdiff.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitRegression = 4;
+
+int usage() {
+    std::fputs(
+        "usage: bench_compare [--time-threshold F] [--mem-threshold F]\n"
+        "                     [--quality-drop F] [--ignore-time] [--ignore-memory]\n"
+        "                     BASELINE.json CANDIDATE.json [MORE.json ...]\n",
+        stderr);
+    return kExitUsage;
+}
+
+double parse_fraction(const char* flag, const char* text) {
+    char* end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || v < 0.0) {
+        throw ftc::error(std::string{flag} + ": expected a non-negative number, got '" +
+                         text + "'");
+    }
+    return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ftc::obs::compare_options options;
+    std::vector<std::string> files;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> const char* {
+                if (i + 1 >= argc) {
+                    throw ftc::error(arg + ": missing value");
+                }
+                return argv[++i];
+            };
+            if (arg == "--time-threshold") {
+                options.time_threshold = parse_fraction("--time-threshold", next());
+            } else if (arg == "--mem-threshold") {
+                options.mem_threshold = parse_fraction("--mem-threshold", next());
+            } else if (arg == "--quality-drop") {
+                options.quality_drop = parse_fraction("--quality-drop", next());
+            } else if (arg == "--ignore-time") {
+                options.ignore_time = true;
+            } else if (arg == "--ignore-memory") {
+                options.ignore_memory = true;
+            } else if (arg == "--help" || arg == "-h") {
+                usage();
+                return kExitOk;
+            } else if (!arg.empty() && arg[0] == '-') {
+                std::fprintf(stderr, "bench_compare: unknown option %s\n", arg.c_str());
+                return usage();
+            } else {
+                files.push_back(arg);
+            }
+        }
+    } catch (const ftc::error& e) {
+        std::fprintf(stderr, "bench_compare: %s\n", e.what());
+        return kExitUsage;
+    }
+    if (files.size() < 2) {
+        return usage();
+    }
+
+    try {
+        const ftc::obs::bench_file baseline = ftc::obs::load_bench_report(files[0]);
+        bool regression = false;
+        for (std::size_t i = 1; i < files.size(); ++i) {
+            const ftc::obs::bench_file candidate = ftc::obs::load_bench_report(files[i]);
+            if (candidate.bench != baseline.bench) {
+                std::fprintf(stderr,
+                             "bench_compare: %s is bench '%s' but baseline %s is '%s'\n",
+                             files[i].c_str(), candidate.bench.c_str(), files[0].c_str(),
+                             baseline.bench.c_str());
+                return kExitError;
+            }
+            const ftc::obs::compare_result result =
+                ftc::obs::compare(baseline, candidate, options);
+            std::fputs(ftc::obs::render_compare(baseline, candidate, result).c_str(),
+                       stdout);
+            regression = regression || result.has_regression();
+        }
+        return regression ? kExitRegression : kExitOk;
+    } catch (const ftc::error& e) {
+        std::fprintf(stderr, "bench_compare: %s\n", e.what());
+        return kExitError;
+    }
+}

@@ -48,6 +48,24 @@
 ///       observability outputs, and exits with 128+signo. A second signal
 ///       kills the process the default way.
 ///
+///       --telemetry-out FILE streams an NDJSON time-series (schema
+///       "ftc.telemetry.v1": progress, tracked-heap gauges, the full
+///       counter set) sampled every --telemetry-interval-ms (default 500)
+///       by a read-only background thread; the stream always ends with
+///       exactly one final sample carrying the run status, on every exit
+///       path including budget/memory trips and SIGINT/SIGTERM.
+///       --progress renders a live stage/rate/ETA line on stderr (an
+///       in-place line on a TTY, rate-limited plain lines otherwise).
+///       --metrics-listen HOST:PORT serves the live Prometheus text
+///       exposition over HTTP while the run lasts (port 0 = ephemeral,
+///       the bound port is printed). All three are observational only:
+///       clustering output is bitwise identical with them on, off or
+///       compiled out.
+///
+///   ftclust version [--json]
+///       Print build provenance: version, git SHA, build type, and the
+///       compiled/active sliding-Canberra kernel backends.
+///
 ///   ftclust generate <protocol> <messages> <out.pcap> [--seed N]
 ///       Synthesize a deduplicated trace of one of the built-in protocols
 ///       (NTP, DNS, NBNS, DHCP, SMB, AWDL, AU) and write it as pcap.
@@ -74,9 +92,12 @@
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/semantics.hpp"
+#include "dissim/kernel.hpp"
 #include "mem/mem.hpp"
 #include "obs/export.hpp"
+#include "obs/httpd.hpp"
 #include "obs/obs.hpp"
+#include "obs/sampler.hpp"
 #include "pcap/decap.hpp"
 #include "pcap/pcap.hpp"
 #include "protocols/registry.hpp"
@@ -84,6 +105,7 @@
 #include "testing/alloc_fault.hpp"
 #include "testing/corrupter.hpp"
 #include "util/atomic_file.hpp"
+#include "util/build_info.hpp"
 #include "util/check.hpp"
 #include "util/diag.hpp"
 #include "util/interrupt.hpp"
@@ -104,7 +126,10 @@ int usage() {
         "                   [--semantics] [--trace-out FILE] [--metrics-out FILE]\n"
         "                   [--manifest-out FILE] [--report-out FILE]\n"
         "                   [--checkpoint DIR] [--resume]\n"
+        "                   [--telemetry-out FILE] [--telemetry-interval-ms N]\n"
+        "                   [--progress] [--metrics-listen HOST:PORT]\n"
         "  ftclust run      (alias for analyze)\n"
+        "  ftclust version  [--json]\n"
         "  ftclust generate <protocol> <messages> <out.pcap> [--seed N]\n"
         "  ftclust corrupt  <in.pcap> <out.pcap> [--fraction F] [--seed N]\n"
         "  ftclust evaluate <protocol> <messages> [--segmenter NAME|true] [--seed N]\n"
@@ -206,12 +231,42 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
         std::fputs("--resume requires --checkpoint DIR\n", stderr);
         return usage();
     }
+    const char* telemetry_out = flag_value(argc, argv, "--telemetry-out", nullptr);
+    const char* metrics_listen = flag_value(argc, argv, "--metrics-listen", nullptr);
+    const bool progress = has_flag(argc, argv, "--progress");
+    const double telemetry_interval_ms = util::parse_double(
+        flag_value(argc, argv, "--telemetry-interval-ms", "500"), "--telemetry-interval-ms");
+
     install_stop_handlers();
     // Any observability output installs the recorder; otherwise every hook
-    // in the pipeline stays a single null-pointer check.
+    // in the pipeline stays a single null-pointer check. The telemetry
+    // sampler and the scrape endpoint snapshot the same registry, so they
+    // count as outputs too.
     std::optional<obs::scoped_recorder> recorder;
-    if (trace_out != nullptr || metrics_out != nullptr || manifest_out != nullptr) {
+    if (trace_out != nullptr || metrics_out != nullptr || manifest_out != nullptr ||
+        telemetry_out != nullptr || metrics_listen != nullptr) {
         recorder.emplace();
+    }
+
+    // Live observers, both RAII: the sampler's destructor runs during any
+    // stack unwind out of this function, so the NDJSON stream ends with its
+    // final status sample on every exit path for free; the server stops
+    // accepting the same way. Status is pessimistically "error" until an
+    // exit path below knows better.
+    std::optional<obs::sampler> sampler;
+    if (telemetry_out != nullptr || progress) {
+        obs::sampler_options sopt;
+        sopt.telemetry_path = telemetry_out != nullptr ? telemetry_out : "";
+        sopt.interval = std::chrono::milliseconds(
+            telemetry_interval_ms > 0 ? static_cast<long>(telemetry_interval_ms) : 500);
+        sopt.progress = progress;
+        sampler.emplace(recorder.has_value() ? &recorder->rec() : nullptr, std::move(sopt));
+        sampler->set_status("error");
+    }
+    std::optional<obs::metrics_server> scrape;
+    if (metrics_listen != nullptr) {
+        scrape.emplace(&recorder->rec(), obs::parse_listen_address(metrics_listen));
+        std::printf("serving metrics on port %u\n", scrape->port());
     }
 
     const byte_vector raw = read_input_bytes(path);
@@ -275,7 +330,7 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
             return;
         }
         obs::run_manifest m;
-        m.version = "1.0.0";
+        m.version = util::build_version_string();
         m.command = cmd_name;
         m.options = {
             {"segmenter", segmenter_name},
@@ -403,9 +458,14 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
         if (stopped && manager.has_value() && !seed.segments.has_value()) {
             manager->on_interrupted("segmentation");
         }
-        write_outputs(nullptr, messages.size(),
-                      stopped ? "interrupted"
-                              : (memory ? "memory-exceeded" : "budget-exceeded"));
+        const char* status = stopped ? "interrupted"
+                                     : (memory ? "memory-exceeded" : "budget-exceeded");
+        if (sampler.has_value()) {
+            // The rethrow unwinds through the sampler's destructor, which
+            // emits the final NDJSON sample carrying this status.
+            sampler->set_status(status);
+        }
+        write_outputs(nullptr, messages.size(), status);
         throw;
     }
     if (manager.has_value()) {
@@ -434,6 +494,43 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
                         core::deduce_semantics(segmented_messages, result))
                         .c_str());
     }
+    if (sampler.has_value()) {
+        sampler->set_status("ok");
+    }
+    return 0;
+}
+
+int cmd_version(int argc, char** argv) {
+    const bool as_json = has_flag(argc, argv, "--json");
+    const char* active = dissim::kernel::backend_name(dissim::kernel::active());
+    if (as_json) {
+        obs::json_writer w;
+        w.begin_object();
+        w.key("tool");
+        w.value("ftclust");
+        w.key("version");
+        w.value(util::build_version());
+        w.key("git_sha");
+        w.value(util::build_git_sha());
+        w.key("build_type");
+        w.value(util::build_type());
+        w.key("simd_compiled");
+        w.value(dissim::kernel::simd_compiled());
+        w.key("simd_available");
+        w.value(dissim::kernel::simd_available());
+        w.key("kernel_backend");
+        w.value(active);
+        w.end_object();
+        std::printf("%s\n", w.take().c_str());
+        return 0;
+    }
+    std::printf("ftclust %s (%s, %s build)\n", util::build_version(),
+                util::build_git_sha(), util::build_type());
+    std::printf("kernel backend: %s (simd %s)\n", active,
+                dissim::kernel::simd_available()
+                    ? "available"
+                    : (dissim::kernel::simd_compiled() ? "compiled, cpu lacks avx2"
+                                                       : "not compiled"));
     return 0;
 }
 
@@ -530,6 +627,9 @@ int main(int argc, char** argv) {
         }
         if (cmd == "evaluate") {
             return cmd_evaluate(argc - 2, argv + 2);
+        }
+        if (cmd == "version" || cmd == "--version") {
+            return cmd_version(argc - 2, argv + 2);
         }
         return usage();
     } catch (const ftc::interrupted_error& e) {
