@@ -63,6 +63,17 @@ struct run_result {
     /// Per-stage timings from ftc::obs (execution order), so the bench
     /// tables carry a breakdown of *where* each run spent its budget.
     std::vector<obs::manifest_stage> stages;
+    /// Bench-specific numeric extras, emitted as additional top-level keys
+    /// of the run's JSON object. Names must be plain identifiers distinct
+    /// from the fixed row keys, and every name a bench emits is documented
+    /// in EXPERIMENTS.md (tools/doc_lint enforces the pairing).
+    std::vector<std::pair<std::string, double>> extras;
+
+    /// Append one extra measurement (chainable).
+    run_result& extra(std::string name, double value) {
+        extras.emplace_back(std::move(name), value);
+        return *this;
+    }
 };
 
 /// Generate the deduplicated trace for a protocol/size, routed through real
@@ -237,6 +248,10 @@ public:
             w.value(r.peak_bytes);
             w.key("dedup_ratio");
             w.value(r.dedup_ratio);
+            for (const auto& [name, value] : r.extras) {
+                w.key(name);
+                w.value(value);
+            }
             w.key("stages");
             w.begin_array();
             for (const obs::manifest_stage& s : r.stages) {

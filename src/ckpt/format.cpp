@@ -481,6 +481,63 @@ std::vector<std::vector<double>> decode_knn(byte_view payload) {
 }
 
 // ---------------------------------------------------------------------------
+// neighbors
+// ---------------------------------------------------------------------------
+
+byte_vector encode_neighbors(const dissim::capped_neighbors& neighbors) {
+    byte_vector out;
+    put_u64_le(out, neighbors.lists.size());
+    put_u32_le(out, neighbors.cap);
+    for (const std::vector<dissim::neighbor>& list : neighbors.lists) {
+        put_u64_le(out, list.size());
+        for (const dissim::neighbor& nb : list) {
+            put_u32_le(out, nb.id);
+            put_f32(out, nb.d);
+        }
+    }
+    return out;
+}
+
+dissim::capped_neighbors decode_neighbors(byte_view payload) {
+    reader r(payload);
+    const std::size_t n = r.count(12);  // each point carries >= a u64 + u32
+    dissim::capped_neighbors out;
+    out.cap = r.u32();
+    if (n >= 2 && out.cap < 1) {
+        throw parse_error("ckpt: neighbor cap must be at least 1");
+    }
+    const std::size_t want = std::min<std::size_t>(out.cap, n >= 1 ? n - 1 : 0);
+    out.lists.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t len = r.count(8);
+        if (len != want) {
+            throw parse_error("ckpt: neighbor list length does not match the cap");
+        }
+        std::vector<dissim::neighbor> list;
+        list.reserve(len);
+        for (std::size_t k = 0; k < len; ++k) {
+            dissim::neighbor nb;
+            nb.id = r.u32();
+            nb.d = r.f32();
+            if (nb.id >= n || nb.id == i) {
+                throw parse_error("ckpt: neighbor id out of range");
+            }
+            if (!(nb.d >= 0.0f && nb.d <= 1.0f)) {
+                throw parse_error("ckpt: neighbor distance outside [0, 1]");
+            }
+            if (k > 0 && (nb.d < list.back().d ||
+                          (nb.d == list.back().d && nb.id <= list.back().id))) {
+                throw parse_error("ckpt: neighbor list not ascending by (d, id)");
+            }
+            list.push_back(nb);
+        }
+        out.lists.push_back(std::move(list));
+    }
+    r.expect_end();
+    return out;
+}
+
+// ---------------------------------------------------------------------------
 // clustering
 // ---------------------------------------------------------------------------
 

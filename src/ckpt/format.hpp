@@ -32,6 +32,7 @@
 #include "cluster/autoconf.hpp"
 #include "core/pipeline.hpp"
 #include "dissim/matrix.hpp"
+#include "dissim/neighborhood.hpp"
 #include "segmentation/segment.hpp"
 #include "util/byteio.hpp"
 
@@ -57,6 +58,7 @@ enum class section_id : std::uint32_t {
     clustering = 6,    ///< auto-configuration + DBSCAN outcome
     matrix_tile = 7,   ///< one spilled tile of a tiled triangular build
     matrix_tiled = 8,  ///< marker: matrix lives in matrix_tile_<k>.ckpt files
+    neighbors = 9,     ///< capped sparse neighbor lists (sparse mode)
 };
 
 /// One decoded section: tag plus raw (digest-verified) payload.
@@ -149,6 +151,15 @@ matrix_tiled_marker decode_matrix_tiled(byte_view payload);
 
 byte_vector encode_knn(const std::vector<std::vector<double>>& curves);
 std::vector<std::vector<double>> decode_knn(byte_view payload);
+
+/// Capped sparse neighbor lists (dissim::capped_neighbors): the persistable
+/// substrate of a sparse_neighborhood. Ids and distances travel as u32/f32
+/// bit patterns, so an adopted resume serves bitwise the values a fresh
+/// build would. The decoder enforces every structural invariant the sparse
+/// engine relies on: list length min(cap, n-1), ids in range and never the
+/// point itself, distances in [0, 1], ascending (d, id) order.
+byte_vector encode_neighbors(const dissim::capped_neighbors& neighbors);
+dissim::capped_neighbors decode_neighbors(byte_view payload);
 
 /// Clustering snapshot. k_candidate diagnostics are not persisted: nothing
 /// downstream of clustering consumes them (they exist for tests and the

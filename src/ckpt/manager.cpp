@@ -178,6 +178,29 @@ void checkpoint_manager::on_matrix(const dissim::unique_segments& unique,
     write_manifest("in-progress", last_stage_.c_str());
 }
 
+void checkpoint_manager::on_neighbors(const dissim::unique_segments& unique,
+                                      const dissim::capped_neighbors& neighbors,
+                                      const std::vector<std::vector<double>>& knn_curves) {
+    obs::span sp("ckpt.save.neighbors");
+    // Sparse runs snapshot the capped lists instead of a matrix — typically
+    // orders of magnitude smaller, and it resumes into an adopted
+    // sparse_neighborhood serving bitwise the same values. Its own file
+    // (never matrix.ckpt) keeps pre-sparse loaders oblivious: they see no
+    // matrix snapshot and recompute, which is always correct.
+    std::vector<section> sections;
+    sections.push_back(
+        {static_cast<std::uint32_t>(section_id::unique), encode_unique(unique)});
+    sections.push_back({static_cast<std::uint32_t>(section_id::neighbors),
+                        encode_neighbors(neighbors)});
+    if (!knn_curves.empty()) {
+        sections.push_back(
+            {static_cast<std::uint32_t>(section_id::knn), encode_knn(knn_curves)});
+    }
+    write_sections(kNeighborsFile, std::move(sections));
+    last_stage_ = "dissimilarity";
+    write_manifest("in-progress", last_stage_.c_str());
+}
+
 void checkpoint_manager::on_clustering(const cluster::auto_cluster_result& clustering) {
     obs::span sp("ckpt.save.clustering");
     write_sections(kClusteringFile, {{static_cast<std::uint32_t>(section_id::clustering),
@@ -318,6 +341,39 @@ restored_state checkpoint_manager::load(const std::vector<byte_vector>& all_mess
         quarantine(kMatrixFile, e.what());
     }
 
+    // neighbors.ckpt -> seed.unique + seed.neighbors (sparse-mode snapshot).
+    // The matrix snapshot wins when both restored: it carries every pair,
+    // not just the capped lists. Either seeds a bitwise-identical resume.
+    try {
+        if (!out.seed.matrix.has_value()) {
+            if (const auto file = read_file(dir_ / kNeighborsFile)) {
+                std::vector<section> sections = checked_sections(*file, fp_);
+                const section* uniq = find_section(sections, section_id::unique);
+                const section* nbrs = find_section(sections, section_id::neighbors);
+                if (uniq == nullptr || nbrs == nullptr) {
+                    throw parse_error("ckpt: unique/neighbors section missing");
+                }
+                dissim::unique_segments unique = decode_unique(uniq->payload);
+                dissim::capped_neighbors neighbors = decode_neighbors(nbrs->payload);
+                if (neighbors.size() != unique.size()) {
+                    throw parse_error(message("ckpt: neighbor lists for ", neighbors.size(),
+                                              " points but ", unique.size(),
+                                              " unique segments"));
+                }
+                if (const section* knn = find_section(sections, section_id::knn)) {
+                    out.seed.knn_curves = decode_knn(knn->payload);
+                }
+                out.seed.unique = std::move(unique);
+                out.seed.neighbors = std::move(neighbors);
+                out.stages.emplace_back("dissimilarity");
+            }
+        }
+    } catch (const budget_exceeded_error&) {
+        throw;
+    } catch (const ftc::error& e) {
+        quarantine(kNeighborsFile, e.what());
+    }
+
     // clustering.ckpt -> seed.clustering.
     try {
         if (const auto file = read_file(dir_ / kClusteringFile)) {
@@ -336,6 +392,12 @@ restored_state checkpoint_manager::load(const std::vector<byte_vector>& all_mess
                 throw parse_error(message("ckpt: ", clustering.labels.labels.size(),
                                           " labels for a ", out.seed.matrix->size(),
                                           "-row matrix"));
+            }
+            if (out.seed.neighbors.has_value() &&
+                clustering.labels.labels.size() != out.seed.neighbors->size()) {
+                throw parse_error(message("ckpt: ", clustering.labels.labels.size(),
+                                          " labels for ", out.seed.neighbors->size(),
+                                          " neighbor lists"));
             }
             out.seed.clustering = std::move(clustering);
             out.stages.emplace_back("clustering");

@@ -7,6 +7,7 @@
 ///
 ///   segments.ckpt    surviving-message indices + segmentation
 ///   matrix.ckpt      unique segments, dissimilarity matrix, k-NN curves
+///   neighbors.ckpt   unique segments, capped neighbor lists (sparse mode)
 ///   clustering.ckpt  auto-configuration + DBSCAN outcome
 ///   manifest.json    status (in-progress | interrupted | complete) + stage
 ///
@@ -77,6 +78,9 @@ public:
     void on_matrix(const dissim::unique_segments& unique,
                    const dissim::dissimilarity_matrix& matrix,
                    const std::vector<std::vector<double>>& knn_curves) override;
+    void on_neighbors(const dissim::unique_segments& unique,
+                      const dissim::capped_neighbors& neighbors,
+                      const std::vector<std::vector<double>>& knn_curves) override;
     void on_clustering(const cluster::auto_cluster_result& clustering) override;
     void on_interrupted(const char* stage) override;
 
@@ -100,6 +104,7 @@ public:
 
     static constexpr const char* kSegmentsFile = "segments.ckpt";
     static constexpr const char* kMatrixFile = "matrix.ckpt";
+    static constexpr const char* kNeighborsFile = "neighbors.ckpt";
     static constexpr const char* kClusteringFile = "clustering.ckpt";
     static constexpr const char* kManifestFile = "manifest.json";
 

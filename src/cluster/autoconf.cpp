@@ -41,10 +41,11 @@ double max_step(const std::vector<double>& values) {
 
 /// Batched k-NN extraction: returns the per-element k-NN curves for every
 /// candidate k = 2..k_max (index 0 ↔ k = 2) in one call, so the backing
-/// matrix can serve all candidates from a single row scan
-/// (dissim::dissimilarity_matrix::kth_nn_many) instead of re-scanning per
-/// candidate. The curves are the same values a per-k extraction yields, so
-/// the selected epsilon is unchanged.
+/// neighborhood source can serve all candidates from one batch
+/// (neighborhood_source::kth_nn_many — a single row scan on a matrix, a
+/// column read of the capped lists on a sparse source) instead of
+/// re-scanning per candidate. The curves are the same values a per-k
+/// extraction yields, so the selected epsilon is unchanged.
 using knn_batch_fn =
     std::function<std::vector<std::vector<double>>(std::size_t k_max, std::size_t threads)>;
 
@@ -64,7 +65,7 @@ autoconf_result configure_from_knn(const knn_batch_fn& knn_batch, std::size_t n,
     // are not over-smoothed (the Whittaker penalty acts per point).
     //
     // All candidate curves come from one batched k-NN extraction (a single
-    // matrix row scan on the full lane budget); the sweep then fans out
+    // source batch query on the full lane budget); the sweep then fans out
     // over k for the sorting/smoothing work. Each candidate writes only
     // its own pre-allocated slot and the selection below is a serial
     // reduction over the finished vector, so the chosen epsilon does not
@@ -131,7 +132,7 @@ std::size_t knn_k_max(std::size_t n) {
 namespace {
 
 /// True when \p pre is a usable kth_nn_many(k_max) result for an n-element
-/// matrix: at least k_max curves of n entries each.
+/// source: at least k_max curves of n entries each.
 bool knn_shape_ok(const std::vector<std::vector<double>>* pre, std::size_t k_max,
                   std::size_t n) {
     if (pre == nullptr || pre->size() < k_max) {
@@ -146,38 +147,38 @@ bool knn_shape_ok(const std::vector<std::vector<double>>* pre, std::size_t k_max
 }
 
 /// All candidate k-NN curves (k = 2..k_max): copied from the caller's
-/// precomputed batch when shaped right, else one matrix row scan.
-std::vector<std::vector<double>> candidate_curves(const dissim::dissimilarity_matrix& matrix,
+/// precomputed batch when shaped right, else one source query.
+std::vector<std::vector<double>> candidate_curves(const dissim::neighborhood_source& source,
                                                   std::size_t k_max, std::size_t threads,
                                                   const autoconf_options& options) {
-    if (knn_shape_ok(options.precomputed_knn, k_max, matrix.size())) {
+    if (knn_shape_ok(options.precomputed_knn, k_max, source.size())) {
         obs::counter_add("cluster.knn_reused_total", 1.0);
         return {options.precomputed_knn->begin() + 1,
                 options.precomputed_knn->begin() + static_cast<long>(k_max)};
     }
-    std::vector<std::vector<double>> all = matrix.kth_nn_many(k_max, threads);
+    std::vector<std::vector<double>> all = source.kth_nn_many(k_max, threads);
     all.erase(all.begin());  // drop k = 1; candidates start at k = 2
     return all;
 }
 
 }  // namespace
 
-autoconf_result auto_configure(const dissim::dissimilarity_matrix& matrix,
+autoconf_result auto_configure(const dissim::neighborhood_source& source,
                                const autoconf_options& options) {
-    expects(matrix.size() >= 3, "auto_configure: need at least 3 unique segments");
+    expects(source.size() >= 3, "auto_configure: need at least 3 unique segments");
     return configure_from_knn(
         [&](std::size_t k_max, std::size_t threads) {
-            return candidate_curves(matrix, k_max, threads, options);
+            return candidate_curves(source, k_max, threads, options);
         },
-        matrix.size(), options);
+        source.size(), options);
 }
 
-autoconf_result auto_configure_trimmed(const dissim::dissimilarity_matrix& matrix,
+autoconf_result auto_configure_trimmed(const dissim::neighborhood_source& source,
                                        double limit, const autoconf_options& options) {
-    expects(matrix.size() >= 3, "auto_configure_trimmed: need at least 3 unique segments");
+    expects(source.size() >= 3, "auto_configure_trimmed: need at least 3 unique segments");
     auto trimmed_knn = [&](std::size_t k_max, std::size_t threads) {
         std::vector<std::vector<double>> curves =
-            candidate_curves(matrix, k_max, threads, options);
+            candidate_curves(source, k_max, threads, options);
         for (std::vector<double>& curve : curves) {
             std::vector<double> kept;
             for (double d : curve) {
@@ -193,7 +194,7 @@ autoconf_result auto_configure_trimmed(const dissim::dissimilarity_matrix& matri
     // previous knee so reclustering still tightens the density requirement.
     autoconf_options opts = options;
     opts.fallback_epsilon = limit * 0.5;
-    autoconf_result result = configure_from_knn(trimmed_knn, matrix.size(), opts);
+    autoconf_result result = configure_from_knn(trimmed_knn, source.size(), opts);
     if (!result.knee_found || result.epsilon >= limit) {
         result.epsilon = limit * 0.5;
         result.knee_found = false;
@@ -222,22 +223,24 @@ bool oversized(const cluster_labels& labels, std::size_t n, double fraction) {
 
 }  // namespace
 
-auto_cluster_result auto_cluster(const dissim::dissimilarity_matrix& matrix,
+auto_cluster_result auto_cluster(const dissim::neighborhood_source& source,
                                  const autoconf_options& options, double oversize_fraction,
                                  std::size_t max_reconfigurations) {
     auto_cluster_result out;
-    out.config = auto_configure(matrix, options);
-    out.labels = dbscan(matrix, {out.config.epsilon, out.config.min_samples});
+    out.config = auto_configure(source, options);
+    out.labels = dbscan(source, {out.config.epsilon, out.config.min_samples});
 
     // Undersize guard: a micro-knee (near-duplicate values) can yield an
     // epsilon so small that no density core forms at all. Walk *up* through
     // the remaining knees — and finally the median 2-NN distance — until
     // DBSCAN produces at least one cluster.
-    if (out.labels.cluster_count == 0 && matrix.size() >= 3) {
+    if (out.labels.cluster_count == 0 && source.size() >= 3) {
         std::vector<double> escalation = out.config.knees;
         // Median min_samples-NN distance: at that epsilon half the points
-        // reach min_samples neighbours, so density cores must exist.
-        std::vector<double> knnm = matrix.kth_nn(out.config.min_samples, options.threads);
+        // reach min_samples neighbours, so density cores must exist
+        // (min_samples <= knn_k_max(n), so a pipeline-built sparse source
+        // serves this from its lists without extra kernel work).
+        std::vector<double> knnm = source.kth_nn(out.config.min_samples, options.threads);
         std::sort(knnm.begin(), knnm.end());
         escalation.push_back(knnm[knnm.size() / 2]);
         std::sort(escalation.begin(), escalation.end());
@@ -245,7 +248,7 @@ auto_cluster_result auto_cluster(const dissim::dissimilarity_matrix& matrix,
             if (eps <= out.config.epsilon || out.reconfigurations >= max_reconfigurations) {
                 continue;
             }
-            const cluster_labels retry = dbscan(matrix, {eps, out.config.min_samples});
+            const cluster_labels retry = dbscan(source, {eps, out.config.min_samples});
             ++out.reconfigurations;
             if (retry.cluster_count > 0) {
                 out.config.epsilon = eps;
@@ -261,13 +264,13 @@ auto_cluster_result auto_cluster(const dissim::dissimilarity_matrix& matrix,
     // down to the next smaller knee of the trimmed ECDF until densities
     // separate the data or the walk bottoms out.
     while (out.reconfigurations < max_reconfigurations &&
-           oversized(out.labels, matrix.size(), oversize_fraction)) {
+           oversized(out.labels, source.size(), oversize_fraction)) {
         const autoconf_result retry =
-            auto_configure_trimmed(matrix, out.config.epsilon, options);
+            auto_configure_trimmed(source, out.config.epsilon, options);
         if (retry.epsilon >= out.config.epsilon || retry.epsilon <= 0.0) {
             break;  // no progress possible
         }
-        cluster_labels retry_labels = dbscan(matrix, {retry.epsilon, retry.min_samples});
+        cluster_labels retry_labels = dbscan(source, {retry.epsilon, retry.min_samples});
         if (retry_labels.cluster_count == 0) {
             break;  // an oversized clustering beats no clustering at all
         }

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "cluster/dbscan.hpp"
-#include "dissim/matrix.hpp"
+#include "dissim/neighborhood.hpp"
 #include "mathx/ecdf.hpp"
 
 namespace ftc::cluster {
@@ -32,14 +32,14 @@ struct autoconf_options {
     /// core::analyze overrides this with pipeline_options::threads.
     std::size_t threads = 1;
     /// Precomputed per-element k-NN curves — the output shape of
-    /// dissim::dissimilarity_matrix::kth_nn_many(knn_k_max(n)): curve
-    /// [k-1] holds every element's k-th-NN dissimilarity, k = 1..k_max.
-    /// When non-null and shaped for the matrix at hand, the sweep copies
-    /// these instead of re-scanning matrix rows; a checkpointed resume
-    /// (ftc::ckpt) and the fresh computation are bitwise the same values
-    /// (kth_nn_many is deterministic), so the selected epsilon is
-    /// unchanged either way. Null, or a shape mismatch, falls back to the
-    /// row scan. Not owned; must outlive the call.
+    /// neighborhood_source::kth_nn_many(knn_k_max(n)): curve [k-1] holds
+    /// every element's k-th-NN dissimilarity, k = 1..k_max. When non-null
+    /// and shaped for the source at hand, the sweep copies these instead
+    /// of re-querying the source; a checkpointed resume (ftc::ckpt) and
+    /// the fresh computation are bitwise the same values (kth_nn_many is
+    /// deterministic), so the selected epsilon is unchanged either way.
+    /// Null, or a shape mismatch, falls back to the source query. Not
+    /// owned; must outlive the call.
     const std::vector<std::vector<double>>* precomputed_knn = nullptr;
 };
 
@@ -66,16 +66,29 @@ struct autoconf_result {
     std::vector<k_candidate> candidates;
 };
 
-/// Run Algorithm 1 on the dissimilarity matrix of unique segments.
-/// Throws ftc::precondition_error for matrices with fewer than 3 elements.
-autoconf_result auto_configure(const dissim::dissimilarity_matrix& matrix,
+/// Run Algorithm 1 on the neighborhood source of unique segments.
+/// Throws ftc::precondition_error for sources with fewer than 3 elements,
+/// and dissim::knn_cap_error when the source cannot serve k_max curves
+/// (a sparse source built with too small a cap).
+autoconf_result auto_configure(const dissim::neighborhood_source& source,
                                const autoconf_options& options = {});
+
+inline autoconf_result auto_configure(const dissim::dissimilarity_matrix& matrix,
+                                      const autoconf_options& options = {}) {
+    return auto_configure(dissim::matrix_neighborhood(matrix), options);
+}
 
 /// Re-run the knee search on the ECDF trimmed to dissimilarities strictly
 /// below \p limit (oversized-cluster guard, paper Sec. III-E). Falls back
 /// to \p limit * 0.5 when the trimmed curve yields no knee.
-autoconf_result auto_configure_trimmed(const dissim::dissimilarity_matrix& matrix,
+autoconf_result auto_configure_trimmed(const dissim::neighborhood_source& source,
                                        double limit, const autoconf_options& options = {});
+
+inline autoconf_result auto_configure_trimmed(const dissim::dissimilarity_matrix& matrix,
+                                              double limit,
+                                              const autoconf_options& options = {}) {
+    return auto_configure_trimmed(dissim::matrix_neighborhood(matrix), limit, options);
+}
 
 /// Full clustering with the oversize guard: auto-configure, DBSCAN, and
 /// while one cluster holds more than \p oversize_fraction of the non-noise
@@ -89,9 +102,17 @@ struct auto_cluster_result {
     bool reclustered = false;          ///< oversize guard fired at least once
 };
 
-auto_cluster_result auto_cluster(const dissim::dissimilarity_matrix& matrix,
+auto_cluster_result auto_cluster(const dissim::neighborhood_source& source,
                                  const autoconf_options& options = {},
                                  double oversize_fraction = 0.6,
                                  std::size_t max_reconfigurations = 10);
+
+inline auto_cluster_result auto_cluster(const dissim::dissimilarity_matrix& matrix,
+                                        const autoconf_options& options = {},
+                                        double oversize_fraction = 0.6,
+                                        std::size_t max_reconfigurations = 10) {
+    return auto_cluster(dissim::matrix_neighborhood(matrix), options, oversize_fraction,
+                        max_reconfigurations);
+}
 
 }  // namespace ftc::cluster

@@ -28,27 +28,20 @@ std::vector<std::vector<std::size_t>> cluster_labels::members() const {
     return out;
 }
 
-cluster_labels dbscan(const dissim::dissimilarity_matrix& matrix, const dbscan_params& params) {
+cluster_labels dbscan(const dissim::neighborhood_source& source, const dbscan_params& params) {
     expects(params.epsilon >= 0.0, "dbscan: epsilon must be non-negative");
     expects(params.min_samples >= 1, "dbscan: min_samples must be at least 1");
 
     obs::span sp("cluster.dbscan");
-    const std::size_t n = matrix.size();
+    const std::size_t n = source.size();
     sp.count("n", n);
     cluster_labels result;
     result.labels.assign(n, kNoise);
     std::vector<bool> visited(n, false);
 
-    auto neighbours_of = [&](std::size_t i) {
-        std::vector<std::size_t> out;
-        for (std::size_t j = 0; j < n; ++j) {
-            if (matrix.at(i, j) <= params.epsilon) {
-                out.push_back(j);  // includes i itself (distance 0)
-            }
-        }
-        return out;
-    };
-
+    // neighbors_within returns ids ascending, self included — the exact set
+    // and order the historical matrix row scan produced, so the BFS below
+    // behaves identically for every conforming source.
     int next_cluster = 0;
     obs::progress_stage("cluster.dbscan", n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -57,7 +50,7 @@ cluster_labels dbscan(const dissim::dissimilarity_matrix& matrix, const dbscan_p
             continue;
         }
         visited[i] = true;
-        std::vector<std::size_t> seeds = neighbours_of(i);
+        const std::vector<std::uint32_t> seeds = source.neighbors_within(i, params.epsilon);
         if (seeds.size() < params.min_samples) {
             continue;  // stays noise unless later reached as a border point
         }
@@ -74,7 +67,8 @@ cluster_labels dbscan(const dissim::dissimilarity_matrix& matrix, const dbscan_p
                 continue;
             }
             visited[q] = true;
-            std::vector<std::size_t> q_neighbours = neighbours_of(q);
+            const std::vector<std::uint32_t> q_neighbours =
+                source.neighbors_within(q, params.epsilon);
             if (q_neighbours.size() >= params.min_samples) {
                 // q is a core point: expand the cluster through it.
                 for (std::size_t nb : q_neighbours) {

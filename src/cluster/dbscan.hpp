@@ -1,17 +1,22 @@
 /// \file dbscan.hpp
-/// DBSCAN over a precomputed dissimilarity matrix (Ester, Kriegel, Sander,
+/// DBSCAN over a precomputed neighborhood source (Ester, Kriegel, Sander,
 /// Xu — KDD 1996), as used in paper Sec. III-E.
 ///
 /// DBSCAN needs no target cluster count, makes no shape assumptions and
 /// treats outliers as noise — the properties that make it fit for clustering
 /// segments of unknown protocols. Its two parameters epsilon and
-/// min_samples come from the auto-configuration (autoconf.hpp).
+/// min_samples come from the auto-configuration (autoconf.hpp). The
+/// algorithm consumes only epsilon-range queries, so it runs against any
+/// dissim::neighborhood_source — the dense matrix adapter and the sparse
+/// engine produce identical labels (the neighbor sets are identical by the
+/// source contract, and the BFS expansion order is a function of those
+/// sets alone).
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
-#include "dissim/matrix.hpp"
+#include "dissim/neighborhood.hpp"
 
 namespace ftc::cluster {
 
@@ -40,6 +45,12 @@ struct cluster_labels {
 /// Run DBSCAN. Density core: a point with at least min_samples points
 /// (itself included) within epsilon. Border points join the first core
 /// point that reaches them; unreached points are noise.
-cluster_labels dbscan(const dissim::dissimilarity_matrix& matrix, const dbscan_params& params);
+cluster_labels dbscan(const dissim::neighborhood_source& source, const dbscan_params& params);
+
+/// Convenience adapter: run against a dense/triangular matrix directly.
+inline cluster_labels dbscan(const dissim::dissimilarity_matrix& matrix,
+                             const dbscan_params& params) {
+    return dbscan(dissim::matrix_neighborhood(matrix), params);
+}
 
 }  // namespace ftc::cluster

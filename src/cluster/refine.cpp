@@ -21,7 +21,7 @@ struct cluster_stats {
     double minmed = 0.0;         ///< median 1-NN distance within the cluster
 };
 
-cluster_stats compute_stats(const dissim::dissimilarity_matrix& matrix,
+cluster_stats compute_stats(const dissim::neighborhood_source& source,
                             std::vector<std::size_t> members) {
     cluster_stats s;
     s.members = std::move(members);
@@ -38,7 +38,7 @@ cluster_stats compute_stats(const dissim::dissimilarity_matrix& matrix,
             if (a == b) {
                 continue;
             }
-            const double d = matrix.at(s.members[a], s.members[b]);
+            const double d = source.dissimilarity(s.members[a], s.members[b]);
             nearest = std::min(nearest, d);
             if (a < b) {
                 pairwise.push_back(d);
@@ -54,14 +54,14 @@ cluster_stats compute_stats(const dissim::dissimilarity_matrix& matrix,
 
 /// Median of the dissimilarities within \p eps around member \p link inside
 /// the cluster (rho_eps of Sec. III-F); 0 when no neighbour lies within eps.
-double eps_density(const dissim::dissimilarity_matrix& matrix, const cluster_stats& cluster,
+double eps_density(const dissim::neighborhood_source& source, const cluster_stats& cluster,
                    std::size_t link, double eps) {
     std::vector<double> within;
     for (std::size_t other : cluster.members) {
         if (other == link) {
             continue;
         }
-        const double d = matrix.at(link, other);
+        const double d = source.dissimilarity(link, other);
         if (d <= eps) {
             within.push_back(d);
         }
@@ -92,7 +92,7 @@ private:
 
 }  // namespace
 
-refine_result merge_clusters(const dissim::dissimilarity_matrix& matrix,
+refine_result merge_clusters(const dissim::neighborhood_source& source,
                              const cluster_labels& input, const refine_options& options) {
     refine_result out;
     out.labels = input;
@@ -103,7 +103,7 @@ refine_result merge_clusters(const dissim::dissimilarity_matrix& matrix,
     std::vector<cluster_stats> stats;
     stats.reserve(input.cluster_count);
     for (std::vector<std::size_t>& members : input.members()) {
-        stats.push_back(compute_stats(matrix, std::move(members)));
+        stats.push_back(compute_stats(source, std::move(members)));
     }
 
     std::size_t non_noise = 0;
@@ -149,7 +149,7 @@ refine_result merge_clusters(const dissim::dissimilarity_matrix& matrix,
             std::size_t link_j = cj.members.front();
             for (std::size_t a : ci.members) {
                 for (std::size_t b : cj.members) {
-                    const double d = matrix.at(a, b);
+                    const double d = source.dissimilarity(a, b);
                     if (d < d_link) {
                         d_link = d;
                         link_i = a;
@@ -164,8 +164,8 @@ refine_result merge_clusters(const dissim::dissimilarity_matrix& matrix,
                 const cluster_stats& smaller =
                     ci.members.size() <= cj.members.size() ? ci : cj;
                 const double eps = smaller.max_pairwise / 2.0;
-                const double rho_i = eps_density(matrix, ci, link_i, eps);
-                const double rho_j = eps_density(matrix, cj, link_j, eps);
+                const double rho_i = eps_density(source, ci, link_i, eps);
+                const double rho_j = eps_density(source, cj, link_j, eps);
                 if (std::abs(rho_i - rho_j) < options.eps_rho_threshold) {
                     record_merge(i, j);
                     out.merges.push_back({static_cast<int>(i), static_cast<int>(j),
@@ -263,12 +263,12 @@ refine_result split_clusters(const cluster_labels& input,
     return out;
 }
 
-refine_result refine(const dissim::dissimilarity_matrix& matrix, const cluster_labels& input,
+refine_result refine(const dissim::neighborhood_source& source, const cluster_labels& input,
                      const std::vector<std::size_t>& occurrence_counts,
                      const refine_options& options) {
     obs::span sp("cluster.refine");
     sp.count("input_clusters", input.cluster_count);
-    refine_result merged = merge_clusters(matrix, input, options);
+    refine_result merged = merge_clusters(source, input, options);
     refine_result split = split_clusters(merged.labels, occurrence_counts, options);
     refine_result out;
     out.labels = std::move(split.labels);

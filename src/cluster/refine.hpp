@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "cluster/dbscan.hpp"
-#include "dissim/matrix.hpp"
+#include "dissim/neighborhood.hpp"
 
 namespace ftc::cluster {
 
@@ -53,11 +53,18 @@ struct refine_result {
     std::vector<split_record> splits;
 };
 
-/// Merge pass. \p matrix indexes the same unique segments the labels refer
+/// Merge pass. \p source indexes the same unique segments the labels refer
 /// to. Merging is transitive: merge edges found in one sweep are combined
-/// with union-find.
-refine_result merge_clusters(const dissim::dissimilarity_matrix& matrix,
+/// with union-find. Only intra- and inter-cluster pair dissimilarities are
+/// read, so a sparse source serves this from its on-demand pair memo.
+refine_result merge_clusters(const dissim::neighborhood_source& source,
                              const cluster_labels& input, const refine_options& options = {});
+
+inline refine_result merge_clusters(const dissim::dissimilarity_matrix& matrix,
+                                    const cluster_labels& input,
+                                    const refine_options& options = {}) {
+    return merge_clusters(dissim::matrix_neighborhood(matrix), input, options);
+}
 
 /// Split pass. \p occurrence_counts[i] is the number of trace segments
 /// carrying unique value i (|b_i| in the paper).
@@ -66,8 +73,15 @@ refine_result split_clusters(const cluster_labels& input,
                              const refine_options& options = {});
 
 /// Merge followed by split (the paper's refinement order).
-refine_result refine(const dissim::dissimilarity_matrix& matrix, const cluster_labels& input,
+refine_result refine(const dissim::neighborhood_source& source, const cluster_labels& input,
                      const std::vector<std::size_t>& occurrence_counts,
                      const refine_options& options = {});
+
+inline refine_result refine(const dissim::dissimilarity_matrix& matrix,
+                            const cluster_labels& input,
+                            const std::vector<std::size_t>& occurrence_counts,
+                            const refine_options& options = {}) {
+    return refine(dissim::matrix_neighborhood(matrix), input, occurrence_counts, options);
+}
 
 }  // namespace ftc::cluster

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "dissim/sparse.hpp"
 #include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "util/budget.hpp"
@@ -111,10 +112,24 @@ pipeline_result analyze_seeded_budgeted(const std::vector<byte_vector>& messages
         // one.
         const std::size_t threads = util::resolve_threads(options.threads);
         std::optional<dissim::dissimilarity_matrix> matrix_storage;
+        std::optional<dissim::sparse_neighborhood> sparse_storage;
         std::vector<std::vector<double>> knn_curves;
         if (seed.unique.has_value() && seed.matrix.has_value()) {
             result.unique = std::move(*seed.unique);
             matrix_storage.emplace(std::move(*seed.matrix));
+            if (seed.knn_curves.has_value()) {
+                knn_curves = std::move(*seed.knn_curves);
+            }
+            obs::gauge_set("pipeline.unique_segments",
+                           static_cast<double>(result.unique.size()));
+        } else if (seed.unique.has_value() && seed.neighbors.has_value()) {
+            // Sparse-mode snapshot: adopt the capped lists verbatim (the
+            // adopt constructor revalidates shape; the ckpt decoder already
+            // enforced the deep invariants). The adopted source serves the
+            // same bits a fresh build would, so the resumed run is
+            // byte-identical — regardless of the mode this run requested.
+            result.unique = std::move(*seed.unique);
+            sparse_storage.emplace(result.unique.values, std::move(*seed.neighbors));
             if (seed.knn_curves.has_value()) {
                 knn_curves = std::move(*seed.knn_curves);
             }
@@ -144,58 +159,91 @@ pipeline_result analyze_seeded_budgeted(const std::vector<byte_vector>& messages
             obs::gauge_set("pipeline.unique_segments",
                            static_cast<double>(result.unique.size()));
 
-            // Degradation rung 2 — triangular tiled matrix. When the dense
-            // n*n layout would cross the budget, store the upper triangle
-            // only (identical cells, half the bytes) and, under an observer
-            // that spills tiles, bound crash-lost work to one tile. If even
-            // the triangle cannot fit, its tracked allocation raises
-            // memory_budget_exceeded_error — rung 3, the typed exit.
+            // Neighborhood mode: the sparse engine (rung 0 of the memory
+            // ladder — it never allocates the O(n^2) matrix) when forced or
+            // when auto crosses the scale threshold; the matrix below it.
+            // Both produce byte-identical cluster reports (DESIGN.md §13),
+            // so this choice moves cost, never results.
             const std::size_t n = result.unique.size();
-            dissim::build_options bopts;
-            bopts.threads = threads;
-            if (mem::would_exceed(static_cast<std::uint64_t>(n) * n * sizeof(float))) {
-                bopts.storage = dissim::layout::triangular;
-                obs::counter_add("mem.degrade.triangular_total", 1.0);
-                if (hook != nullptr && hook->wants_matrix_tiles()) {
-                    // ~4 MiB of cells per tile: big enough that spill I/O
-                    // stays a rounding error, small enough that a crash
-                    // loses minutes, not hours. The spill path charges each
-                    // serialized tile against the budget too, so cap the
-                    // tile at half the headroom left once the triangle
-                    // itself is allocated — a tile the budget cannot absorb
-                    // would turn the degradation rung into the very failure
-                    // it exists to avoid. Deterministic in n and the limit.
-                    std::uint64_t tile_bytes = 4u << 20;
-                    if (const mem::governor* g = mem::governor::active();
-                        g != nullptr && g->limit() > 0) {
-                        const std::uint64_t after_triangle =
-                            mem::current_bytes() +
-                            static_cast<std::uint64_t>(n) * (n - 1) / 2 * sizeof(float);
-                        const std::uint64_t headroom =
-                            g->limit() > after_triangle ? g->limit() - after_triangle : 0;
-                        tile_bytes = std::clamp<std::uint64_t>(headroom / 2, 4096, tile_bytes);
-                    }
-                    bopts.tile_rows = std::max<std::size_t>(
-                        1, static_cast<std::size_t>(tile_bytes) / sizeof(float) /
-                               std::max<std::size_t>(1, n));
-                    bopts.on_tile = [hook](std::size_t row_begin, std::size_t row_end,
-                                           std::size_t nn, std::span<const float> cells) {
-                        hook->on_matrix_tile(row_begin, row_end, nn, cells);
-                    };
+            const bool use_sparse =
+                options.neighborhood == dissim::neighborhood_mode::sparse ||
+                (options.neighborhood == dissim::neighborhood_mode::auto_ &&
+                 n >= dissim::kSparseAutoUniques);
+            if (use_sparse) {
+                dissim::sparse_build_options sopts;
+                sopts.knn_cap = cluster::knn_k_max(n);
+                sopts.threads = threads;
+                sparse_storage.emplace(result.unique.values, sopts, dl);
+                if (elide) {
+                    obs::counter_add("mem.degrade.dedup_total", 1.0);
                 }
+                if (hook != nullptr) {
+                    knn_curves = sparse_storage->kth_nn_many(cluster::knn_k_max(n), threads);
+                    hook->on_neighbors(result.unique, sparse_storage->capped(), knn_curves);
+                }
+                mem::publish_gauges();
+            } else {
+                // Degradation rung 2 — triangular tiled matrix. When the dense
+                // n*n layout would cross the budget, store the upper triangle
+                // only (identical cells, half the bytes) and, under an observer
+                // that spills tiles, bound crash-lost work to one tile. If even
+                // the triangle cannot fit, its tracked allocation raises
+                // memory_budget_exceeded_error — rung 3, the typed exit.
+                dissim::build_options bopts;
+                bopts.threads = threads;
+                if (mem::would_exceed(static_cast<std::uint64_t>(n) * n * sizeof(float))) {
+                    bopts.storage = dissim::layout::triangular;
+                    obs::counter_add("mem.degrade.triangular_total", 1.0);
+                    if (hook != nullptr && hook->wants_matrix_tiles()) {
+                        // ~4 MiB of cells per tile: big enough that spill I/O
+                        // stays a rounding error, small enough that a crash
+                        // loses minutes, not hours. The spill path charges each
+                        // serialized tile against the budget too, so cap the
+                        // tile at half the headroom left once the triangle
+                        // itself is allocated — a tile the budget cannot absorb
+                        // would turn the degradation rung into the very failure
+                        // it exists to avoid. Deterministic in n and the limit.
+                        std::uint64_t tile_bytes = 4u << 20;
+                        if (const mem::governor* g = mem::governor::active();
+                            g != nullptr && g->limit() > 0) {
+                            const std::uint64_t after_triangle =
+                                mem::current_bytes() +
+                                static_cast<std::uint64_t>(n) * (n - 1) / 2 * sizeof(float);
+                            const std::uint64_t headroom =
+                                g->limit() > after_triangle ? g->limit() - after_triangle : 0;
+                            tile_bytes = std::clamp<std::uint64_t>(headroom / 2, 4096, tile_bytes);
+                        }
+                        bopts.tile_rows = std::max<std::size_t>(
+                            1, static_cast<std::size_t>(tile_bytes) / sizeof(float) /
+                                   std::max<std::size_t>(1, n));
+                        bopts.on_tile = [hook](std::size_t row_begin, std::size_t row_end,
+                                               std::size_t nn, std::span<const float> cells) {
+                            hook->on_matrix_tile(row_begin, row_end, nn, cells);
+                        };
+                    }
+                }
+                if (elide) {
+                    obs::counter_add("mem.degrade.dedup_total", 1.0);
+                }
+                matrix_storage.emplace(result.unique.values, bopts, dl);
+                if (hook != nullptr) {
+                    knn_curves = matrix_storage->kth_nn_many(
+                        cluster::knn_k_max(result.unique.size()), threads);
+                    hook->on_matrix(result.unique, *matrix_storage, knn_curves);
+                }
+                mem::publish_gauges();
             }
-            if (elide) {
-                obs::counter_add("mem.degrade.dedup_total", 1.0);
-            }
-            matrix_storage.emplace(result.unique.values, bopts, dl);
-            if (hook != nullptr) {
-                knn_curves = matrix_storage->kth_nn_many(
-                    cluster::knn_k_max(result.unique.size()), threads);
-                hook->on_matrix(result.unique, *matrix_storage, knn_curves);
-            }
-            mem::publish_gauges();
         }
-        const dissim::dissimilarity_matrix& matrix = *matrix_storage;
+        // Every consumer below this point sees only the source interface;
+        // which construction backs it is invisible to the results.
+        std::optional<dissim::matrix_neighborhood> matrix_view;
+        if (!sparse_storage.has_value()) {
+            matrix_view.emplace(*matrix_storage);
+        }
+        const dissim::neighborhood_source& source =
+            sparse_storage.has_value()
+                ? static_cast<const dissim::neighborhood_source&>(*sparse_storage)
+                : static_cast<const dissim::neighborhood_source&>(*matrix_view);
 
         // Auto-configuration + DBSCAN with the oversized-cluster guard.
         // pipeline_options::threads governs the whole run, including the
@@ -212,7 +260,7 @@ pipeline_result analyze_seeded_budgeted(const std::vector<byte_vector>& messages
             autoconf.threads = threads;
             autoconf.precomputed_knn = knn_curves.empty() ? nullptr : &knn_curves;
             result.clustering =
-                cluster::auto_cluster(matrix, autoconf, options.oversize_fraction);
+                cluster::auto_cluster(source, autoconf, options.oversize_fraction);
             if (sp.enabled()) {
                 sp.count("clusters", result.clustering.labels.cluster_count);
                 sp.count("noise", result.clustering.labels.noise_count());
@@ -239,7 +287,7 @@ pipeline_result analyze_seeded_budgeted(const std::vector<byte_vector>& messages
                 if (result.clustering.reclustered && refine_opts.max_merged_fraction <= 0.0) {
                     refine_opts.max_merged_fraction = options.oversize_fraction;
                 }
-                result.refinement = cluster::refine(matrix, result.clustering.labels,
+                result.refinement = cluster::refine(source, result.clustering.labels,
                                                     occurrence_counts, refine_opts);
                 result.final_labels = result.refinement.labels;
             } else {

@@ -20,6 +20,7 @@
 #include "cluster/autoconf.hpp"
 #include "cluster/refine.hpp"
 #include "dissim/matrix.hpp"
+#include "dissim/neighborhood.hpp"
 #include "segmentation/segment.hpp"
 
 namespace ftc::core {
@@ -43,9 +44,20 @@ public:
     /// Dissimilarity stage finished: condensed unique segments, the full
     /// pairwise matrix, and the batched k-NN curves
     /// (kth_nn_many(cluster::knn_k_max(n))) the epsilon sweep consumes.
+    /// Fires only in dense mode; sparse builds announce on_neighbors.
     virtual void on_matrix(const dissim::unique_segments& /*unique*/,
                            const dissim::dissimilarity_matrix& /*matrix*/,
                            const std::vector<std::vector<double>>& /*knn_curves*/) {}
+
+    /// Dissimilarity stage finished in sparse mode: condensed unique
+    /// segments, the capped neighbor lists (the persistable substrate of
+    /// the sparse source), and the batched k-NN curves. The dense/sparse
+    /// split mirrors what each mode materializes — an observer persisting
+    /// snapshots stores the matrix in one case and the lists in the other,
+    /// and either snapshot resumes into a bitwise-identical run.
+    virtual void on_neighbors(const dissim::unique_segments& /*unique*/,
+                              const dissim::capped_neighbors& /*neighbors*/,
+                              const std::vector<std::vector<double>>& /*knn_curves*/) {}
 
     /// Opt into per-tile matrix announcements: when true and the matrix is
     /// built in the memory-lean triangular layout, the pipeline tiles the
@@ -81,12 +93,18 @@ struct pipeline_seed {
     std::optional<segmentation::message_segments> segments;
     std::optional<dissim::unique_segments> unique;
     std::optional<dissim::dissimilarity_matrix> matrix;
+    /// Sparse-mode dissimilarity snapshot (capped neighbor lists). Requires
+    /// `unique`; when both `matrix` and `neighbors` are present the matrix
+    /// wins (it carries strictly more information). Adopted regardless of
+    /// pipeline_options::neighborhood — the modes are result-identical, so
+    /// a snapshot from either is a valid seed for both.
+    std::optional<dissim::capped_neighbors> neighbors;
     std::optional<std::vector<std::vector<double>>> knn_curves;
     std::optional<cluster::auto_cluster_result> clustering;
 
     bool empty() const {
         return !segments.has_value() && !unique.has_value() && !matrix.has_value() &&
-               !knn_curves.has_value() && !clustering.has_value();
+               !neighbors.has_value() && !knn_curves.has_value() && !clustering.has_value();
     }
 };
 
@@ -124,6 +142,14 @@ struct pipeline_options {
     /// report (DESIGN.md §11). A limit never changes clustering output,
     /// only how (or whether) the run reaches it.
     std::size_t max_memory = 0;
+    /// Which epsilon-neighborhood construction feeds DBSCAN and autoconf
+    /// (DESIGN.md §13): dense always builds the pairwise matrix, sparse
+    /// always builds capped neighbor lists, auto picks sparse at scale
+    /// (>= dissim::kSparseAutoUniques unique segments) and dense below.
+    /// Result-neutral by construction — byte-identical cluster reports
+    /// either way — so it is NOT part of the checkpoint fingerprint,
+    /// exactly like the thread count.
+    dissim::neighborhood_mode neighborhood = dissim::neighborhood_mode::auto_;
     /// Worker threads for the dissimilarity-matrix, k-NN and epsilon-sweep
     /// hot paths: 0 = one lane per hardware thread, 1 = the exact legacy
     /// serial path. The parallel stages are pure fan-outs over independent

@@ -1,0 +1,48 @@
+#include "dissim/neighborhood.hpp"
+
+#include "util/check.hpp"
+
+namespace ftc::dissim {
+
+const char* neighborhood_mode_name(neighborhood_mode mode) {
+    switch (mode) {
+        case neighborhood_mode::dense:
+            return "dense";
+        case neighborhood_mode::sparse:
+            return "sparse";
+        case neighborhood_mode::auto_:
+            return "auto";
+    }
+    return "auto";
+}
+
+neighborhood_mode parse_neighborhood_mode(std::string_view text) {
+    if (text == "dense") {
+        return neighborhood_mode::dense;
+    }
+    if (text == "sparse") {
+        return neighborhood_mode::sparse;
+    }
+    if (text == "auto") {
+        return neighborhood_mode::auto_;
+    }
+    throw precondition_error(message("unknown neighborhood mode '", text,
+                                     "' (expected dense, sparse or auto)"));
+}
+
+std::vector<std::uint32_t> matrix_neighborhood::neighbors_within(std::size_t i,
+                                                                 double epsilon) const {
+    expects(i < matrix_.size(), "neighbors_within: point index out of range");
+    // The exact row scan cluster::dbscan historically ran: ascending j,
+    // diagonal included (at(i, i) == 0 <= epsilon for any non-negative
+    // epsilon), double comparison against the widened f32 cell.
+    std::vector<std::uint32_t> out;
+    for (std::size_t j = 0; j < matrix_.size(); ++j) {
+        if (matrix_.at(i, j) <= epsilon) {
+            out.push_back(static_cast<std::uint32_t>(j));
+        }
+    }
+    return out;
+}
+
+}  // namespace ftc::dissim

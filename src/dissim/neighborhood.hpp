@@ -1,0 +1,160 @@
+/// \file neighborhood.hpp
+/// The epsilon-neighborhood abstraction between the dissimilarity layer and
+/// the clustering layer (DESIGN.md §13).
+///
+/// DBSCAN, the epsilon auto-configuration and the refinement pass never need
+/// the full pairwise matrix — they consume three queries: "who is within
+/// epsilon of i", "the k-th-nearest-neighbour curve", and "the dissimilarity
+/// of one specific pair". neighborhood_source names exactly that contract so
+/// the clustering layer can run against either backing store:
+///
+///  - matrix_neighborhood wraps the existing dense/triangular
+///    dissimilarity_matrix (every query answered from stored cells), or
+///  - sparse_neighborhood (sparse.hpp) answers them from capped per-point
+///    neighbor lists plus bucket-pruned on-demand scans, never materializing
+///    the O(n²) matrix.
+///
+/// Contract (every implementation, verified by tests/test_dissim_sparse.cpp):
+///  - dissimilarity(i, j) returns the value the matrix cell would hold: the
+///    kernel result narrowed to f32 storage precision and widened back, so
+///    both sources are bitwise interchangeable.
+///  - neighbors_within(i, eps) returns every j (including i itself, distance
+///    zero) with dissimilarity(i, j) <= eps, ids ascending — the exact
+///    neighbor set DBSCAN's row scan produces, in the same order, so the
+///    BFS expansion and therefore the labels are identical.
+///  - kth_nn / kth_nn_many return the same doubles the matrix extraction
+///    yields, for every k up to knn_cap(); beyond the cap they throw
+///    knn_cap_error (typed, so the caller can distinguish "this source
+///    cannot serve k" from a malformed request).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "dissim/matrix.hpp"
+#include "util/error.hpp"
+
+namespace ftc::dissim {
+
+/// A k-NN request exceeded the horizon a neighborhood source retained
+/// (sparse sources keep only knn_cap() neighbors per point). Derives from
+/// precondition_error: the fix is on the caller — request fewer neighbors
+/// or build the source with a larger cap.
+class knn_cap_error : public precondition_error {
+public:
+    using precondition_error::precondition_error;
+};
+
+/// One stored neighbor: partner id and the f32 dissimilarity exactly as a
+/// matrix cell would store it.
+struct neighbor {
+    std::uint32_t id = 0;
+    float d = 0.0f;
+};
+
+/// Per-point sorted neighbor lists capped at a k horizon — the persistable
+/// substrate of a sparse_neighborhood (checkpoint section `neighbors`).
+/// lists[i] holds point i's min(cap, n-1) nearest neighbors ascending by
+/// (d, id), excluding i itself; the values are the same f32 order
+/// statistics a dense matrix row scan yields.
+struct capped_neighbors {
+    std::uint32_t cap = 0;
+    std::vector<std::vector<neighbor>> lists;
+
+    std::size_t size() const { return lists.size(); }
+};
+
+/// Which neighborhood construction the pipeline uses (--neighborhood).
+/// Result-neutral by construction — both paths produce byte-identical
+/// cluster reports — so the mode is deliberately NOT part of the checkpoint
+/// fingerprint, exactly like thread counts and kernel backends.
+enum class neighborhood_mode {
+    dense,   ///< always build the full dissimilarity matrix
+    sparse,  ///< always build capped neighbor lists (ftc::dissim::sparse)
+    auto_,   ///< sparse at scale (>= auto threshold uniques), dense below
+};
+
+/// Unique-segment count at which neighborhood_mode::auto_ switches to the
+/// sparse engine. Below it the dense matrix is small enough that the O(n²)
+/// build is not the bottleneck and its unlimited k horizon keeps every
+/// legacy path available.
+inline constexpr std::size_t kSparseAutoUniques = 4096;
+
+/// Stable lower-case name ("dense", "sparse", "auto").
+const char* neighborhood_mode_name(neighborhood_mode mode);
+
+/// Parse a --neighborhood value; throws ftc::precondition_error on anything
+/// but "dense", "sparse" or "auto".
+neighborhood_mode parse_neighborhood_mode(std::string_view text);
+
+/// The epsilon-neighborhood queries the clustering layer consumes (contract
+/// in the file comment). Query methods are logically const; sparse
+/// implementations memoize behind the interface, so a single source must
+/// not be queried from multiple threads concurrently (the clustering
+/// consumers are serial; kth_nn/kth_nn_many parallelize internally).
+class neighborhood_source {
+public:
+    virtual ~neighborhood_source() = default;
+
+    /// Number of points (unique segment values).
+    virtual std::size_t size() const = 0;
+
+    /// Dissimilarity of the pair (i, j) at f32 storage precision, widened
+    /// to double; 0 on the diagonal.
+    virtual double dissimilarity(std::size_t i, std::size_t j) const = 0;
+
+    /// Every j (including i itself) with dissimilarity(i, j) <= epsilon,
+    /// ids ascending.
+    virtual std::vector<std::uint32_t> neighbors_within(std::size_t i,
+                                                        double epsilon) const = 0;
+
+    /// Largest k kth_nn/kth_nn_many can serve (requests are clamped to
+    /// size()-1 first, so a cap >= size()-1 means unlimited).
+    virtual std::size_t knn_cap() const = 0;
+
+    /// Per-point k-th-nearest-neighbor dissimilarity (semantics of
+    /// dissimilarity_matrix::kth_nn). Throws knn_cap_error when the clamped
+    /// k exceeds knn_cap().
+    virtual std::vector<double> kth_nn(std::size_t k, std::size_t threads = 1) const = 0;
+
+    /// All curves k = 1..k_max in one batch (semantics of
+    /// dissimilarity_matrix::kth_nn_many). Throws knn_cap_error when the
+    /// clamped k_max exceeds knn_cap().
+    virtual std::vector<std::vector<double>> kth_nn_many(std::size_t k_max,
+                                                         std::size_t threads = 1) const = 0;
+};
+
+/// neighborhood_source over a prebuilt dense/triangular matrix: every query
+/// forwards to the stored cells. Does not own the matrix; it must outlive
+/// the adapter.
+class matrix_neighborhood final : public neighborhood_source {
+public:
+    explicit matrix_neighborhood(const dissimilarity_matrix& matrix) : matrix_(matrix) {}
+
+    std::size_t size() const override { return matrix_.size(); }
+
+    double dissimilarity(std::size_t i, std::size_t j) const override {
+        return matrix_.at(i, j);
+    }
+
+    std::vector<std::uint32_t> neighbors_within(std::size_t i,
+                                                double epsilon) const override;
+
+    /// A matrix row holds every neighbor, so any clamped k is servable.
+    std::size_t knn_cap() const override { return matrix_.size(); }
+
+    std::vector<double> kth_nn(std::size_t k, std::size_t threads = 1) const override {
+        return matrix_.kth_nn(k, threads);
+    }
+
+    std::vector<std::vector<double>> kth_nn_many(std::size_t k_max,
+                                                 std::size_t threads = 1) const override {
+        return matrix_.kth_nn_many(k_max, threads);
+    }
+
+private:
+    const dissimilarity_matrix& matrix_;
+};
+
+}  // namespace ftc::dissim

@@ -1,0 +1,547 @@
+#include "dissim/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "dissim/kernel.hpp"
+#include "obs/obs.hpp"
+#include "obs/progress.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ftc::dissim {
+
+namespace {
+
+/// Publish one scan block's kernel counters through ftc::obs (the same
+/// counters the matrix build publishes, so dashboards see one kernel
+/// workload regardless of the neighborhood mode).
+void publish_kernel_stats(const kernel::stats& st) {
+    obs::counter_add("dissim.kernel.invocations_total",
+                     static_cast<double>(st.invocations));
+    obs::counter_add("dissim.kernel.equal_fast_path_total",
+                     static_cast<double>(st.equal_fast_path));
+    obs::counter_add("dissim.kernel.windows_total",
+                     static_cast<double>(st.windows_total));
+    obs::counter_add("dissim.kernel.windows_pruned_total",
+                     static_cast<double>(st.windows_pruned));
+}
+
+/// Pending kernel batches of one point's bucket scan — the row_batcher of
+/// matrix.cpp with a candidate sink instead of matrix cells. Partners
+/// accumulate per path (equal / sliding length) and flush through the batch
+/// entry points; each pair's value is bitwise the single-call kernel result
+/// narrowed to f32, i.e. exactly what the matrix cell would store. Batches
+/// are flushed at every bucket boundary, so the sink sees each bucket's
+/// candidates before the next bucket's prune decision.
+struct scan_batcher {
+    static_assert(kernel::kEqualBatch == kernel::kSlideBatch);
+
+    struct pending_batch {
+        std::uint32_t ids[kernel::kEqualBatch];
+        byte_view views[kernel::kEqualBatch];
+        double out[kernel::kEqualBatch];
+        std::size_t count = 0;
+    };
+
+    byte_view a;
+    kernel::stats* stp = nullptr;
+    pending_batch equal_pend;
+    pending_batch slide_pend;
+
+    template <typename Sink>
+    void flush(pending_batch& pend, Sink&& sink) {
+        if (pend.count == 0) {
+            return;
+        }
+        if (&pend == &equal_pend) {
+            kernel::equal_dissimilarity_batch(a, pend.views, pend.count, pend.out, stp);
+        } else {
+            kernel::sliding_dissimilarity_batch(a, pend.views, pend.count, pend.out, stp);
+        }
+        for (std::size_t k = 0; k < pend.count; ++k) {
+            sink(pend.ids[k], static_cast<float>(pend.out[k]));
+        }
+        pend.count = 0;
+    }
+
+    template <typename Sink>
+    void add(std::uint32_t id, byte_view b, Sink&& sink) {
+        pending_batch& pend = a.size() == b.size() ? equal_pend : slide_pend;
+        pend.ids[pend.count] = id;
+        pend.views[pend.count] = b;
+        if (++pend.count == kernel::kEqualBatch) {
+            flush(pend, sink);
+        }
+    }
+
+    template <typename Sink>
+    void finish_bucket(Sink&& sink) {
+        flush(equal_pend, sink);
+        flush(slide_pend, sink);
+    }
+};
+
+/// Ascending (d, id) — the storage order of capped lists and range caches.
+bool neighbor_less(const neighbor& a, const neighbor& b) {
+    return a.d < b.d || (a.d == b.d && a.id < b.id);
+}
+
+/// Max-heap comparator over the candidate heap (largest kept distance on
+/// top — the prune ceiling). Plain distance order: replacement is strict
+/// (f < top), so equal-valued candidates never churn the heap.
+bool heap_less(const neighbor& a, const neighbor& b) {
+    return a.d < b.d;
+}
+
+std::uint64_t pair_key(std::uint32_t lo, std::uint32_t hi) {
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+std::size_t pair_hash(std::uint64_t key) {
+    // splitmix64 finalizer — full-width mix of the packed (lo, hi) key.
+    key ^= key >> 30;
+    key *= 0xbf58476d1ce4e5b9ull;
+    key ^= key >> 27;
+    key *= 0x94d049bb133111ebull;
+    key ^= key >> 31;
+    return static_cast<std::size_t>(key);
+}
+
+constexpr std::uint64_t kEmptyKey = ~0ull;  // lo == hi is impossible for a pair
+
+}  // namespace
+
+float sparse_neighborhood::length_lower_bound(std::size_t len_a, std::size_t len_b) {
+    if (len_a == len_b) {
+        return 0.0f;
+    }
+    const std::size_t m = std::min(len_a, len_b);
+    const std::size_t n = std::max(len_a, len_b);
+    // d(a, b) = (m·d_min + (n−m)·p)/n with p = 1 − (m/n)(1−d_min) is
+    // monotone increasing in d_min ∈ [0, 1]; at d_min = 0 it evaluates to
+    // ((n−m)/n)² — the length lower bound (derivation in DESIGN.md §13).
+    const double shorter = static_cast<double>(m);
+    const double longer = static_cast<double>(n);
+    const double diff = (longer - shorter) / longer;
+    float bound = static_cast<float>(diff * diff);
+    // Stored values are doubles narrowed to f32 by round-to-nearest, which
+    // is monotone — but the bound itself is also rounded, and the kernel's
+    // sum chain carries its own double rounding (~1e-13 relative). Deflate
+    // by two float ulps (~1.2e-7 relative) to make the bound strictly
+    // conservative against both; pruning must never discard a pair the
+    // dense matrix would keep.
+    bound = std::nextafterf(std::nextafterf(bound, 0.0f), 0.0f);
+    return bound > 0.0f ? bound : 0.0f;
+}
+
+template <typename Visit>
+std::pair<std::uint64_t, std::uint64_t> sparse_neighborhood::walk_buckets(
+    std::size_t home, std::size_t len, Visit&& visit) const {
+    // Two-pointer walk outward from the home bucket in ascending
+    // lower-bound order (LB is monotone in the length gap on either side,
+    // so the frontier minimum is always one of the two next buckets; ties
+    // prefer the shorter side to fix the visit order). The first refused
+    // bucket ends the walk: every unvisited bucket's bound is >= the
+    // refused one's. Returns {pruned buckets, points inside them}.
+    const std::size_t nb = bucket_len_.size();
+    std::size_t down = home;      // next down candidate is down-1
+    std::size_t up = home + 1;    // next up candidate is up
+    constexpr float kInf = std::numeric_limits<float>::infinity();
+    if (visit(home, 0.0f)) {
+        while (down > 0 || up < nb) {
+            const float lb_down =
+                down > 0 ? length_lower_bound(bucket_len_[down - 1], len) : kInf;
+            const float lb_up = up < nb ? length_lower_bound(len, bucket_len_[up]) : kInf;
+            if (lb_down <= lb_up) {
+                if (!visit(down - 1, lb_down)) {
+                    break;
+                }
+                --down;
+            } else {
+                if (!visit(up, lb_up)) {
+                    break;
+                }
+                ++up;
+            }
+        }
+    }
+    const std::uint64_t pruned_buckets = down + (nb - up);
+    const std::uint64_t pruned_points =
+        bucket_begin_[down] + (static_cast<std::uint64_t>(n_) - bucket_begin_[up]);
+    return {pruned_buckets, pruned_points};
+}
+
+sparse_neighborhood::sparse_neighborhood(std::span<const byte_vector> values,
+                                         const sparse_build_options& opts,
+                                         const deadline& dl)
+    : values_(values), n_(values.size()) {
+    expects(opts.knn_cap >= 1, "sparse_neighborhood: knn_cap must be at least 1");
+    expects(n_ <= 0xffffffffull, "sparse_neighborhood: point ids are 32-bit");
+    obs::span sp("dissim.sparse.build");
+    build_buckets();
+    build_lists(opts, dl);
+    seed_caches();
+    charge_storage();
+    sp.count("n", n_);
+    sp.count("cap", capped_.cap);
+    sp.count("buckets", bucket_len_.size());
+    sp.count("pairs_scored", pairs_scored());
+    obs::counter_add("dissim.sparse.builds_total", 1.0);
+}
+
+sparse_neighborhood::sparse_neighborhood(std::span<const byte_vector> values,
+                                         capped_neighbors lists)
+    : values_(values), n_(values.size()) {
+    expects(n_ <= 0xffffffffull, "sparse_neighborhood: point ids are 32-bit");
+    expects(lists.lists.size() == n_,
+            "sparse_neighborhood: adopted lists must cover every value");
+    expects(n_ < 2 || lists.cap >= 1,
+            "sparse_neighborhood: adopted cap must be at least 1");
+    build_buckets();
+    capped_ = std::move(lists);
+    const std::size_t want = std::min<std::size_t>(capped_.cap, n_ > 0 ? n_ - 1 : 0);
+    for (const std::vector<neighbor>& list : capped_.lists) {
+        expects(list.size() == want,
+                "sparse_neighborhood: adopted list has the wrong length");
+    }
+    seed_caches();
+    charge_storage();
+}
+
+void sparse_neighborhood::build_buckets() {
+    by_length_.resize(n_);
+    std::iota(by_length_.begin(), by_length_.end(), 0u);
+    // Stable sort keeps ids ascending within one length — the scan order
+    // every query relies on for determinism.
+    std::stable_sort(by_length_.begin(), by_length_.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return values_[a].size() < values_[b].size();
+                     });
+    bucket_of_.assign(n_, 0);
+    bucket_len_.clear();
+    bucket_begin_.clear();
+    for (std::size_t pos = 0; pos < n_; ++pos) {
+        const std::size_t len = values_[by_length_[pos]].size();
+        if (bucket_len_.empty() || bucket_len_.back() != len) {
+            bucket_len_.push_back(len);
+            bucket_begin_.push_back(static_cast<std::uint32_t>(pos));
+        }
+        bucket_of_[by_length_[pos]] =
+            static_cast<std::uint32_t>(bucket_len_.size() - 1);
+    }
+    bucket_begin_.push_back(static_cast<std::uint32_t>(n_));
+}
+
+void sparse_neighborhood::build_lists(const sparse_build_options& opts,
+                                      const deadline& dl) {
+    capped_.cap = static_cast<std::uint32_t>(
+        std::min<std::size_t>(opts.knn_cap, 0xffffffffull));
+    capped_.lists.assign(n_, {});
+    if (n_ < 2) {
+        return;
+    }
+    const std::size_t want = std::min<std::size_t>(capped_.cap, n_ - 1);
+    const std::size_t lanes = util::resolve_threads(opts.threads);
+    const std::size_t grain = std::max<std::size_t>(1, n_ / (8 * lanes));
+    obs::progress_stage("dissim.sparse", n_);
+    // Per-point scans are independent (each lane writes only its own
+    // points' lists), and the per-point candidate sequence is fixed by the
+    // bucket walk — so the lists are bitwise identical at any thread count.
+    util::parallel_for(n_, grain, lanes, [&](std::size_t begin, std::size_t end) {
+        kernel::stats st;
+        kernel::stats* stp = obs::current() != nullptr ? &st : nullptr;
+        std::uint64_t scored = 0;
+        std::uint64_t skipped = 0;
+        std::uint64_t buckets_pruned = 0;
+        std::vector<neighbor> heap;
+        heap.reserve(want);
+        for (std::size_t i = begin; i < end; ++i) {
+            if ((i - begin) % 32 == 0) {
+                dl.check("sparse neighborhood");
+            }
+            const std::uint32_t self = static_cast<std::uint32_t>(i);
+            heap.clear();
+            scan_batcher batch;
+            batch.a = byte_view{values_[i]};
+            batch.stp = stp;
+            // Exact capped selection: the heap top is the running k-th
+            // order statistic; replacement is strict (f < top), so every
+            // value below the final k-th is admitted and the kept values
+            // equal the dense row's k smallest, bit for bit. A refused
+            // bucket's bound >= top means no candidate in it (or beyond)
+            // can displace anything.
+            const auto consider = [&](std::uint32_t id, float f) {
+                if (heap.size() < want) {
+                    heap.push_back({id, f});
+                    std::push_heap(heap.begin(), heap.end(), heap_less);
+                } else if (f < heap.front().d) {
+                    std::pop_heap(heap.begin(), heap.end(), heap_less);
+                    heap.back() = {id, f};
+                    std::push_heap(heap.begin(), heap.end(), heap_less);
+                }
+            };
+            const auto [pb, pp] =
+                walk_buckets(bucket_of_[i], values_[i].size(),
+                             [&](std::size_t b, float lbf) {
+                                 if (heap.size() == want && lbf >= heap.front().d) {
+                                     return false;
+                                 }
+                                 for (std::uint32_t pos = bucket_begin_[b];
+                                      pos < bucket_begin_[b + 1]; ++pos) {
+                                     const std::uint32_t j = by_length_[pos];
+                                     if (j == self) {
+                                         continue;
+                                     }
+                                     batch.add(j, byte_view{values_[j]}, consider);
+                                     ++scored;
+                                 }
+                                 batch.finish_bucket(consider);
+                                 return true;
+                             });
+            buckets_pruned += pb;
+            skipped += pp;
+            std::sort(heap.begin(), heap.end(), neighbor_less);
+            capped_.lists[i].assign(heap.begin(), heap.end());
+            obs::progress_add(1);
+        }
+        pairs_scored_.fetch_add(scored, std::memory_order_relaxed);
+        if (stp != nullptr) {
+            publish_kernel_stats(st);
+            obs::counter_add("dissim.sparse.pairs_scored_total",
+                             static_cast<double>(scored));
+            obs::counter_add("dissim.sparse.pairs_skipped_total",
+                             static_cast<double>(skipped));
+            obs::counter_add("dissim.sparse.buckets_pruned_total",
+                             static_cast<double>(buckets_pruned));
+        }
+    });
+}
+
+void sparse_neighborhood::seed_caches() {
+    cache_.assign(n_, {});
+    for (std::size_t i = 0; i < n_; ++i) {
+        range_cache& rc = cache_[i];
+        if (n_ < 2 || capped_.lists[i].size() == n_ - 1) {
+            // The list IS the full neighbor set — complete at any epsilon.
+            rc.complete_through = std::numeric_limits<double>::infinity();
+        } else if (!capped_.lists[i].empty()) {
+            // A truncated list is complete strictly below its largest
+            // stored distance: neighbors tied with the cut-off value may
+            // have been dropped by the cap, so the largest value itself is
+            // already suspect. nextafter toward −1 keeps zero-distance
+            // cut-offs honest (the threshold goes negative, forcing a
+            // rescan even at epsilon = 0).
+            rc.complete_through =
+                std::nextafter(static_cast<double>(capped_.lists[i].back().d), -1.0);
+        }
+    }
+}
+
+void sparse_neighborhood::charge_storage() {
+    std::uint64_t bytes = by_length_.size() * sizeof(std::uint32_t) * 2 +
+                          bucket_len_.size() * sizeof(std::size_t) +
+                          bucket_begin_.size() * sizeof(std::uint32_t);
+    for (const std::vector<neighbor>& list : capped_.lists) {
+        bytes += list.size() * sizeof(neighbor) + sizeof(std::vector<neighbor>);
+    }
+    bytes += cache_.size() * sizeof(range_cache);
+    lists_charge_ = mem::charge(bytes, "dissim.sparse");
+}
+
+double sparse_neighborhood::dissimilarity(std::size_t i, std::size_t j) const {
+    expects(i < n_ && j < n_, "dissimilarity: point index out of range");
+    if (i == j) {
+        return 0.0;
+    }
+    const std::uint32_t lo = static_cast<std::uint32_t>(std::min(i, j));
+    const std::uint32_t hi = static_cast<std::uint32_t>(std::max(i, j));
+    return static_cast<double>(memoized_pair(lo, hi));
+}
+
+float sparse_neighborhood::memoized_pair(std::uint32_t lo, std::uint32_t hi) const {
+    const std::uint64_t key = pair_key(lo, hi);
+    if (!memo_keys_.empty()) {
+        const std::size_t mask = memo_keys_.size() - 1;
+        std::size_t at = pair_hash(key) & mask;
+        while (memo_keys_[at] != kEmptyKey) {
+            if (memo_keys_[at] == key) {
+                obs::counter_add("dissim.sparse.cache_hits_total", 1.0);
+                return memo_vals_[at];
+            }
+            at = (at + 1) & mask;
+        }
+    }
+    kernel::stats st;
+    kernel::stats* stp = obs::current() != nullptr ? &st : nullptr;
+    // The single-call kernel falls through to the equal-length path when
+    // the lengths match, so this is the same double the batched matrix
+    // build produces for the pair; the f32 narrowing matches the cell
+    // store. Memoized because refinement re-reads intra-cluster pairs many
+    // times over.
+    const float value = static_cast<float>(
+        kernel::sliding_dissimilarity(byte_view{values_[lo]}, byte_view{values_[hi]}, stp));
+    if (2 * (memo_used_ + 1) > memo_keys_.size()) {
+        const std::size_t grown_size = memo_keys_.empty() ? 64 : memo_keys_.size() * 2;
+        std::vector<std::uint64_t> keys(grown_size, kEmptyKey);
+        std::vector<float> vals(grown_size, 0.0f);
+        const std::size_t mask = grown_size - 1;
+        for (std::size_t from = 0; from < memo_keys_.size(); ++from) {
+            if (memo_keys_[from] == kEmptyKey) {
+                continue;
+            }
+            std::size_t at = pair_hash(memo_keys_[from]) & mask;
+            while (keys[at] != kEmptyKey) {
+                at = (at + 1) & mask;
+            }
+            keys[at] = memo_keys_[from];
+            vals[at] = memo_vals_[from];
+        }
+        memo_keys_.swap(keys);
+        memo_vals_.swap(vals);
+        memo_charge_ = mem::charge(
+            memo_keys_.size() * (sizeof(std::uint64_t) + sizeof(float)),
+            "dissim.sparse.memo");
+    }
+    const std::size_t mask = memo_keys_.size() - 1;
+    std::size_t at = pair_hash(key) & mask;
+    while (memo_keys_[at] != kEmptyKey) {
+        at = (at + 1) & mask;
+    }
+    memo_keys_[at] = key;
+    memo_vals_[at] = value;
+    ++memo_used_;
+    pairs_scored_.fetch_add(1, std::memory_order_relaxed);
+    if (stp != nullptr) {
+        publish_kernel_stats(st);
+        obs::counter_add("dissim.sparse.ondemand_pairs_total", 1.0);
+    }
+    return value;
+}
+
+std::vector<std::uint32_t> sparse_neighborhood::neighbors_within(std::size_t i,
+                                                                 double epsilon) const {
+    expects(i < n_, "neighbors_within: point index out of range");
+    range_cache& rc = cache_[i];
+    if (epsilon > rc.complete_through) {
+        rescan(i, epsilon);
+    } else {
+        obs::counter_add("dissim.sparse.cache_hits_total", 1.0);
+    }
+    const std::vector<neighbor>& items = rc.rescanned ? rc.items : capped_.lists[i];
+    std::vector<std::uint32_t> out;
+    out.reserve(items.size() + 1);
+    out.push_back(static_cast<std::uint32_t>(i));
+    for (const neighbor& nb : items) {
+        if (static_cast<double>(nb.d) > epsilon) {
+            break;  // items ascend by (d, id); the prefix is the answer
+        }
+        out.push_back(nb.id);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void sparse_neighborhood::rescan(std::size_t i, double epsilon) const {
+    // Bucket-pruned full range scan at this epsilon; replaces the cache
+    // with a strictly more complete one (complete_through only grows).
+    range_cache& rc = cache_[i];
+    kernel::stats st;
+    kernel::stats* stp = obs::current() != nullptr ? &st : nullptr;
+    std::uint64_t scored = 0;
+    std::vector<neighbor> found;
+    scan_batcher batch;
+    batch.a = byte_view{values_[i]};
+    batch.stp = stp;
+    const std::uint32_t self = static_cast<std::uint32_t>(i);
+    const auto consider = [&](std::uint32_t id, float f) {
+        if (static_cast<double>(f) <= epsilon) {
+            found.push_back({id, f});
+        }
+    };
+    walk_buckets(bucket_of_[i], values_[i].size(), [&](std::size_t b, float lbf) {
+        // Strict >: at lbf == epsilon a pair could still land exactly on
+        // the (deflated) bound and pass the <= epsilon test.
+        if (static_cast<double>(lbf) > epsilon) {
+            return false;
+        }
+        for (std::uint32_t pos = bucket_begin_[b]; pos < bucket_begin_[b + 1]; ++pos) {
+            const std::uint32_t j = by_length_[pos];
+            if (j == self) {
+                continue;
+            }
+            batch.add(j, byte_view{values_[j]}, consider);
+            ++scored;
+        }
+        batch.finish_bucket(consider);
+        return true;
+    });
+    std::sort(found.begin(), found.end(), neighbor_less);
+    cache_bytes_ -= rc.items.capacity() * sizeof(neighbor);
+    rc.items = std::move(found);
+    rc.items.shrink_to_fit();
+    rc.rescanned = true;
+    rc.complete_through = epsilon;
+    cache_bytes_ += rc.items.capacity() * sizeof(neighbor);
+    cache_charge_ = mem::charge(cache_bytes_, "dissim.sparse.cache");
+    pairs_scored_.fetch_add(scored, std::memory_order_relaxed);
+    if (stp != nullptr) {
+        publish_kernel_stats(st);
+        obs::counter_add("dissim.sparse.range_rescans_total", 1.0);
+        obs::counter_add("dissim.sparse.pairs_scored_total",
+                         static_cast<double>(scored));
+    }
+}
+
+std::vector<double> sparse_neighborhood::kth_nn(std::size_t k,
+                                                std::size_t /*threads*/) const {
+    expects(k >= 1, "kth_nn: k must be at least 1");
+    if (n_ < 2) {
+        return {};
+    }
+    const std::size_t kk = std::min(k, n_ - 1);
+    const std::size_t held = std::min<std::size_t>(capped_.cap, n_ - 1);
+    if (kk > held) {
+        throw knn_cap_error(message("kth_nn: k ", k, " exceeds the sparse neighbor cap ",
+                                    capped_.cap, " (", held, " neighbors held per point)"));
+    }
+    std::vector<double> out(n_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i) {
+        out[i] = static_cast<double>(capped_.lists[i][kk - 1].d);
+    }
+    return out;
+}
+
+std::vector<std::vector<double>> sparse_neighborhood::kth_nn_many(
+    std::size_t k_max, std::size_t /*threads*/) const {
+    expects(k_max >= 1, "kth_nn_many: k_max must be at least 1");
+    if (n_ < 2) {
+        return std::vector<std::vector<double>>(k_max);
+    }
+    const std::size_t kk_max = std::min(k_max, n_ - 1);
+    const std::size_t held = std::min<std::size_t>(capped_.cap, n_ - 1);
+    if (kk_max > held) {
+        throw knn_cap_error(message("kth_nn_many: k_max ", k_max,
+                                    " exceeds the sparse neighbor cap ", capped_.cap,
+                                    " (", held, " neighbors held per point)"));
+    }
+    obs::span sp("dissim.kth_nn_many");
+    sp.count("n", n_);
+    sp.count("k_max", k_max);
+    const mem::charge curves_charge(
+        static_cast<std::uint64_t>(k_max) * n_ * sizeof(double), "dissim.knn_curves");
+    // The lists already hold each point's sorted k smallest distances —
+    // the exact f32 order statistics partial_sort finds on a matrix row —
+    // so every curve is a column read, no kernel work.
+    std::vector<std::vector<double>> out(k_max, std::vector<double>(n_, 0.0));
+    for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t k = 1; k <= k_max; ++k) {
+            out[k - 1][i] = static_cast<double>(capped_.lists[i][std::min(k, n_ - 1) - 1].d);
+        }
+    }
+    return out;
+}
+
+}  // namespace ftc::dissim

@@ -249,6 +249,13 @@ help_registry& helps() {
             {"dissim.kernel.equal_fast_path_total", "Kernel calls served by the equal-length fast path"},
             {"dissim.kernel.windows_total", "Candidate alignment windows considered"},
             {"dissim.kernel.windows_pruned_total", "Alignment windows skipped by pruning"},
+            {"dissim.sparse.builds_total", "Sparse epsilon-neighborhood builds"},
+            {"dissim.sparse.pairs_scored_total", "Segment pairs scored by the sparse builder"},
+            {"dissim.sparse.pairs_skipped_total", "Segment pairs skipped by the length lower bound"},
+            {"dissim.sparse.buckets_pruned_total", "Length buckets pruned wholesale by the bound"},
+            {"dissim.sparse.range_rescans_total", "Range queries widened past the capped lists"},
+            {"dissim.sparse.cache_hits_total", "Sparse pair lookups served from the memo"},
+            {"dissim.sparse.ondemand_pairs_total", "Pair dissimilarities computed on demand"},
             {"mem.tracked_bytes", "Live bytes on the ftc::mem tracked heap"},
             {"mem.tracked_bytes_peak", "High-water mark of the tracked heap"},
             {"mem.tracked_allocs_total", "Allocations routed through the tracked heap"},

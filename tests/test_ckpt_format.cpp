@@ -6,6 +6,7 @@
 
 #include <cstring>
 #include <limits>
+#include <utility>
 
 #include "protocols/registry.hpp"
 #include "segmentation/segment.hpp"
@@ -198,6 +199,67 @@ TEST(CkptFormat, KnnRoundTripIsBitwise) {
         {0.5, 0.50000000001, 1.0},
     };
     EXPECT_EQ(decode_knn(encode_knn(in)), in);
+}
+
+dissim::capped_neighbors sample_neighbors() {
+    // Shape for n = 4, cap = 2: every list holds min(cap, n-1) = 2 entries,
+    // ascending by (d, id), ids never the point itself.
+    dissim::capped_neighbors nb;
+    nb.cap = 2;
+    nb.lists = {
+        {{1, 0.0f}, {2, 0.125f}},
+        {{0, 0.0f}, {3, 0.5f}},
+        {{0, 0.125f}, {1, 0.25f}},
+        {{1, 0.5f}, {2, 0.75f}},
+    };
+    return nb;
+}
+
+TEST(CkptFormat, NeighborsRoundTripIsBitwise) {
+    const dissim::capped_neighbors in = sample_neighbors();
+    const dissim::capped_neighbors out = decode_neighbors(encode_neighbors(in));
+    ASSERT_EQ(out.size(), in.size());
+    EXPECT_EQ(out.cap, in.cap);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        ASSERT_EQ(out.lists[i].size(), in.lists[i].size());
+        for (std::size_t k = 0; k < in.lists[i].size(); ++k) {
+            EXPECT_EQ(out.lists[i][k].id, in.lists[i][k].id);
+            EXPECT_EQ(out.lists[i][k].d, in.lists[i][k].d);
+        }
+    }
+}
+
+TEST(CkptFormat, NeighborsRejectStructuralDamage) {
+    {
+        // Truncated list: length no longer min(cap, n-1).
+        dissim::capped_neighbors bad = sample_neighbors();
+        bad.lists[1].pop_back();
+        EXPECT_THROW(decode_neighbors(encode_neighbors(bad)), parse_error);
+    }
+    {
+        // Self-referential neighbor id.
+        dissim::capped_neighbors bad = sample_neighbors();
+        bad.lists[2][0].id = 2;
+        EXPECT_THROW(decode_neighbors(encode_neighbors(bad)), parse_error);
+    }
+    {
+        // Out-of-range id.
+        dissim::capped_neighbors bad = sample_neighbors();
+        bad.lists[0][1].id = 9;
+        EXPECT_THROW(decode_neighbors(encode_neighbors(bad)), parse_error);
+    }
+    {
+        // Distance outside [0, 1].
+        dissim::capped_neighbors bad = sample_neighbors();
+        bad.lists[3][1].d = 1.5f;
+        EXPECT_THROW(decode_neighbors(encode_neighbors(bad)), parse_error);
+    }
+    {
+        // Descending (d, id) order.
+        dissim::capped_neighbors bad = sample_neighbors();
+        std::swap(bad.lists[0][0], bad.lists[0][1]);
+        EXPECT_THROW(decode_neighbors(encode_neighbors(bad)), parse_error);
+    }
 }
 
 TEST(CkptFormat, ClusteringRoundTrip) {

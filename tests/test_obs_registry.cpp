@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/export.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ftc::obs {
@@ -146,6 +147,24 @@ TEST(ObsRegistry, ScopedRecorderInstallsAndRestores) {
     }
     EXPECT_EQ(current(), nullptr);
 #endif
+}
+
+TEST(ObsRegistry, SparseCountersHaveRegisteredHelp) {
+    // Every counter the sparse neighborhood engine emits must carry help
+    // text so the Prometheus exposition renders a # HELP line for it —
+    // tools/doc_lint pairs these names with the documentation, and this
+    // assertion keeps the seeded registry from drifting out from under it.
+    for (const char* name : {
+             "dissim.sparse.builds_total",
+             "dissim.sparse.pairs_scored_total",
+             "dissim.sparse.pairs_skipped_total",
+             "dissim.sparse.buckets_pruned_total",
+             "dissim.sparse.range_rescans_total",
+             "dissim.sparse.cache_hits_total",
+             "dissim.sparse.ondemand_pairs_total",
+         }) {
+        EXPECT_FALSE(metric_help(name).empty()) << name;
+    }
 }
 
 TEST(ObsRegistry, SequentialRecordersDoNotLeakState) {

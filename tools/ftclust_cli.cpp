@@ -7,7 +7,8 @@
 ///   ftclust analyze  <capture.pcap> [--segmenter NEMESYS|CSP|Netzob]
 ///                    [--budget SECONDS] [--deadline-ms N] [--max-segments N]
 ///                    [--max-bytes N] [--strict|--lenient] [--threads N]
-///                    [--semantics] [--trace-out FILE] [--metrics-out FILE]
+///                    [--neighborhood dense|sparse|auto] [--semantics]
+///                    [--trace-out FILE] [--metrics-out FILE]
 ///                    [--manifest-out FILE]
 ///       Cluster the capture's messages into pseudo data types and print
 ///       the analyst report. Works on UDP/TCP payloads (Ethernet/IPv4) and
@@ -25,6 +26,11 @@
 ///       --threads bounds the worker count of the
 ///       dissimilarity/auto-configuration stages (0 = all hardware
 ///       threads, 1 = serial); the result is identical either way.
+///       --neighborhood picks the epsilon-neighborhood engine: dense
+///       builds the full pairwise matrix, sparse builds capped per-point
+///       neighbor lists with length-bound bucket pruning, auto (the
+///       default) picks sparse for large inputs. The engines serve
+///       bitwise-identical values, so reports match across all three.
 ///       `ftclust run` is an alias for `analyze`. Any of --trace-out
 ///       (Chrome trace-event JSON for chrome://tracing), --metrics-out
 ///       (Prometheus-style text) and --manifest-out (machine-readable
@@ -93,6 +99,7 @@
 #include "core/report.hpp"
 #include "core/semantics.hpp"
 #include "dissim/kernel.hpp"
+#include "dissim/neighborhood.hpp"
 #include "mem/mem.hpp"
 #include "obs/export.hpp"
 #include "obs/httpd.hpp"
@@ -123,7 +130,8 @@ int usage() {
         "                   [--budget SECONDS] [--deadline-ms N] [--max-segments N]\n"
         "                   [--max-bytes N] [--max-memory BYTES[K|M|G]]\n"
         "                   [--strict|--lenient] [--threads N]\n"
-        "                   [--semantics] [--trace-out FILE] [--metrics-out FILE]\n"
+        "                   [--neighborhood dense|sparse|auto] [--semantics]\n"
+        "                   [--trace-out FILE] [--metrics-out FILE]\n"
         "                   [--manifest-out FILE] [--report-out FILE]\n"
         "                   [--checkpoint DIR] [--resume]\n"
         "                   [--telemetry-out FILE] [--telemetry-interval-ms N]\n"
@@ -218,7 +226,10 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
     if (deadline_ms > 0) {
         budget = deadline_ms / 1000.0;
     }
-    const bool lenient = has_flag(argc, argv, "--lenient");
+    // --strict is the default; accepting it explicitly lets scripts pin the
+    // policy, and an explicit --strict wins over a stray --lenient.
+    const bool lenient =
+        has_flag(argc, argv, "--lenient") && !has_flag(argc, argv, "--strict");
     diag::error_sink sink(lenient ? diag::policy::lenient : diag::policy::strict);
 
     const char* trace_out = flag_value(argc, argv, "--trace-out", nullptr);
@@ -288,6 +299,8 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
         flag_value(argc, argv, "--max-memory", "0"), "--max-memory"));
     opt.threads = static_cast<std::size_t>(
         util::parse_u64(flag_value(argc, argv, "--threads", "0"), "--threads"));
+    opt.neighborhood =
+        dissim::parse_neighborhood_mode(flag_value(argc, argv, "--neighborhood", "auto"));
 
     // Install the memory governor here rather than leaving it to the
     // pipeline: checkpoint loading below allocates matrix-sized buffers,
@@ -340,6 +353,7 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
             {"max_memory", std::to_string(opt.max_memory)},
             {"mode", lenient ? "lenient" : "strict"},
             {"threads", std::to_string(opt.threads)},
+            {"neighborhood", dissim::neighborhood_mode_name(opt.neighborhood)},
         };
         m.input_path = path;
         m.input_bytes = raw.size();
