@@ -24,8 +24,14 @@ std::atomic<std::uint64_t> g_allocs{0};
 std::atomic<std::uint64_t> g_fail_countdown{0};
 std::atomic<std::uint64_t> g_fail_above{0};
 
-// Innermost governor; single pointer like obs::detail::g_recorder.
-std::atomic<governor*> g_governor{nullptr};
+// Innermost governor of the *calling thread*. Thread-local rather than
+// process-global: the serve daemon runs concurrent sessions on separate
+// worker threads, each under its own nested governor, and a shared pointer
+// stack would interleave their install/restore pairs. Tracked charges are
+// coarse coordinator-thread allocations (see testing/alloc_fault.hpp), so
+// the thread that installs a governor is the thread whose charges it must
+// govern; cross-thread ceilings are the admission controller's job.
+thread_local governor* t_governor = nullptr;
 
 // Gauge publication throttle: publish only when the peak grows past the
 // last published value by at least this step, so a charge-heavy run does
@@ -84,17 +90,17 @@ fault_plan get_fault_plan() noexcept {
 }
 
 governor::governor(std::uint64_t limit_bytes) noexcept : limit_(limit_bytes) {
-    previous_ = g_governor.load(std::memory_order_acquire);
-    g_governor.store(this, std::memory_order_release);
+    previous_ = t_governor;
+    t_governor = this;
 }
 
-governor::~governor() { g_governor.store(previous_, std::memory_order_release); }
+governor::~governor() { t_governor = previous_; }
 
 bool governor::would_exceed(std::uint64_t extra) const noexcept {
     return limit_ > 0 && current_bytes() + extra > limit_;
 }
 
-governor* governor::active() noexcept { return g_governor.load(std::memory_order_acquire); }
+governor* governor::active() noexcept { return t_governor; }
 
 void on_charge(std::uint64_t bytes, const char* what) {
     const std::uint64_t ordinal = g_allocs.fetch_add(1, std::memory_order_relaxed) + 1;

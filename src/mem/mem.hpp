@@ -97,6 +97,15 @@ fault_plan get_fault_plan() noexcept;
 /// governor (they nest, innermost wins). A limit of 0 keeps charges
 /// unchecked but still lets fault plans and accounting apply — and marks
 /// memory governance as "on" for reporting purposes.
+///
+/// The governor stack is *per thread*: install and uninstall must happen
+/// on the same thread, and only charges made on that thread are governed.
+/// This is what lets the serve daemon run concurrent sessions, each on its
+/// own worker thread under its own nested governor, without the install/
+/// restore pairs interleaving. The tracked charge sites are coarse
+/// coordinator-thread allocations, so a session's governor sees all of
+/// that session's tracked footprint; a process-wide ceiling across
+/// sessions is enforced by admission control, not by a shared governor.
 class governor {
 public:
     explicit governor(std::uint64_t limit_bytes) noexcept;

@@ -264,8 +264,20 @@ help_registry& helps() {
             {"mem.degrade.dedup_total", "Dedup degradation-ladder rungs engaged"},
             {"mem.degrade.triangular_total", "Triangular-storage rungs engaged under memory pressure"},
             {"mem.faults_injected_total", "Allocation faults injected by the test harness"},
+            {"net.io_faults_injected_total", "Socket/spool I/O faults injected by the test harness"},
             {"pcap.datagrams_total", "Datagrams decapsulated from the input capture"},
             {"pipeline.unique_segments", "Unique segment values entering dissimilarity"},
+            {"serve.requests_total", "HTTP requests answered by the serve daemon"},
+            {"serve.http_errors_total", "Requests rejected as malformed, oversized or stalled"},
+            {"serve.jobs_submitted_total", "Analysis jobs accepted into the spool"},
+            {"serve.jobs_completed_total", "Sessions that finished with a report"},
+            {"serve.jobs_failed_total", "Sessions that ended in a typed per-session error"},
+            {"serve.jobs_shed_total", "Job submissions refused with 503 under overload"},
+            {"serve.jobs_recovered_total", "Spooled jobs replayed after a restart"},
+            {"serve.sessions_degraded_total", "Sessions started under the degradation ladder"},
+            {"serve.queue_depth", "Jobs waiting in the admission queue"},
+            {"serve.active_sessions", "Sessions currently running"},
+            {"telemetry.write_errors", "Telemetry NDJSON lines the output stream refused"},
             {"threadpool.block_seconds", "Seconds parallel_for blocks waited for a lane"},
             {"threadpool.busy_seconds", "Cumulative worker busy time"},
             {"threadpool.jobs_total", "Blocked ranges executed by the pool"},

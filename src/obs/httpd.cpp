@@ -3,16 +3,9 @@
 #include <cerrno>
 #include <cstring>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#endif
-
 #include "obs/export.hpp"
 #include "util/error.hpp"
+#include "util/net.hpp"
 #include "util/parse.hpp"
 
 namespace ftc::obs {
@@ -35,35 +28,12 @@ listen_address parse_listen_address(const std::string& spec) {
     return out;
 }
 
-#if defined(__unix__) || defined(__APPLE__)
-
 metrics_server::metrics_server(const recorder* rec, const listen_address& address)
     : rec_(rec) {
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(address.port);
-    if (inet_pton(AF_INET, address.host.c_str(), &addr.sin_addr) != 1) {
-        throw ftc::error("metrics-listen: not an IPv4 address: '" + address.host + "'");
-    }
-    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) {
-        throw ftc::error(std::string{"metrics-listen: socket: "} + std::strerror(errno));
-    }
-    const int one = 1;
-    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
-        listen(listen_fd_, 8) != 0) {
-        const std::string why = std::strerror(errno);
-        close(listen_fd_);
-        listen_fd_ = -1;
-        throw ftc::error("metrics-listen: cannot listen on " + address.host + ":" +
-                         std::to_string(address.port) + ": " + why);
-    }
-    sockaddr_in bound{};
-    socklen_t len = sizeof bound;
-    if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
-        port_ = ntohs(bound.sin_port);
-    }
+    // listen_tcp sets SO_REUSEADDR (a restarted run rebinds through
+    // TIME_WAIT) and FD_CLOEXEC (the listener never leaks into children).
+    listen_fd_ = util::net::listen_tcp(address.host, address.port, 8, &port_,
+                                       "metrics-listen");
     thread_ = std::thread([this] { loop(); });
 }
 
@@ -78,31 +48,22 @@ void metrics_server::stop() noexcept {
     if (thread_.joinable()) {
         thread_.join();
     }
-    if (listen_fd_ >= 0) {
-        close(listen_fd_);
-        listen_fd_ = -1;
-    }
+    util::net::close_fd(listen_fd_);
+    listen_fd_ = -1;
 }
 
 void metrics_server::loop() {
-    // poll with a short timeout instead of a bare accept: stop() only flips
-    // an atomic, so the thread notices shutdown within one poll period and
-    // the listening fd is closed strictly after the join — no close/accept
-    // race to reason about.
+    // accept with a short timeout instead of a bare accept: stop() only
+    // flips an atomic, so the thread notices shutdown within one wait
+    // period and the listening fd is closed strictly after the join — no
+    // close/accept race to reason about.
     while (!stop_.load(std::memory_order_acquire)) {
-        pollfd pfd{};
-        pfd.fd = listen_fd_;
-        pfd.events = POLLIN;
-        const int ready = poll(&pfd, 1, 200);
-        if (ready <= 0) {
-            continue;  // timeout or EINTR: re-check the stop flag
-        }
-        const int client = accept(listen_fd_, nullptr, nullptr);
+        const int client = util::net::accept_client(listen_fd_, 200);
         if (client < 0) {
-            continue;
+            continue;  // timeout or transient error: re-check the stop flag
         }
         serve_one(client);
-        close(client);
+        util::net::close_fd(client);
     }
 }
 
@@ -113,17 +74,12 @@ void metrics_server::serve_one(int client_fd) {
     char buf[4096];
     std::size_t used = 0;
     for (int rounds = 0; rounds < 10 && used < sizeof buf; ++rounds) {
-        pollfd pfd{};
-        pfd.fd = client_fd;
-        pfd.events = POLLIN;
-        if (poll(&pfd, 1, 200) <= 0) {
+        const util::net::io_result r =
+            util::net::read_some(client_fd, buf + used, sizeof buf - used, 200);
+        if (!r.ok()) {
             break;
         }
-        const ssize_t n = recv(client_fd, buf + used, sizeof buf - used, 0);
-        if (n <= 0) {
-            break;
-        }
-        used += static_cast<std::size_t>(n);
+        used += r.n;
         if (std::string_view{buf, used}.find("\r\n\r\n") != std::string_view::npos) {
             break;
         }
@@ -140,33 +96,13 @@ void metrics_server::serve_one(int client_fd) {
                            "\r\n"
                            "Connection: close\r\n\r\n" +
                            body;
-    std::size_t sent = 0;
-    while (sent < response.size()) {
-        const ssize_t n = send(client_fd, response.data() + sent, response.size() - sent,
-#ifdef MSG_NOSIGNAL
-                               MSG_NOSIGNAL
-#else
-                               0
-#endif
-        );
-        if (n <= 0) {
-            return;  // peer went away mid-scrape; nothing to clean up
-        }
-        sent += static_cast<std::size_t>(n);
+    // write_all retries EINTR and loops over short send()s, so a large
+    // metric page reaches the scraper complete or not at all — the old
+    // bare send loop dropped the tail on the first interrupted call.
+    if (!util::net::write_all(client_fd, response.data(), response.size(), 2000).ok()) {
+        return;  // peer went away mid-scrape; nothing to clean up
     }
     requests_.fetch_add(1, std::memory_order_relaxed);
 }
-
-#else  // !unix: no sockets — constructing a server reports the platform gap.
-
-metrics_server::metrics_server(const recorder* rec, const listen_address&) : rec_(rec) {
-    throw ftc::error("metrics-listen: not supported on this platform");
-}
-metrics_server::~metrics_server() = default;
-void metrics_server::stop() noexcept {}
-void metrics_server::loop() {}
-void metrics_server::serve_one(int) {}
-
-#endif
 
 }  // namespace ftc::obs

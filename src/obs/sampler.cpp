@@ -271,6 +271,13 @@ void sampler::emit_sample(bool final) {
         w.end_object();
     }
 
+    if (final) {
+        // The final status sample accounts for every line the stream
+        // refused, so a consumer knows its series is incomplete.
+        w.key("write_errors");
+        w.value(write_errors_.load(std::memory_order_relaxed));
+    }
+
     w.key("mem");
     w.begin_object();
     w.key("tracked_bytes");
@@ -302,6 +309,15 @@ void sampler::emit_sample(bool final) {
 
     out_ << w.take() << '\n';
     out_.flush();  // every line is durable: a killed run keeps its series
+    if (!out_) {
+        // The line did not make it (disk full, target vanished). Count the
+        // drop — invisible telemetry loss is worse than a short series —
+        // and clear the stream state so later samples (above all the final
+        // one) still get their chance once the condition passes.
+        write_errors_.fetch_add(1, std::memory_order_relaxed);
+        counter_add("telemetry.write_errors", 1.0);
+        out_.clear();
+    }
 }
 
 }  // namespace ftc::obs

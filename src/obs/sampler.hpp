@@ -19,6 +19,7 @@
 /// (tests/test_obs_sampler.cpp proves all three, serial and parallel).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -90,6 +91,14 @@ public:
     /// Periodic samples emitted so far (excludes the final sample).
     std::uint64_t samples_emitted() const;
 
+    /// NDJSON lines the output stream failed to take (full disk, closed
+    /// pipe). Dropped samples are counted — here, in the
+    /// `telemetry.write_errors` obs counter and in the final sample's
+    /// `write_errors` field — never discarded invisibly.
+    std::uint64_t write_errors() const {
+        return write_errors_.load(std::memory_order_relaxed);
+    }
+
 private:
     void loop();
     void emit_sample(bool final);
@@ -103,6 +112,7 @@ private:
 
     std::chrono::steady_clock::time_point start_;
     std::uint64_t seq_ = 0;
+    std::atomic<std::uint64_t> write_errors_{0};
 
     // Rate/ETA state, touched only by the sampler thread (and by stop()
     // strictly after the join).

@@ -1,0 +1,232 @@
+#include "serve/daemon.hpp"
+
+#include <fstream>
+
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+#include "util/net.hpp"
+
+namespace ftc::serve {
+
+namespace {
+
+/// Parse "/jobs/<digits>[/report]" — returns false for anything else.
+bool parse_job_target(std::string_view target, std::uint64_t& id, bool& want_report) {
+    constexpr std::string_view kPrefix = "/jobs/";
+    if (target.rfind(kPrefix, 0) != 0) {
+        return false;
+    }
+    target.remove_prefix(kPrefix.size());
+    want_report = false;
+    constexpr std::string_view kReport = "/report";
+    if (target.size() > kReport.size() &&
+        target.compare(target.size() - kReport.size(), kReport.size(), kReport) == 0) {
+        want_report = true;
+        target.remove_suffix(kReport.size());
+    }
+    if (target.empty() || target.size() > 19) {
+        return false;
+    }
+    std::uint64_t value = 0;
+    for (char c : target) {
+        if (c < '0' || c > '9') {
+            return false;
+        }
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    id = value;
+    return true;
+}
+
+std::string error_json(std::string_view reason) {
+    obs::json_writer w;
+    w.begin_object();
+    w.key("error");
+    w.value(reason);
+    w.end_object();
+    return w.take();
+}
+
+std::string status_json(const job_status& status) {
+    obs::json_writer w;
+    w.begin_object();
+    w.key("job");
+    w.value(status.id);
+    w.key("state");
+    w.value(job_state_name(status.state));
+    w.key("degraded");
+    w.value(status.degraded);
+    w.key("recovered");
+    w.value(status.recovered);
+    if (!status.error.empty()) {
+        w.key("error");
+        w.value(std::string_view{status.error});
+    }
+    w.end_object();
+    return w.take();
+}
+
+}  // namespace
+
+daemon::daemon(session_manager& sessions, obs::recorder* recorder, daemon_options options)
+    : sessions_(sessions), recorder_(recorder), options_(std::move(options)) {
+    listen_fd_ = util::net::listen_tcp(options_.host, options_.port, 16, &port_,
+                                       "serve-listen");
+    if (options_.io_threads == 0) {
+        options_.io_threads = 1;
+    }
+    io_threads_.reserve(options_.io_threads);
+    for (std::size_t i = 0; i < options_.io_threads; ++i) {
+        io_threads_.emplace_back([this] { io_loop(); });
+    }
+}
+
+daemon::~daemon() { stop(); }
+
+void daemon::stop() noexcept {
+    if (stopping_.exchange(true, std::memory_order_relaxed)) {
+        return;
+    }
+    for (std::thread& t : io_threads_) {
+        if (t.joinable()) {
+            t.join();
+        }
+    }
+    io_threads_.clear();
+    util::net::close_fd(listen_fd_);
+    listen_fd_ = -1;
+}
+
+void daemon::io_loop() {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        const int client = util::net::accept_client(listen_fd_, 200);
+        if (client < 0) {
+            continue;  // timeout or transient accept error: keep serving
+        }
+        // One connection is one bounded request/response exchange; any
+        // exception is a that-connection problem, never the daemon's.
+        try {
+            handle_connection(client);
+        } catch (const std::exception&) {
+            obs::counter_add("serve.http_errors_total", 1.0);
+        }
+        util::net::close_fd(client);
+    }
+}
+
+void daemon::respond_json(
+    int fd, int status, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra) {
+    if (status >= 400) {
+        obs::counter_add("serve.http_errors_total", 1.0);
+    }
+    write_response(fd, status, "application/json", body, extra,
+                   options_.limits.io_deadline_ms);
+}
+
+void daemon::handle_connection(int fd) {
+    http_request request;
+    const read_status rs = read_request(fd, options_.limits, request);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter_add("serve.requests_total", 1.0);
+    switch (rs) {
+        case read_status::ok:
+            break;
+        case read_status::bad_request:
+            respond_json(fd, 400, error_json("malformed request"));
+            return;
+        case read_status::too_large:
+            respond_json(fd, 413, error_json("request exceeds configured limits"));
+            return;
+        default:
+            // eof / timeout / reset: the peer is gone or stalled; there is
+            // nobody left worth writing an error to.
+            obs::counter_add("serve.http_errors_total", 1.0);
+            return;
+    }
+
+    if (request.method == "POST" && request.target == "/jobs") {
+        const admission verdict = sessions_.submit(
+            byte_view{request.body.data(), request.body.size()});
+        if (!verdict.accepted) {
+            respond_json(
+                fd, 503, error_json(verdict.reason),
+                {{"Retry-After",
+                  std::to_string(sessions_.options().retry_after_seconds)}});
+            return;
+        }
+        obs::json_writer w;
+        w.begin_object();
+        w.key("job");
+        w.value(verdict.id);
+        w.key("state");
+        w.value("queued");
+        w.end_object();
+        respond_json(fd, 202, w.take());
+        return;
+    }
+
+    std::uint64_t id = 0;
+    bool want_report = false;
+    if (parse_job_target(request.target, id, want_report)) {
+        if (request.method != "GET") {
+            respond_json(fd, 405, error_json("use GET"));
+            return;
+        }
+        const std::optional<job_status> status = sessions_.status(id);
+        if (!status.has_value()) {
+            respond_json(fd, 404, error_json("unknown job"));
+            return;
+        }
+        if (!want_report) {
+            respond_json(fd, 200, status_json(*status));
+            return;
+        }
+        if (status->state != job_state::done) {
+            respond_json(fd, 409, status_json(*status));
+            return;
+        }
+        std::ifstream in(sessions_.journal().report_file(id), std::ios::binary);
+        std::string report((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+        if (!in.is_open()) {
+            respond_json(fd, 404, error_json("report file missing"));
+            return;
+        }
+        write_response(fd, 200, "text/plain; charset=utf-8", report, {},
+                       options_.limits.io_deadline_ms);
+        return;
+    }
+
+    if (request.method == "GET" && request.target == "/healthz") {
+        obs::json_writer w;
+        w.begin_object();
+        w.key("status");
+        w.value("ok");
+        w.key("queue");
+        w.value(static_cast<std::uint64_t>(sessions_.queued()));
+        w.key("active");
+        w.value(static_cast<std::uint64_t>(sessions_.active()));
+        w.key("pressure");
+        w.value(static_cast<std::int64_t>(sessions_.pressure_level()));
+        w.end_object();
+        respond_json(fd, 200, w.take());
+        return;
+    }
+
+    if (request.method == "GET" && request.target == "/metrics") {
+        if (recorder_ == nullptr) {
+            respond_json(fd, 404, error_json("metrics recorder not enabled"));
+            return;
+        }
+        const std::string body = obs::to_prometheus(recorder_->metrics().snapshot());
+        write_response(fd, 200, "text/plain; version=0.0.4", body, {},
+                       options_.limits.io_deadline_ms);
+        return;
+    }
+
+    respond_json(fd, 404, error_json("no such endpoint"));
+}
+
+}  // namespace ftc::serve

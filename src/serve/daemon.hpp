@@ -1,0 +1,82 @@
+/// \file daemon.hpp
+/// HTTP front door of `ftclust serve` (ftc::serve::daemon).
+///
+/// A small pool of I/O threads accepts local HTTP/1.0 connections and
+/// routes them onto the session manager:
+///
+///   POST /jobs              submit a capture (body = pcap bytes)
+///                           202 {"job": id}  — journaled before the ack
+///                           503 {"error": reason} + Retry-After when shed
+///   GET  /jobs/<id>         job status JSON (404 for unknown ids)
+///   GET  /jobs/<id>/report  the finished analyst report
+///                           (409 while queued/running, 404 unknown)
+///   GET  /healthz           {"status","queue","active","pressure"}
+///   GET  /metrics           Prometheus text exposition (404 when the
+///                           daemon runs without a metrics recorder)
+///
+/// Every connection is bounded: head and body caps, one deadline for the
+/// whole request head (slow-loris defense), deadline-bounded writes. A
+/// misbehaving client costs one connection, never a worker session. The
+/// daemon never exits on a connection error; stop() (or destruction)
+/// closes the listener and joins the I/O threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/http.hpp"
+#include "serve/session.hpp"
+
+namespace ftc::obs {
+class recorder;
+}  // namespace ftc::obs
+
+namespace ftc::serve {
+
+/// Listener configuration; session behavior lives in serve_options.
+struct daemon_options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = ephemeral, read back via port()
+    std::size_t io_threads = 2;
+    http_limits limits;
+};
+
+class daemon {
+public:
+    /// Binds the listener (throws ftc::error on failure) and starts the
+    /// I/O threads. \p recorder may be nullptr: /metrics then answers 404
+    /// and counters fall back to the ambient obs hooks.
+    daemon(session_manager& sessions, obs::recorder* recorder, daemon_options options);
+    ~daemon();
+
+    daemon(const daemon&) = delete;
+    daemon& operator=(const daemon&) = delete;
+
+    std::uint16_t port() const { return port_; }
+    std::uint64_t requests_served() const {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+    /// Stop accepting, close the listener, join the I/O threads.
+    void stop() noexcept;
+
+private:
+    void io_loop();
+    void handle_connection(int fd);
+    void respond_json(int fd, int status, const std::string& body,
+                      const std::vector<std::pair<std::string, std::string>>& extra = {});
+
+    session_manager& sessions_;
+    obs::recorder* recorder_;
+    daemon_options options_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> requests_{0};
+    std::vector<std::thread> io_threads_;
+};
+
+}  // namespace ftc::serve

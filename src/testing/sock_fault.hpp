@@ -1,0 +1,76 @@
+/// \file sock_fault.hpp
+/// Deterministic socket/spool fault injection (the ftc::testing front end
+/// of the ftc::util::net I/O fault plan).
+///
+/// The serve daemon's robustness contract says every connection and every
+/// session either completes with reference-identical output or unwinds
+/// with a typed per-session error — the daemon itself never exits. Like
+/// the allocation injector, that contract is only worth stating if it can
+/// be driven: this injector makes the Nth tracked socket operation (or the
+/// Nth spool journal write) observe a short transfer, a simulated EINTR, a
+/// peer reset, a stalled deadline, or on-disk spool corruption, so a test
+/// can sweep N across a serving session and prove the handling path from
+/// every I/O site (tests/test_serve_faults.cpp). Determinism: the
+/// countdown only ticks on operations in the fault kind's domain, so the
+/// same request sequence hits the same ordinals in the same order.
+#pragma once
+
+#include <cstdint>
+
+#include "util/net.hpp"
+
+namespace ftc::testing {
+
+/// RAII installer of a util::net::io_fault_plan; restores the previous
+/// plan (usually none) on destruction so a throwing test cannot poison its
+/// neighbours.
+class sock_fault_injector {
+public:
+    /// Make the \p nth tracked operation (1-based) of \p kind's domain
+    /// observe \p kind.
+    static sock_fault_injector fail_nth(std::uint64_t nth, util::net::io_fault kind) {
+        util::net::io_fault_plan plan;
+        plan.fail_nth = nth;
+        plan.kind = kind;
+        return sock_fault_injector(plan);
+    }
+
+    explicit sock_fault_injector(const util::net::io_fault_plan& plan)
+        : previous_(util::net::get_io_fault_plan()) {
+        util::net::set_io_fault_plan(plan);
+    }
+
+    sock_fault_injector(sock_fault_injector&& other) noexcept
+        : previous_(other.previous_), armed_(other.armed_) {
+        other.armed_ = false;
+    }
+
+    sock_fault_injector(const sock_fault_injector&) = delete;
+    sock_fault_injector& operator=(const sock_fault_injector&) = delete;
+    sock_fault_injector& operator=(sock_fault_injector&&) = delete;
+
+    ~sock_fault_injector() {
+        if (armed_) {
+            util::net::set_io_fault_plan(previous_);
+        }
+    }
+
+private:
+    util::net::io_fault_plan previous_;
+    bool armed_ = true;
+};
+
+/// Parse a fault-kind name ("short" | "eintr" | "reset" | "stall" |
+/// "corrupt-spool"); throws ftc::error on anything else.
+util::net::io_fault parse_io_fault_kind(const char* name);
+
+/// Arm a process-wide I/O fault plan from the environment:
+///   FTC_SOCK_FAIL_NTH=N      fault the Nth tracked operation
+///   FTC_SOCK_FAIL_KIND=KIND  short | eintr | reset | stall | corrupt-spool
+///                            (default reset)
+/// Returns true when a plan was armed. The CLI calls this at startup so CI
+/// can smoke-test the full daemon's handling paths without a special
+/// build. Values must parse strictly; a malformed value throws.
+bool arm_sock_faults_from_env();
+
+}  // namespace ftc::testing

@@ -38,6 +38,8 @@ std::string_view category_name(category cat) {
             return "resource";
         case category::checkpoint:
             return "checkpoint";
+        case category::spool:
+            return "spool";
     }
     return "unknown";
 }
@@ -101,7 +103,8 @@ std::string error_sink::summary() const {
     // Quarantine counts per category, in enum order for stable output.
     constexpr category kCats[] = {category::file_header, category::record,
                                   category::decap,       category::segmentation,
-                                  category::resource,    category::checkpoint};
+                                  category::resource,    category::checkpoint,
+                                  category::spool};
     std::size_t dropped[std::size(kCats)] = {};
     for (const diagnostic& d : entries_) {
         if (d.sev == severity::warning) {

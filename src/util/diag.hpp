@@ -33,6 +33,7 @@ enum class category {
     segmentation,  ///< per-message segmentation failure
     resource,      ///< resource-budget events (partial progress)
     checkpoint,    ///< checkpoint file/section validation (ftc::ckpt)
+    spool,         ///< serve job-spool journal validation (ftc::serve)
 };
 
 /// How bad a diagnostic is.

@@ -1,0 +1,94 @@
+// Shared helpers of the serve test suites: synthetic captures and a raw
+// blocking HTTP/1.0 client. The client deliberately uses bare sockets —
+// not util::net — so an armed I/O fault plan ticks only on the *daemon's*
+// socket operations and the sweep in test_serve_faults stays
+// deterministic.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "pcap/pcap.hpp"
+#include "protocols/registry.hpp"
+#include "util/byteio.hpp"
+
+namespace ftc::serve_test {
+
+/// A small deterministic capture as raw pcap bytes.
+inline byte_vector make_capture_bytes(std::string_view protocol, std::size_t messages,
+                                      std::uint64_t seed) {
+    return pcap::to_pcap_bytes(
+        protocols::trace_to_capture(protocols::generate_trace(protocol, messages, seed)));
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// Connect, send \p request verbatim, read until EOF. Returns the raw
+/// response ("" when the daemon dropped the connection without a reply).
+inline std::string http_exchange(std::uint16_t port, const std::string& request) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        return {};
+    }
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+        if (n <= 0) {
+            break;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+inline std::string http_get(std::uint16_t port, const std::string& target) {
+    return http_exchange(port, "GET " + target + " HTTP/1.0\r\n\r\n");
+}
+
+inline std::string http_post(std::uint16_t port, const std::string& target,
+                             const byte_vector& body) {
+    std::string request = "POST " + target + " HTTP/1.0\r\nContent-Length: " +
+                          std::to_string(body.size()) + "\r\n\r\n";
+    request.append(reinterpret_cast<const char*>(body.data()), body.size());
+    return http_exchange(port, request);
+}
+
+/// Status code of a raw response, or 0 when it is not parseable.
+inline int response_status(const std::string& response) {
+    if (response.rfind("HTTP/1.0 ", 0) != 0 || response.size() < 12) {
+        return 0;
+    }
+    return std::stoi(response.substr(9, 3));
+}
+
+/// Everything after the blank line.
+inline std::string response_body(const std::string& response) {
+    const std::size_t at = response.find("\r\n\r\n");
+    return at == std::string::npos ? std::string{} : response.substr(at + 4);
+}
+
+#endif  // unix
+
+}  // namespace ftc::serve_test

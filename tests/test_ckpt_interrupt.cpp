@@ -4,12 +4,16 @@
 // tell the same story — then resume must complete bitwise identically.
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <filesystem>
 #include <fstream>
+#include <random>
+#include <span>
 #include <string>
 
 #include "ckpt/manager.hpp"
 #include "core/pipeline.hpp"
+#include "mem/mem.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "protocols/registry.hpp"
@@ -148,6 +152,139 @@ TEST(CkptInterrupt, StopRequestRaisesInterruptedErrorAndResumeCompletes) {
         const std::string manifest = slurp(dir / ckpt::checkpoint_manager::kManifestFile);
         EXPECT_NE(manifest.find("\"status\":\"complete\""), std::string::npos) << manifest;
     }
+    fs::remove_all(dir);
+}
+
+/// Almost-all-unique segment values: the dense n×n matrix dominates the
+/// run's peak, so a max_memory just below that peak deterministically
+/// forces the tiled triangular build (the mem-degrade spill recipe).
+scenario make_tile_scenario() {
+    std::minstd_rand rng(13);
+    scenario s;
+    for (std::size_t m = 0; m < 200; ++m) {
+        byte_vector msg;
+        std::vector<segmentation::segment> segs;
+        for (std::size_t k = 0; k < 2; ++k) {
+            const std::size_t len = 4 + (rng() % 5);
+            segs.push_back({m, msg.size(), len});
+            for (std::size_t b = 0; b < len; ++b) {
+                msg.push_back(static_cast<std::uint8_t>(rng()));
+            }
+        }
+        s.messages.push_back(std::move(msg));
+        s.segments.push_back(std::move(segs));
+    }
+    return s;
+}
+
+void sigterm_to_interrupt(int sig) { request_interrupt(sig); }
+
+/// Delegates every announcement to the checkpoint manager, but delivers a
+/// real SIGTERM right after the first spilled tile reaches disk — the kill
+/// arrives while the tile stream is mid-flight, exactly the window where a
+/// torn write would poison the checkpoint.
+class sigterm_after_first_tile final : public core::stage_observer {
+public:
+    explicit sigterm_after_first_tile(core::stage_observer& inner) : inner_(inner) {}
+
+    void on_segments(const std::vector<byte_vector>& messages,
+                     const segmentation::message_segments& segments) override {
+        inner_.on_segments(messages, segments);
+    }
+    void on_matrix(const dissim::unique_segments& unique,
+                   const dissim::dissimilarity_matrix& matrix,
+                   const std::vector<std::vector<double>>& knn_curves) override {
+        inner_.on_matrix(unique, matrix, knn_curves);
+    }
+    void on_neighbors(const dissim::unique_segments& unique,
+                      const dissim::capped_neighbors& neighbors,
+                      const std::vector<std::vector<double>>& knn_curves) override {
+        inner_.on_neighbors(unique, neighbors, knn_curves);
+    }
+    bool wants_matrix_tiles() const override { return inner_.wants_matrix_tiles(); }
+    void on_matrix_tile(std::size_t row_begin, std::size_t row_end, std::size_t n,
+                        std::span<const float> cells) override {
+        inner_.on_matrix_tile(row_begin, row_end, n, cells);
+        if (++tiles == 1) {
+            std::raise(SIGTERM);
+        }
+    }
+    void on_clustering(const cluster::auto_cluster_result& clustering) override {
+        inner_.on_clustering(clustering);
+    }
+    void on_interrupted(const char* stage) override { inner_.on_interrupted(stage); }
+
+    int tiles = 0;
+
+private:
+    core::stage_observer& inner_;
+};
+
+TEST(CkptInterrupt, SigtermDuringTileWriteLeavesNoTornFiles) {
+    const scenario s = make_tile_scenario();
+    const fs::path dir = fs::temp_directory_path() / "ftc_ckpt_interrupt_sigterm_tile";
+    fs::remove_all(dir);
+
+    // Baseline: peak (to size the pressure) and the reference labels.
+    mem::reset_peak();
+    const core::pipeline_result plain = core::analyze_segments(s.messages, s.segments, {});
+    const std::uint64_t peak = mem::peak_bytes();
+    const std::uint64_t n = plain.unique.size();
+    const std::uint64_t dense_bytes = n * n * sizeof(float);
+    ASSERT_GT(peak, dense_bytes);
+
+    core::pipeline_options opt;
+    opt.max_memory = static_cast<std::size_t>(peak - dense_bytes / 4);
+    const ckpt::options_fingerprint fp = ckpt::fingerprint(opt, "true", 7);
+
+    // SIGTERM lands via the CLI's own handler contract: the signal sets the
+    // interrupt flag, the run unwinds at the next check point while tiles
+    // may still be streaming.
+    using handler = void (*)(int);
+    const handler previous = std::signal(SIGTERM, sigterm_to_interrupt);
+    ASSERT_NE(previous, SIG_ERR);
+    int tiles_before_signal = 0;
+    {
+        scoped_interrupt_clear guard;
+        ckpt::checkpoint_manager manager(dir, fp);
+        manager.on_segments(s.messages, s.segments);
+        sigterm_after_first_tile killer(manager);
+        core::pipeline_options observed = opt;
+        observed.observer = &killer;
+        core::pipeline_seed seed;
+        seed.segments = s.segments;
+        EXPECT_THROW(core::analyze_seeded(s.messages, nullptr, std::move(seed), observed),
+                     interrupted_error);
+        tiles_before_signal = killer.tiles;
+        EXPECT_EQ(interrupt_signal(), SIGTERM);
+    }
+    std::signal(SIGTERM, previous);
+    // The signal really did land inside the tile stream.
+    ASSERT_GE(tiles_before_signal, 1);
+    ASSERT_TRUE(fs::exists(dir / ckpt::checkpoint_manager::tile_file(0)));
+
+    // Invariant #1: every file in the checkpoint dir is complete or absent
+    // — atomic_write_file's temp files never survive the unwind.
+    for (const fs::directory_entry& entry : fs::recursive_directory_iterator(dir)) {
+        EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+    }
+    const std::string manifest = slurp(dir / ckpt::checkpoint_manager::kManifestFile);
+    EXPECT_NE(manifest.find("\"status\":\"interrupted\""), std::string::npos) << manifest;
+
+    // Invariant #2: a strict-policy load accepts everything that survived —
+    // nothing on disk is torn, half-renamed, or internally inconsistent.
+    diag::error_sink strict(diag::policy::strict);
+    ckpt::checkpoint_manager manager(dir, fp);
+    ckpt::restored_state restored = manager.load(s.messages, strict);
+    ASSERT_TRUE(restored.has_segments());
+
+    // Invariant #3: the flag is cleared, and resuming from the survivors
+    // reproduces the uninterrupted run exactly.
+    const core::pipeline_result resumed = core::analyze_seeded(
+        restored.messages, nullptr, std::move(restored.seed), opt);
+    manager.mark_complete();
+    EXPECT_EQ(plain.final_labels.labels, resumed.final_labels.labels);
+    EXPECT_EQ(plain.final_labels.cluster_count, resumed.final_labels.cluster_count);
     fs::remove_all(dir);
 }
 

@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 #include <limits>
+#include <thread>
 #include <utility>
 
 #include "testing/alloc_fault.hpp"
@@ -136,6 +137,29 @@ TEST(Governor, NestsInnermostWins) {
     }
     EXPECT_EQ(governor::active(), &outer);
     EXPECT_FALSE(would_exceed(100));
+}
+
+TEST(Governor, InstallIsPerThreadAndInvisibleToOtherThreads) {
+    // The stack is thread_local: a serve worker's per-session governor must
+    // not leak a limit onto sibling workers sharing the process counters.
+    ASSERT_EQ(governor::active(), nullptr);
+    const governor mine(current_bytes() + 10);
+    EXPECT_TRUE(would_exceed(100));
+
+    const governor* seen = &mine;  // sentinel: must be overwritten by the thread
+    bool exceeded = true;
+    std::thread other([&] {
+        seen = governor::active();
+        exceeded = would_exceed(100);
+        // A nested governor installed on this thread unwinds here, leaving
+        // the spawning thread's stack untouched.
+        const governor theirs(current_bytes() + 10);
+        EXPECT_EQ(governor::active(), &theirs);
+    });
+    other.join();
+    EXPECT_EQ(seen, nullptr);
+    EXPECT_FALSE(exceeded);
+    EXPECT_EQ(governor::active(), &mine);
 }
 
 TEST(Governor, UnlimitedGovernorNeverExceeds) {

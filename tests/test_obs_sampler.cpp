@@ -246,6 +246,28 @@ TEST(ObsSampler, UnwritablePathThrows) {
     EXPECT_THROW(obs::sampler(nullptr, std::move(opt)), ftc::error);
 }
 
+TEST(ObsSampler, FullDiskCountsWriteErrorsInsteadOfDroppingSilently) {
+#if defined(__linux__)
+    // /dev/full opens fine and fails every write with ENOSPC — the exact
+    // shape of a telemetry disk filling up mid-run. The sampler must keep
+    // running and count every dropped line, in its own accessor and in the
+    // telemetry.write_errors obs counter.
+    obs::scoped_recorder recorder;
+    obs::sampler_options opt;
+    opt.telemetry_path = "/dev/full";
+    opt.interval = std::chrono::milliseconds(10);
+    obs::sampler sampler(&recorder.rec(), std::move(opt));
+    sampler.set_status("ok");
+    sampler.stop();  // at minimum the final sample was written (and failed)
+    EXPECT_GE(sampler.write_errors(), 1u);
+    const obs::metrics_snapshot m = recorder.rec().metrics().snapshot();
+    EXPECT_GE(m.counters.at("telemetry.write_errors"),
+              static_cast<double>(sampler.write_errors()));
+#else
+    GTEST_SKIP() << "/dev/full is linux-only";
+#endif
+}
+
 TEST(ObsSampler, StopIsIdempotent) {
     const std::string path = temp_path("idempotent");
     const file_cleanup cleanup{path};

@@ -68,6 +68,25 @@
 ///       clustering output is bitwise identical with them on, off or
 ///       compiled out.
 ///
+///   ftclust serve --spool DIR [--listen HOST:PORT] ...
+///       Run the clustering pipeline as a long-lived, crash-recoverable
+///       daemon. Jobs are submitted as pcap bytes over local HTTP
+///       (POST /jobs), each runs as a fault-isolated session — its own
+///       memory governor, diagnostics sink, wall-clock budget and
+///       checkpoint directory — on a bounded worker pool. Every accepted
+///       job is journaled to the spool directory before the 202 ack, so
+///       kill -9 at any instant costs at most the stage in flight: on
+///       restart the daemon replays unfinished jobs through their stage
+///       checkpoints and produces reports byte-identical to uninterrupted
+///       runs. Overload (full queue, memory pressure) is shed with
+///       503 + Retry-After, and pressure first degrades new sessions
+///       (sparse neighborhood, tightened per-session memory cap — both
+///       result-neutral) before refusing. GET /jobs/<id> returns status,
+///       GET /jobs/<id>/report the finished report, GET /healthz the
+///       queue/pressure snapshot and GET /metrics the Prometheus text
+///       exposition. SIGINT/SIGTERM drain gracefully; in-flight sessions
+///       unwind at the next cancellation point and replay on restart.
+///
 ///   ftclust version [--json]
 ///       Print build provenance: version, git SHA, build type, and the
 ///       compiled/active sliding-Canberra kernel backends.
@@ -84,6 +103,7 @@
 ///       Generate a trace with ground truth and report clustering quality
 ///       (precision, recall, F1/4, coverage) for the chosen segmentation
 ///       ("true" = ground-truth fields).
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -92,6 +112,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "ckpt/manager.hpp"
 #include "core/metrics.hpp"
@@ -109,7 +130,9 @@
 #include "pcap/pcap.hpp"
 #include "protocols/registry.hpp"
 #include "segmentation/segment.hpp"
+#include "serve/daemon.hpp"
 #include "testing/alloc_fault.hpp"
+#include "testing/sock_fault.hpp"
 #include "testing/corrupter.hpp"
 #include "util/atomic_file.hpp"
 #include "util/build_info.hpp"
@@ -137,6 +160,14 @@ int usage() {
         "                   [--telemetry-out FILE] [--telemetry-interval-ms N]\n"
         "                   [--progress] [--metrics-listen HOST:PORT]\n"
         "  ftclust run      (alias for analyze)\n"
+        "  ftclust serve    --spool DIR [--listen HOST:PORT] [--sessions N]\n"
+        "                   [--queue-depth N] [--max-body BYTES[K|M|G]]\n"
+        "                   [--session-max-memory BYTES[K|M|G]]\n"
+        "                   [--io-deadline-ms N] [--retry-after SECONDS]\n"
+        "                   [--segmenter NAME] [--budget SECONDS] [--threads N]\n"
+        "                   [--neighborhood dense|sparse|auto] [--strict]\n"
+        "                   [--max-memory BYTES[K|M|G]] [--telemetry-out FILE]\n"
+        "                   [--telemetry-interval-ms N]\n"
         "  ftclust version  [--json]\n"
         "  ftclust generate <protocol> <messages> <out.pcap> [--seed N]\n"
         "  ftclust corrupt  <in.pcap> <out.pcap> [--fraction F] [--seed N]\n"
@@ -514,6 +545,94 @@ int cmd_analyze(const char* cmd_name, int argc, char** argv) {
     return 0;
 }
 
+/// Long-lived clustering daemon: accept captures over local HTTP, run
+/// each as a fault-isolated session, journal everything to the spool so
+/// kill -9 costs at most the stage in flight. See src/serve/*.hpp for the
+/// architecture; this function only parses flags and owns the lifetime
+/// order (spool -> sessions -> listener, torn down in reverse).
+int cmd_serve(int argc, char** argv) {
+    const char* spool_dir = flag_value(argc, argv, "--spool", nullptr);
+    if (spool_dir == nullptr) {
+        std::fputs("serve requires --spool DIR\n", stderr);
+        return usage();
+    }
+    serve::serve_options opt;
+    opt.segmenter = flag_value(argc, argv, "--segmenter", "NEMESYS");
+    opt.sessions = static_cast<std::size_t>(
+        util::parse_u64(flag_value(argc, argv, "--sessions", "2"), "--sessions"));
+    opt.queue_depth = static_cast<std::size_t>(
+        util::parse_u64(flag_value(argc, argv, "--queue-depth", "8"), "--queue-depth"));
+    // Serving default is lenient (quarantine per job); --strict still wins.
+    opt.lenient = !has_flag(argc, argv, "--strict");
+    opt.session_budget_seconds =
+        util::parse_double(flag_value(argc, argv, "--budget", "120"), "--budget");
+    opt.pipeline_threads = static_cast<std::size_t>(
+        util::parse_u64(flag_value(argc, argv, "--threads", "1"), "--threads"));
+    opt.neighborhood =
+        dissim::parse_neighborhood_mode(flag_value(argc, argv, "--neighborhood", "auto"));
+    opt.max_memory = static_cast<std::size_t>(util::parse_size_bytes(
+        flag_value(argc, argv, "--max-memory", "0"), "--max-memory"));
+    opt.session_max_memory = static_cast<std::size_t>(util::parse_size_bytes(
+        flag_value(argc, argv, "--session-max-memory", "0"), "--session-max-memory"));
+    opt.retry_after_seconds = static_cast<int>(
+        util::parse_u64(flag_value(argc, argv, "--retry-after", "1"), "--retry-after"));
+
+    serve::daemon_options dopt;
+    const obs::listen_address listen =
+        obs::parse_listen_address(flag_value(argc, argv, "--listen", "127.0.0.1:0"));
+    dopt.host = listen.host;
+    dopt.port = listen.port;
+    dopt.limits.max_body_bytes = static_cast<std::size_t>(util::parse_size_bytes(
+        flag_value(argc, argv, "--max-body", "64M"), "--max-body"));
+    dopt.limits.io_deadline_ms = static_cast<int>(util::parse_u64(
+        flag_value(argc, argv, "--io-deadline-ms", "5000"), "--io-deadline-ms"));
+
+    install_stop_handlers();
+    // The daemon always runs a recorder: /metrics serves its snapshot and
+    // every serve.* counter lands in it.
+    obs::scoped_recorder recorder;
+    std::optional<obs::sampler> sampler;
+    const char* telemetry_out = flag_value(argc, argv, "--telemetry-out", nullptr);
+    if (telemetry_out != nullptr) {
+        obs::sampler_options sopt;
+        sopt.telemetry_path = telemetry_out;
+        const double interval_ms =
+            util::parse_double(flag_value(argc, argv, "--telemetry-interval-ms", "500"),
+                               "--telemetry-interval-ms");
+        sopt.interval =
+            std::chrono::milliseconds(interval_ms > 0 ? static_cast<long>(interval_ms) : 500);
+        sampler.emplace(&recorder.rec(), std::move(sopt));
+        sampler->set_status("error");
+    }
+
+    serve::spool journal{std::filesystem::path{spool_dir}};
+    serve::session_manager sessions(journal, opt);
+    diag::error_sink recovery_sink(diag::policy::lenient);
+    const std::size_t replayed = sessions.recover(recovery_sink);
+    if (replayed > 0) {
+        std::printf("recovered %zu unfinished job%s from %s\n", replayed,
+                    replayed == 1 ? "" : "s", spool_dir);
+    }
+    sessions.start();
+    serve::daemon daemon(sessions, &recorder.rec(), dopt);
+    std::printf("serving on %s:%u (spool %s, %zu sessions, queue %zu)\n",
+                dopt.host.c_str(), daemon.port(), spool_dir, opt.sessions,
+                opt.queue_depth);
+    std::fflush(stdout);
+
+    while (!interrupt_requested()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::fputs("stop requested, draining\n", stderr);
+    daemon.stop();
+    sessions.stop();
+    if (sampler.has_value()) {
+        sampler->set_status("interrupted");
+    }
+    const int sig = interrupt_signal();
+    return sig > 0 ? 128 + sig : 0;
+}
+
 int cmd_version(int argc, char** argv) {
     const bool as_json = has_flag(argc, argv, "--json");
     const char* active = dissim::kernel::backend_name(dissim::kernel::active());
@@ -629,9 +748,15 @@ int main(int argc, char** argv) {
         // Deterministic allocation-fault injection for robustness testing:
         // inert unless FTC_ALLOC_FAIL_NTH / FTC_ALLOC_FAIL_ABOVE_BYTES is set.
         ftc::testing::arm_alloc_faults_from_env();
+        // Same contract for socket/spool faults: inert unless
+        // FTC_SOCK_FAIL_NTH / FTC_SOCK_FAIL_KIND is set.
+        ftc::testing::arm_sock_faults_from_env();
         const std::string cmd = argv[1];
         if (cmd == "analyze" || cmd == "run") {
             return cmd_analyze(cmd.c_str(), argc - 2, argv + 2);
+        }
+        if (cmd == "serve") {
+            return cmd_serve(argc - 2, argv + 2);
         }
         if (cmd == "generate") {
             return cmd_generate(argc - 2, argv + 2);
